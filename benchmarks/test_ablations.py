@@ -1,0 +1,152 @@
+"""Ablation benches for the design choices called out in DESIGN.md §6.
+
+1. DAWAz budget split rho (paper fixes 0.1);
+2. zero-set detector inside DAWAz (OsdpRR vs OsdpLaplaceL1);
+3. OsdpRR histogram inverse-retention scaling;
+4. OsdpLaplaceL1 median de-biasing (Algorithm 2 step 4);
+5. DAWA partition penalty factor.
+"""
+
+import numpy as np
+from conftest import write_result
+
+from repro.data.dpbench import generate_dpbench
+from repro.data.sampling import m_sampling
+from repro.evaluation.metrics import mean_relative_error
+from repro.evaluation.runner import format_table, spawn_rngs
+from repro.mechanisms.dawa import Dawa
+from repro.mechanisms.dawaz import DawaZ
+from repro.mechanisms.osdp_laplace import OsdpLaplaceL1Histogram
+from repro.mechanisms.osdp_rr import OsdpRRHistogram
+from repro.queries.histogram import HistogramInput
+
+EPSILON = 1.0
+N_TRIALS = 5
+
+
+def _input(dataset: str, rho: float, seed: int = 0) -> HistogramInput:
+    x = generate_dpbench(dataset, seed=seed).astype(float)
+    x_ns = m_sampling(x, rho, np.random.default_rng(seed)).x_ns.astype(float)
+    return HistogramInput(x=x, x_ns=x_ns)
+
+
+def _avg_mre(mechanism, hist, seed=0, trials=N_TRIALS):
+    return float(
+        np.mean(
+            [
+                mean_relative_error(hist.x, mechanism.release(hist, rng))
+                for rng in spawn_rngs(seed, trials)
+            ]
+        )
+    )
+
+
+def test_ablation_dawaz_rho(benchmark):
+    """Sweep the zero-detection budget fraction around the paper's 0.1."""
+    hist = _input("adult", rho=0.75)
+
+    def sweep():
+        return {
+            rho: _avg_mre(DawaZ(EPSILON, rho=rho), hist)
+            for rho in (0.02, 0.05, 0.1, 0.25, 0.5, 0.8)
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [[rho, mre] for rho, mre in results.items()]
+    write_result("ablation_dawaz_rho", format_table(["rho", "MRE"], rows))
+    # Extreme budget splits should not beat the paper's neighborhood.
+    best = min(results, key=results.__getitem__)
+    assert best in (0.02, 0.05, 0.1, 0.25)
+
+
+def test_ablation_zero_detector(benchmark):
+    """OsdpRR-based vs OsdpLaplaceL1-based zero detection in DAWAz."""
+    hists = {
+        name: _input(name, rho=0.75) for name in ("adult", "searchlogs")
+    }
+
+    def sweep():
+        out = {}
+        for name, hist in hists.items():
+            out[name] = {
+                detector: _avg_mre(
+                    DawaZ(EPSILON, zero_detector=detector), hist
+                )
+                for detector in ("osdp_rr", "osdp_laplace_l1")
+            }
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        [name, vals["osdp_rr"], vals["osdp_laplace_l1"]]
+        for name, vals in results.items()
+    ]
+    write_result(
+        "ablation_zero_detector",
+        format_table(["dataset", "osdp_rr", "osdp_laplace_l1"], rows),
+    )
+    for vals in results.values():
+        assert vals["osdp_rr"] > 0 and vals["osdp_laplace_l1"] > 0
+
+
+def test_ablation_osdp_rr_scaling(benchmark):
+    """Raw sample counts vs inverse-retention (and ratio) rescaling."""
+    hist = _input("searchlogs", rho=0.5)
+
+    def sweep():
+        return {
+            "raw": _avg_mre(OsdpRRHistogram(EPSILON), hist),
+            "retention-scaled": _avg_mre(
+                OsdpRRHistogram(EPSILON, scaled=True), hist
+            ),
+            "fully-scaled": _avg_mre(
+                OsdpRRHistogram(EPSILON, scaled=True, ns_ratio=0.5), hist
+            ),
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_result(
+        "ablation_osdp_rr_scaling",
+        format_table(["variant", "MRE"], list(results.items())),
+    )
+    # De-biasing strictly helps under a value-independent (Close) policy.
+    assert results["fully-scaled"] < results["retention-scaled"]
+    assert results["retention-scaled"] < results["raw"]
+
+
+def test_ablation_debias(benchmark):
+    """Algorithm 2 step 4 (median add-back) on a dense-count histogram."""
+    x = np.full(2048, 40.0)
+    hist = HistogramInput(x=x, x_ns=x.copy())
+
+    def sweep():
+        return {
+            "debias": _avg_mre(OsdpLaplaceL1Histogram(EPSILON), hist),
+            "no-debias": _avg_mre(
+                OsdpLaplaceL1Histogram(EPSILON, debias=False), hist
+            ),
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_result(
+        "ablation_debias", format_table(["variant", "MRE"], list(results.items()))
+    )
+    assert results["debias"] < results["no-debias"]
+
+
+def test_ablation_dawa_penalty(benchmark):
+    """DAWA's per-bucket penalty factor: balance bias vs noise."""
+    hist = _input("nettrace", rho=0.99)
+
+    def sweep():
+        return {
+            factor: _avg_mre(Dawa(EPSILON, penalty_factor=factor), hist)
+            for factor in (0.1, 0.5, 1.0, 2.0, 8.0)
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_result(
+        "ablation_dawa_penalty",
+        format_table(["penalty factor", "MRE"], list(results.items())),
+    )
+    assert all(v > 0 for v in results.values())

@@ -1,0 +1,44 @@
+"""Fig 1: resident classification error (1 - AUC) per policy and epsilon.
+
+Paper shape: OsdpRR tracks the non-private All-NS baseline closely and
+both degrade as the non-sensitive fraction shrinks; ObjDP (all records
+treated sensitive) is far worse, approaching the Random baseline (0.5)
+at eps = 0.01.
+"""
+
+from conftest import BENCH_TIPPERS, write_result
+
+from repro.evaluation.experiments.fig1_classification import Fig1Config, run_fig1
+from repro.evaluation.runner import format_table
+
+CONFIG = Fig1Config(
+    tippers=BENCH_TIPPERS,
+    policies=(99, 90, 75, 50, 25, 10, 1),
+    epsilons=(1.0, 0.01),
+    cv_folds=5,
+)
+
+
+def test_fig1_classification_error(benchmark):
+    out = benchmark.pedantic(run_fig1, args=(CONFIG,), rounds=1, iterations=1)
+    for eps in CONFIG.epsilons:
+        rows = [
+            [f"P{rho:g}"] + [out["errors"][eps][rho][a]
+                             for a in ("all_ns", "osdp_rr", "objdp", "random")]
+            for rho in CONFIG.policies
+        ]
+        write_result(
+            f"fig1_classification_eps{eps:g}",
+            format_table(["policy", "all_ns", "osdp_rr", "objdp", "random"], rows),
+        )
+
+    errors_eps1 = out["errors"][1.0]
+    # Shape 1: OsdpRR ~ All NS at eps = 1 for permissive policies.
+    for rho in (99, 90, 75):
+        assert abs(errors_eps1[rho]["osdp_rr"] - errors_eps1[rho]["all_ns"]) < 0.12
+    # Shape 2: Random stays at ~0.5 everywhere.
+    assert abs(errors_eps1[99]["random"] - 0.5) < 0.1
+    # Shape 3: the truthful-release strategies beat ObjDP at eps = 1, P99.
+    assert errors_eps1[99]["osdp_rr"] < errors_eps1[99]["objdp"]
+    # Shape 4: error grows as the non-sensitive fraction shrinks.
+    assert errors_eps1[1]["all_ns"] > errors_eps1[99]["all_ns"]

@@ -1,0 +1,53 @@
+"""Fig 2: MRE of private 4-gram histograms.
+
+Paper shape: All NS <= OsdpRR with a modest gap; the optimal truncation
+for the Laplace baselines is k* = 1; at eps = 0.01 the Laplace
+mechanisms are orders of magnitude worse than OsdpRR.
+"""
+
+from conftest import BENCH_TIPPERS, write_result
+
+from repro.evaluation.experiments.fig2_3_ngrams import (
+    NGramConfig,
+    run_ngram_experiment,
+)
+from repro.evaluation.runner import format_table
+
+CONFIG = NGramConfig(
+    tippers=BENCH_TIPPERS,
+    n=4,
+    policies=(99, 90, 75, 50, 25, 10, 1),
+    epsilons=(1.0, 0.01),
+    truncation_sweep=(1, 2, 3, 5),
+    n_trials=5,
+)
+
+ALGOS = ("all_ns", "osdp_rr", "lm_t1", "lm_tstar")
+
+
+def check_shapes(out, config):
+    for eps in config.epsilons:
+        for rho in config.policies:
+            row = out["mre"][eps][rho]
+            assert row["all_ns"] <= row["osdp_rr"] + 1e-9
+    # Paper: k* = 1 for the 4/5-gram tasks.
+    assert out["lm_kstar"][1.0] == 1
+    # Order-of-magnitude gap at eps = 0.01 (§6.3.2).
+    row = out["mre"][0.01][50]
+    assert row["lm_t1"] > 10 * row["osdp_rr"]
+
+
+def test_fig2_four_grams(benchmark):
+    out = benchmark.pedantic(
+        run_ngram_experiment, args=(CONFIG,), rounds=1, iterations=1
+    )
+    for eps in CONFIG.epsilons:
+        rows = [
+            [f"P{rho:g}"] + [out["mre"][eps][rho][a] for a in ALGOS]
+            for rho in CONFIG.policies
+        ]
+        write_result(
+            f"fig2_ngram4_eps{eps:g}",
+            format_table(["policy", *ALGOS], rows),
+        )
+    check_shapes(out, CONFIG)

@@ -1,0 +1,37 @@
+"""Fig 3: MRE of private 5-gram histograms (same shapes as Fig 2)."""
+
+from conftest import BENCH_TIPPERS, write_result
+from test_fig2_ngram4 import ALGOS, check_shapes
+
+from repro.evaluation.experiments.fig2_3_ngrams import (
+    NGramConfig,
+    run_ngram_experiment,
+)
+from repro.evaluation.runner import format_table
+
+CONFIG = NGramConfig(
+    tippers=BENCH_TIPPERS,
+    n=5,
+    policies=(99, 90, 75, 50, 25, 10, 1),
+    epsilons=(1.0, 0.01),
+    truncation_sweep=(1, 2, 3, 5),
+    n_trials=5,
+)
+
+
+def test_fig3_five_grams(benchmark):
+    out = benchmark.pedantic(
+        run_ngram_experiment, args=(CONFIG,), rounds=1, iterations=1
+    )
+    for eps in CONFIG.epsilons:
+        rows = [
+            [f"P{rho:g}"] + [out["mre"][eps][rho][a] for a in ALGOS]
+            for rho in CONFIG.policies
+        ]
+        write_result(
+            f"fig3_ngram5_eps{eps:g}",
+            format_table(["policy", *ALGOS], rows),
+        )
+    check_shapes(out, CONFIG)
+    # 5-gram domain is 64x larger than the 4-gram domain.
+    assert out["domain_size"] == 64.0**5

@@ -1,0 +1,51 @@
+"""Fig 4: MRE on the TIPPERS 2-D (AP x hour) histogram.
+
+Paper shape (eps = 1): OSDP algorithms beat DAWA for policies with
+>= 25% non-sensitive records; DAWA's error is policy-independent.  At
+eps = 0.01 DAWAz stays competitive across all policies while the pure
+OSDP primitive falls behind.
+"""
+
+from conftest import BENCH_TIPPERS, write_result
+
+from repro.evaluation.experiments.fig4_5_tippers import (
+    ALGORITHMS,
+    TippersHistogramConfig,
+    run_tippers_histogram,
+)
+from repro.evaluation.runner import format_table
+
+CONFIG = TippersHistogramConfig(
+    tippers=BENCH_TIPPERS,
+    policies=(99, 90, 75, 50, 25, 10, 1),
+    epsilons=(1.0, 0.01),
+    n_trials=5,
+)
+
+
+def test_fig4_tippers_mre(benchmark):
+    out = benchmark.pedantic(
+        run_tippers_histogram, args=(CONFIG,), rounds=1, iterations=1
+    )
+    for eps in CONFIG.epsilons:
+        rows = [
+            [f"P{rho:g}"] + [out["mre"][eps][rho][a] for a in ALGORITHMS]
+            for rho in CONFIG.policies
+        ]
+        write_result(
+            f"fig4_tippers_mre_eps{eps:g}",
+            format_table(["policy", *ALGORITHMS], rows),
+        )
+
+    mre1 = out["mre"][1.0]
+    # Shape 1: OSDP wins for high non-sensitive fractions at eps = 1.
+    assert mre1[99]["osdp_laplace_l1"] < mre1[99]["dawa"]
+    # Shape 2: DAWA's error does not depend on the policy.
+    dawa_values = [mre1[rho]["dawa"] for rho in CONFIG.policies]
+    assert max(dawa_values) - min(dawa_values) < 0.25 * max(dawa_values)
+    # Shape 3: at eps = 0.01, DAWAz is competitive for every policy.
+    mre001 = out["mre"][0.01]
+    for rho in CONFIG.policies:
+        assert mre001[rho]["dawaz"] <= mre001[rho]["dawa"] * 1.5
+    # Shape 4: pure OSDP degrades as the sensitive share grows.
+    assert mre1[1]["osdp_laplace_l1"] > mre1[99]["osdp_laplace_l1"]

@@ -1,0 +1,44 @@
+"""Fig 5: median (Rel50) and tail (Rel95) per-bin error, TIPPERS, eps = 1.
+
+Paper shape: OSDP algorithms offer their largest improvements on the
+high-error bins (Rel95); OsdpLaplaceL1 outperforms DAWAz on this
+value-based policy because bins are purely sensitive or purely
+non-sensitive (§6.3.3.1).
+"""
+
+from conftest import BENCH_TIPPERS, write_result
+
+from repro.evaluation.experiments.fig4_5_tippers import (
+    ALGORITHMS,
+    TippersHistogramConfig,
+    run_tippers_histogram,
+)
+from repro.evaluation.runner import format_table
+
+CONFIG = TippersHistogramConfig(
+    tippers=BENCH_TIPPERS,
+    policies=(99, 90, 75, 50, 25),
+    epsilons=(1.0,),
+    n_trials=5,
+)
+
+
+def test_fig5_tippers_per_bin_error(benchmark):
+    out = benchmark.pedantic(
+        run_tippers_histogram, args=(CONFIG,), rounds=1, iterations=1
+    )
+    for metric in ("rel50", "rel95"):
+        rows = [
+            [f"P{rho:g}"] + [out[metric][rho][a] for a in ALGORITHMS]
+            for rho in CONFIG.policies
+        ]
+        write_result(
+            f"fig5_tippers_{metric}",
+            format_table(["policy", *ALGORITHMS], rows),
+        )
+    # Shape 1: OSDP beats DAWA on the tail error for permissive policies.
+    assert out["rel95"][99]["osdp_laplace_l1"] < out["rel95"][99]["dawa"]
+    assert out["rel95"][90]["dawaz"] < out["rel95"][90]["dawa"] * 1.2
+    # Shape 2: median error of OSDP algorithms is no worse than DAWA's
+    # at the most permissive policy.
+    assert out["rel50"][99]["osdp_laplace_l1"] <= out["rel50"][99]["dawa"] + 0.05

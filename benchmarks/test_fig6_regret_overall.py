@@ -1,0 +1,57 @@
+"""Fig 6: average MRE-regret by non-sensitive ratio, both policies.
+
+Paper shape: OSDP algorithms dominate for high ratios; for rho <= 0.25
+the DP algorithm (DAWA) overtakes the pure OSDP primitive; low epsilon
+favors the hybrid DAWAz.
+"""
+
+from conftest import BENCH_DPBENCH, write_result
+
+from repro.evaluation.experiments.fig6_10_dpbench import (
+    aggregate_regret,
+    overall_average_regret,
+)
+from repro.evaluation.runner import format_table
+
+SHOWN = ("osdp_laplace_l1", "dawaz", "dawa")
+
+
+def test_fig6_overall_regret(benchmark, dpbench_records):
+    def aggregate():
+        tables = {}
+        for eps in BENCH_DPBENCH.epsilons:
+            tables[eps] = {
+                "by_rho": aggregate_regret(
+                    dpbench_records, group_by="rho", where={"epsilon": eps}
+                ),
+                "avg": overall_average_regret(
+                    dpbench_records, where={"epsilon": eps}
+                ),
+            }
+        return tables
+
+    tables = benchmark.pedantic(aggregate, rounds=1, iterations=1)
+    for eps, data in tables.items():
+        rows = [["Avg"] + [data["avg"][a] for a in SHOWN]]
+        for rho in sorted(data["by_rho"], reverse=True):
+            rows.append([rho] + [data["by_rho"][rho][a] for a in SHOWN])
+        write_result(
+            f"fig6_regret_overall_eps{eps:g}",
+            format_table(["rho_x", *SHOWN], rows),
+        )
+
+    by_rho_1 = tables[1.0]["by_rho"]
+    # Shape 1: at the most permissive ratio OSDP crushes the DP baseline.
+    assert by_rho_1[0.99]["osdp_laplace_l1"] < by_rho_1[0.99]["dawa"]
+    # Shape 2: at rho = 0.01 the DP algorithm overtakes pure OSDP.
+    assert by_rho_1[0.01]["dawa"] < by_rho_1[0.01]["osdp_laplace_l1"]
+    # Shape 3: DAWA's regret falls monotonically-ish as rho drops.
+    assert by_rho_1[0.01]["dawa"] < by_rho_1[0.99]["dawa"]
+    # Shape 4: at eps = 0.01 the hybrid DAWAz strictly dominates DAWA at
+    # every ratio.  (The paper additionally shows DAWAz beating the pure
+    # OSDP primitive on average at eps = 0.01; under our exact-ratio
+    # de-biasing convention OsdpLaplaceL1 also stays competitive — see
+    # EXPERIMENTS.md, deviations.)
+    by_rho_001 = tables[0.01]["by_rho"]
+    for rho in by_rho_001:
+        assert by_rho_001[rho]["dawaz"] < by_rho_001[rho]["dawa"]

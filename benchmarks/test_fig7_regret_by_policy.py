@@ -1,0 +1,57 @@
+"""Fig 7: MRE-regret by ratio, split by Close/Far policy, eps = 1.
+
+Paper shape: for Close policies OSDP algorithms beat DAWA at every
+ratio >= 0.25 (paper: DAWAz < 2x optimal on average vs ~6x for DAWA);
+for Far policies the pure OSDP primitive collapses (annotations of
+18-45x in the paper) while DAWAz still beats DAWA everywhere.
+"""
+
+from conftest import write_result
+
+from repro.evaluation.experiments.fig6_10_dpbench import (
+    aggregate_regret,
+    overall_average_regret,
+)
+from repro.evaluation.runner import format_table
+
+SHOWN = ("osdp_laplace_l1", "dawaz", "dawa")
+RATIOS = (0.99, 0.75, 0.50, 0.25)
+
+
+def test_fig7_regret_by_policy(benchmark, dpbench_records):
+    def aggregate():
+        return {
+            policy: {
+                "by_rho": aggregate_regret(
+                    dpbench_records,
+                    group_by="rho",
+                    where={"policy": policy, "epsilon": 1.0},
+                ),
+                "avg": overall_average_regret(
+                    dpbench_records, where={"policy": policy, "epsilon": 1.0}
+                ),
+            }
+            for policy in ("close", "far")
+        }
+
+    tables = benchmark.pedantic(aggregate, rounds=1, iterations=1)
+    for policy, data in tables.items():
+        rows = [["Avg"] + [data["avg"][a] for a in SHOWN]]
+        for rho in sorted(data["by_rho"], reverse=True):
+            rows.append([rho] + [data["by_rho"][rho][a] for a in SHOWN])
+        write_result(
+            f"fig7_regret_{policy}",
+            format_table(["rho_x", *SHOWN], rows),
+        )
+
+    close = tables["close"]["by_rho"]
+    far = tables["far"]["by_rho"]
+    # Shape 1: Close, high ratios -> OSDP beats DAWA.
+    for rho in (0.99, 0.75, 0.50):
+        assert close[rho]["osdp_laplace_l1"] < close[rho]["dawa"]
+    # Shape 2: Far -> the pure OSDP primitive collapses vs its Close self.
+    assert far[0.75]["osdp_laplace_l1"] > 3 * close[0.75]["osdp_laplace_l1"]
+    # Shape 3: DAWAz beats DAWA on Far policies at every ratio (the
+    # paper's headline for the recipe).
+    for rho in RATIOS:
+        assert far[rho]["dawaz"] < far[rho]["dawa"]

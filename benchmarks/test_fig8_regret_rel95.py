@@ -1,0 +1,41 @@
+"""Fig 8: Rel95 (tail per-bin error) regret by ratio and policy, eps = 1.
+
+Paper shape: mirrors Fig 7 with the OSDP advantage most pronounced in
+the high-error bins.
+"""
+
+from conftest import write_result
+
+from repro.evaluation.experiments.fig6_10_dpbench import aggregate_regret
+from repro.evaluation.runner import format_table
+
+SHOWN = ("osdp_laplace_l1", "dawaz", "dawa")
+
+
+def test_fig8_rel95_regret(benchmark, dpbench_records):
+    def aggregate():
+        return {
+            policy: aggregate_regret(
+                dpbench_records,
+                metric="rel95",
+                group_by="rho",
+                where={"policy": policy, "epsilon": 1.0},
+            )
+            for policy in ("close", "far")
+        }
+
+    tables = benchmark.pedantic(aggregate, rounds=1, iterations=1)
+    for policy, by_rho in tables.items():
+        rows = [
+            [rho] + [by_rho[rho][a] for a in SHOWN]
+            for rho in sorted(by_rho, reverse=True)
+        ]
+        write_result(
+            f"fig8_rel95_regret_{policy}",
+            format_table(["rho_x", *SHOWN], rows),
+        )
+
+    close = tables["close"]
+    # OSDP's tail-error advantage at permissive Close policies.
+    assert close[0.99]["osdp_laplace_l1"] < close[0.99]["dawa"]
+    assert close[0.75]["dawaz"] < close[0.75]["dawa"]

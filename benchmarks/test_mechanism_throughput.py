@@ -1,0 +1,31 @@
+"""Timing microbenchmarks: mechanism release throughput on 4096 bins.
+
+These use pytest-benchmark's statistical timing (multiple rounds) to
+track the runtime cost of each release mechanism at DPBench scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.dpbench import generate_dpbench
+from repro.data.sampling import m_sampling
+from repro.evaluation.experiments.fig6_10_dpbench import make_mechanism
+from repro.queries.histogram import HistogramInput
+
+
+@pytest.fixture(scope="module")
+def hist():
+    x = generate_dpbench("searchlogs", seed=0).astype(float)
+    x_ns = m_sampling(x, 0.5, np.random.default_rng(0)).x_ns.astype(float)
+    return HistogramInput(x=x, x_ns=x_ns)
+
+
+@pytest.mark.parametrize(
+    "algorithm",
+    ["laplace", "osdp_rr", "osdp_laplace", "osdp_laplace_l1", "dawa", "dawaz"],
+)
+def test_release_throughput(benchmark, hist, algorithm):
+    mech = make_mechanism(algorithm, epsilon=1.0, ns_ratio=0.5)
+    rng = np.random.default_rng(99)
+    out = benchmark(mech.release, hist, rng)
+    assert out.shape == hist.x.shape

@@ -1,0 +1,38 @@
+"""Table 1: % of non-sensitive records released by OsdpRR vs epsilon.
+
+Paper row: eps 1.0 -> ~63%, eps 0.5 -> ~39%, eps 0.1 -> ~9.5%.
+"""
+
+from conftest import write_result
+
+from repro.evaluation.experiments.table1 import (
+    PAPER_EPSILONS,
+    expected_release_percentages,
+    monte_carlo_release_percentages,
+)
+from repro.evaluation.runner import format_table
+
+PAPER_VALUES = {1.0: 63.0, 0.5: 39.0, 0.1: 9.5}
+
+
+def run_table1():
+    analytic = expected_release_percentages()
+    measured = monte_carlo_release_percentages(n_records=50_000, n_trials=5)
+    return analytic, measured
+
+
+def test_table1_release_rates(benchmark):
+    analytic, measured = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    rows = [
+        [eps, PAPER_VALUES[eps], analytic[eps], measured[eps]]
+        for eps in PAPER_EPSILONS
+    ]
+    write_result(
+        "table1_release_rate",
+        format_table(
+            ["epsilon", "paper %", "analytic %", "measured %"], rows
+        ),
+    )
+    for eps in PAPER_EPSILONS:
+        assert abs(analytic[eps] - PAPER_VALUES[eps]) < 1.0
+        assert abs(measured[eps] - analytic[eps]) < 1.0

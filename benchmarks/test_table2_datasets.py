@@ -1,0 +1,35 @@
+"""Table 2: DPBench dataset statistics — target vs generated.
+
+The paper's table lists scale and sparsity for the seven benchmark
+histograms; the generators must match scale exactly and sparsity
+approximately.
+"""
+
+from conftest import write_result
+
+from repro.data.dpbench import DPBENCH_SPECS, generate_dpbench, measured_sparsity
+from repro.evaluation.runner import format_table
+
+
+def run_table2():
+    rows = []
+    for name, spec in sorted(DPBENCH_SPECS.items()):
+        x = generate_dpbench(name, seed=0)
+        rows.append(
+            [name, spec.sparsity, measured_sparsity(x), spec.scale, int(x.sum())]
+        )
+    return rows
+
+
+def test_table2_dataset_statistics(benchmark):
+    rows = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    write_result(
+        "table2_datasets",
+        format_table(
+            ["dataset", "paper sparsity", "measured", "paper scale", "measured scale"],
+            rows,
+        ),
+    )
+    for _name, target_sparsity, got_sparsity, target_scale, got_scale in rows:
+        assert got_scale == target_scale
+        assert abs(got_sparsity - target_sparsity) < 0.05

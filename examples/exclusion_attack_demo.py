@@ -1,0 +1,92 @@
+"""The exclusion attack, made concrete (the paper's §1 and §3.2).
+
+Scenario: Alice queries the smart-building system for Bob's location.
+The smoker's lounge is the only sensitive location.  We compare four
+disclosure mechanisms and compute, exactly, how much each lets Alice
+sharpen her belief that Bob is in the lounge:
+
+* Truman-model access control (release the authorized view),
+* non-Truman access control (answer fully or reject),
+* PDP Suppress with tau = inf (release all non-sensitive records),
+* OsdpRR (Algorithm 1).
+
+The first three have *unbounded* posterior odds inflation — observing
+"no data about Bob" proves he is somewhere sensitive.  OsdpRR's
+inflation is bounded by e^eps (Theorem 3.1).
+
+Run:  python examples/exclusion_attack_demo.py
+"""
+
+import math
+
+from repro.core.exclusion import (
+    ProductPrior,
+    non_truman_mechanism,
+    posterior_odds_ratio,
+    reveal_non_sensitive_mechanism,
+    worst_case_odds_inflation,
+)
+from repro.core.policy import LambdaPolicy
+from repro.mechanisms.osdp_rr import OsdpRR
+from repro.mechanisms.suppress import Suppress
+
+LOCATIONS = ("lounge", "office", "lobby")
+POLICY = LambdaPolicy(lambda loc: loc == "lounge", name="lounge-sensitive")
+EPSILON = 1.0
+
+
+def describe(name: str, mechanism) -> None:
+    prior = ProductPrior.uniform(LOCATIONS, n_records=1)
+    result = worst_case_odds_inflation(mechanism, prior, POLICY)
+    if result.bounded:
+        print(f"  {name:28s} phi = {result.phi:.3f} "
+              f"(odds inflation <= {result.max_inflation:.2f})")
+    else:
+        print(f"  {name:28s} phi = INFINITY  <- exclusion attack!")
+        print(f"      witness: output {result.witness_output!r} makes "
+              f"'{result.witness_x}' vs '{result.witness_y}' fully distinguishable")
+
+
+def main() -> None:
+    print("Bob's location is one of", LOCATIONS)
+    print(f"policy: only the lounge is sensitive; Alice's prior is uniform\n")
+
+    print("worst-case posterior odds inflation per mechanism:")
+    describe("Truman access control", reveal_non_sensitive_mechanism(POLICY))
+    describe("non-Truman access control", non_truman_mechanism(POLICY))
+    describe("PDP Suppress(tau=inf)", Suppress(POLICY, tau=None).output_distribution)
+    describe(
+        f"OsdpRR(eps={EPSILON})",
+        OsdpRR(POLICY, EPSILON).output_distribution,
+    )
+    print(f"\n(theory: OsdpRR is bounded by e^eps = {math.exp(EPSILON):.2f} — "
+          "Theorem 3.1)")
+
+    # A single concrete observation: Alice sees the empty release.
+    prior = ProductPrior.uniform(LOCATIONS, n_records=1)
+    truman = reveal_non_sensitive_mechanism(POLICY)
+    inflation = posterior_odds_ratio(
+        truman, prior, (), target_index=0, x="lounge", y="office"
+    )
+    print("\nconcrete attack: the Truman view returns NOTHING about Bob.")
+    print(f"  lounge-vs-office odds inflation: {inflation}")
+    print("  -> Bob's absence from the release certifies he is in the lounge.")
+
+    osdp = OsdpRR(POLICY, EPSILON)
+    inflation = posterior_odds_ratio(
+        osdp.output_distribution, prior, (), target_index=0, x="lounge", y="office"
+    )
+    print(f"\nunder OsdpRR the same observation yields inflation "
+          f"{inflation:.3f} <= e^eps = {math.exp(EPSILON):.3f}:")
+    print("  suppression is plausibly a coin flip, so Bob retains deniability.")
+
+    # The paper's §7 caveat: correlations break the guarantee.
+    print("\ncaveat (paper §7): Theorem 3.1 assumes the adversary's prior")
+    print("treats records independently.  If the lounge is reachable only")
+    print("through a sensitive corridor, releasing the corridor visit")
+    print("re-identifies the lounge visit despite OSDP — constraint-aware")
+    print("mechanisms are future work.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Opt-in/opt-out histogram release: OSDP vs DP on benchmark data (§6.3.3).
+
+Simulates a Close (MSampling) and a Far (HiLoSampling) policy over a
+DPBench histogram, runs the full algorithm pool, and prints per-input
+MRE and regret — a single-input slice of the paper's Figs 6-9.
+
+Run:  python examples/opt_in_histograms.py
+"""
+
+import numpy as np
+
+from repro.data.dpbench import generate_dpbench, measured_sparsity
+from repro.data.sampling import hilo_sampling, m_sampling, shape_distance
+from repro.evaluation.experiments.fig6_10_dpbench import DEFAULT_POOL, make_mechanism
+from repro.evaluation.metrics import mean_relative_error, regret_table
+from repro.evaluation.runner import format_table, spawn_rngs
+from repro.queries.histogram import HistogramInput
+
+DATASET = "adult"
+RHO = 0.75
+EPSILON = 1.0
+N_TRIALS = 5
+
+
+def evaluate_pool(hist: HistogramInput, rho: float, seed: int) -> dict[str, float]:
+    errors = {}
+    for name in DEFAULT_POOL:
+        mech = make_mechanism(name, EPSILON, ns_ratio=rho)
+        errors[name] = float(
+            np.mean(
+                [
+                    mean_relative_error(hist.x, mech.release(hist, rng))
+                    for rng in spawn_rngs(seed, N_TRIALS)
+                ]
+            )
+        )
+    return errors
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    x = generate_dpbench(DATASET, seed=1).astype(float)
+    print(
+        f"dataset {DATASET}: scale {int(x.sum())}, "
+        f"sparsity {measured_sparsity(x):.2f}, domain {len(x)}"
+    )
+
+    close = m_sampling(x, RHO, rng)
+    far = hilo_sampling(x, RHO, rng)
+    print(f"close policy shape distance: {shape_distance(x, close.x_ns):.3f}")
+    print(f"far   policy shape distance: {shape_distance(x, far.x_ns):.3f}\n")
+
+    for label, sample in (("close", close), ("far", far)):
+        hist = HistogramInput(x=x, x_ns=sample.x_ns.astype(float))
+        errors = evaluate_pool(hist, RHO, seed=11)
+        regrets = regret_table(errors)
+        rows = [
+            [name, errors[name], regrets[name]]
+            for name in sorted(errors, key=errors.__getitem__)
+        ]
+        print(f"policy = {label} (rho_x = {RHO}, epsilon = {EPSILON})")
+        print(format_table(["algorithm", "MRE", "regret"], rows))
+        print()
+
+    print(
+        "Expected shape: OSDP algorithms dominate under the Close policy;\n"
+        "under the Far policy the pure OSDP primitives degrade while the\n"
+        "hybrid DAWAz stays ahead of DAWA (the paper's Fig 7)."
+    )
+
+
+if __name__ == "__main__":
+    main()

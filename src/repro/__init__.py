@@ -1,0 +1,74 @@
+"""repro — a reproduction of *One-sided Differential Privacy* (ICDE 2020).
+
+One-sided differential privacy (OSDP) protects databases in which only
+some records are sensitive, as determined by a policy function that is
+itself secret.  This package provides:
+
+* the formal core — policies, one-sided neighbors, guarantees, budget
+  accounting, an exact verifier, and the exclusion-attack framework
+  (:mod:`repro.core`);
+* the paper's mechanisms — ``OsdpRR``, ``OsdpLaplace``,
+  ``OsdpLaplaceL1``, the ``Suppress`` PDP baseline, DAWA and DAWAz
+  (:mod:`repro.mechanisms`);
+* data substrates — a synthetic TIPPERS smart-building trace, the
+  DPBench-1D histogram suite, and opt-in/opt-out policy simulators
+  (:mod:`repro.data`);
+* query layers, a from-scratch classification stack, and the full
+  experiment harness reproducing every table and figure
+  (:mod:`repro.queries`, :mod:`repro.classification`,
+  :mod:`repro.evaluation`).
+
+Quickstart::
+
+    import numpy as np
+    from repro.core.policy import AttributePolicy
+    from repro.mechanisms.osdp_rr import OsdpRR
+
+    policy = AttributePolicy("age", lambda a: a <= 17)   # minors sensitive
+    mech = OsdpRR(policy, epsilon=1.0)
+    sample = mech.sample(records, np.random.default_rng(0))
+"""
+
+__version__ = "1.0.0"
+
+from repro.core.accountant import PrivacyAccountant
+from repro.core.guarantees import DPGuarantee, OSDPGuarantee
+from repro.core.policy import (
+    AllSensitivePolicy,
+    AttributePolicy,
+    LambdaPolicy,
+    OptInPolicy,
+    Policy,
+)
+from repro.mechanisms import (
+    Dawa,
+    DawaZ,
+    LaplaceHistogram,
+    OsdpLaplaceHistogram,
+    OsdpLaplaceL1Histogram,
+    OsdpRR,
+    OsdpRRHistogram,
+    SuppressHistogram,
+)
+from repro.queries.histogram import HistogramInput
+
+__all__ = [
+    "AllSensitivePolicy",
+    "AttributePolicy",
+    "DPGuarantee",
+    "Dawa",
+    "DawaZ",
+    "HistogramInput",
+    "LambdaPolicy",
+    "LaplaceHistogram",
+    "OSDPGuarantee",
+    "OptInPolicy",
+    "OsdpLaplaceHistogram",
+    "OsdpLaplaceL1Histogram",
+    "OsdpRR",
+    "OsdpRRHistogram",
+    "Policy",
+    "PrivacyAccountant",
+    "SuppressHistogram",
+    "__version__",
+]

@@ -1,0 +1,34 @@
+"""Classification substrate for the Fig 1 experiment (§6.2, §6.3.1).
+
+* :mod:`repro.classification.logistic` — L2-regularized logistic
+  regression trained with L-BFGS (the non-private learner behind the
+  All-NS and OsdpRR strategies);
+* :mod:`repro.classification.objective_perturbation` — ObjDP, the
+  objective-perturbation DP empirical-risk minimizer of Chaudhuri,
+  Monteleoni and Sarwate (JMLR 2011) used as the all-sensitive baseline;
+* :mod:`repro.classification.features` — trajectory feature extraction:
+  stay duration, distinct APs, per-AP visit counts, and frequent
+  consecutive (AP1, AP2, AP3) patterns;
+* :mod:`repro.classification.metrics` — ROC curve, AUC, and stratified
+  k-fold cross-validation, reported as 1 - AUC per the paper.
+"""
+
+from repro.classification.features import TrajectoryFeaturizer
+from repro.classification.logistic import LogisticRegression
+from repro.classification.metrics import (
+    cross_validated_auc,
+    roc_auc,
+    roc_curve,
+    stratified_kfold,
+)
+from repro.classification.objective_perturbation import ObjectivePerturbationLR
+
+__all__ = [
+    "LogisticRegression",
+    "ObjectivePerturbationLR",
+    "TrajectoryFeaturizer",
+    "cross_validated_auc",
+    "roc_auc",
+    "roc_curve",
+    "stratified_kfold",
+]

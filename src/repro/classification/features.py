@@ -1,0 +1,117 @@
+"""Trajectory feature extraction for the resident classifier (§6.2).
+
+The paper derives, per daily trajectory:
+
+* duration of stay (in slots);
+* number of distinct access points visited;
+* per-access-point visit counts (64 features);
+* counts of *frequent patterns* ``(AP1, AP2, AP3)`` — consecutive
+  AP triples appearing in at least ``min_support`` trajectories, one
+  feature per pattern counting its occurrences in the trajectory.
+
+The featurizer is fit on a training collection (to learn the frequent
+pattern vocabulary) and then maps trajectories to dense vectors.  For
+the private ObjDP baseline, vectors must be normalized afterwards
+(see :func:`repro.classification.objective_perturbation.normalize_rows`).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.tippers import Trajectory
+
+Pattern = tuple[int, int, int]
+
+
+def _trajectory_triples(trajectory: Trajectory) -> list[Pattern]:
+    """Consecutive AP triples at consecutive time intervals.
+
+    Consecutive *distinct* AP transitions are what carries signal, so
+    runs of the same AP are collapsed before extracting triples (a user
+    idling at their office for an hour is one visit, not 6 patterns).
+    """
+    collapsed: list[int] = []
+    for ap in trajectory.aps:
+        if not collapsed or collapsed[-1] != ap:
+            collapsed.append(ap)
+    return [
+        (collapsed[i], collapsed[i + 1], collapsed[i + 2])
+        for i in range(len(collapsed) - 2)
+    ]
+
+
+class TrajectoryFeaturizer:
+    """Learns a frequent-pattern vocabulary; maps trajectories to vectors."""
+
+    def __init__(self, n_aps: int = 64, min_support: int = 50):
+        if min_support < 1:
+            raise ValueError("min_support must be at least 1")
+        self.n_aps = n_aps
+        self.min_support = min_support
+        self.patterns_: list[Pattern] | None = None
+
+    @property
+    def n_features(self) -> int:
+        if self.patterns_ is None:
+            raise RuntimeError("featurizer is not fitted")
+        return 2 + self.n_aps + len(self.patterns_)
+
+    def fit(self, trajectories: Sequence[Trajectory]) -> "TrajectoryFeaturizer":
+        """Select patterns appearing in >= min_support trajectories."""
+        support: dict[Pattern, int] = {}
+        for trajectory in trajectories:
+            for pattern in set(_trajectory_triples(trajectory)):
+                support[pattern] = support.get(pattern, 0) + 1
+        self.patterns_ = sorted(
+            (p for p, count in support.items() if count >= self.min_support)
+        )
+        return self
+
+    def transform_one(self, trajectory: Trajectory) -> np.ndarray:
+        if self.patterns_ is None:
+            raise RuntimeError("featurizer is not fitted")
+        pattern_index = {p: i for i, p in enumerate(self.patterns_)}
+        vector = np.zeros(self.n_features)
+        vector[0] = trajectory.duration_slots
+        vector[1] = len(trajectory.distinct_aps)
+        for ap in trajectory.aps:
+            vector[2 + ap] += 1.0
+        offset = 2 + self.n_aps
+        for pattern in _trajectory_triples(trajectory):
+            index = pattern_index.get(pattern)
+            if index is not None:
+                vector[offset + index] += 1.0
+        return vector
+
+    def transform(self, trajectories: Sequence[Trajectory]) -> np.ndarray:
+        if self.patterns_ is None:
+            raise RuntimeError("featurizer is not fitted")
+        pattern_index = {p: i for i, p in enumerate(self.patterns_)}
+        X = np.zeros((len(trajectories), self.n_features))
+        offset = 2 + self.n_aps
+        for row, trajectory in enumerate(trajectories):
+            X[row, 0] = trajectory.duration_slots
+            X[row, 1] = len(trajectory.distinct_aps)
+            for ap in trajectory.aps:
+                X[row, 2 + ap] += 1.0
+            for pattern in _trajectory_triples(trajectory):
+                index = pattern_index.get(pattern)
+                if index is not None:
+                    X[row, offset + index] += 1.0
+        return X
+
+    def fit_transform(self, trajectories: Sequence[Trajectory]) -> np.ndarray:
+        return self.fit(trajectories).transform(trajectories)
+
+
+def resident_labels(
+    trajectories: Sequence[Trajectory], user_labels: dict[int, bool]
+) -> np.ndarray:
+    """Per-trajectory 0/1 labels from a per-user resident mapping."""
+    return np.array(
+        [1 if user_labels.get(t.user_id, False) else 0 for t in trajectories],
+        dtype=int,
+    )

@@ -1,0 +1,118 @@
+"""L2-regularized logistic regression, trained with L-BFGS.
+
+The learner minimizes the standard regularized empirical risk
+
+    J(w) = (1/n) sum_i log(1 + exp(-y_i w.x_i)) + (lam/2) ||w||^2
+
+with labels in {-1, +1}.  This exact objective (average loss, no
+separate intercept) is the form required by the objective-perturbation
+DP variant, which subclasses the optimization here; the non-private
+model optionally augments features with a constant column for a bias
+term.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import minimize
+
+
+def _logistic_loss_and_grad(
+    w: np.ndarray, X: np.ndarray, y: np.ndarray, lam: float
+) -> tuple[float, np.ndarray]:
+    """Average logistic loss + L2 penalty, with gradient."""
+    n = len(y)
+    margins = y * (X @ w)
+    # log(1 + exp(-m)) computed stably for both signs of m.
+    loss_terms = np.where(
+        margins > 0,
+        np.log1p(np.exp(-margins)),
+        -margins + np.log1p(np.exp(margins)),
+    )
+    loss = float(loss_terms.mean()) + 0.5 * lam * float(w @ w)
+    sigma = 1.0 / (1.0 + np.exp(np.clip(margins, -500, 500)))
+    grad = -(X.T @ (y * sigma)) / n + lam * w
+    return loss, grad
+
+
+def fit_regularized_logistic(
+    X: np.ndarray,
+    y: np.ndarray,
+    lam: float,
+    linear_perturbation: np.ndarray | None = None,
+    max_iter: int = 200,
+) -> np.ndarray:
+    """Minimize J(w) [+ b.w/n if a perturbation vector b is given]."""
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y, dtype=float)
+    n, d = X.shape
+    b = linear_perturbation
+
+    def objective(w: np.ndarray) -> tuple[float, np.ndarray]:
+        loss, grad = _logistic_loss_and_grad(w, X, y, lam)
+        if b is not None:
+            loss += float(b @ w) / n
+            grad = grad + b / n
+        return loss, grad
+
+    result = minimize(
+        objective,
+        x0=np.zeros(d),
+        jac=True,
+        method="L-BFGS-B",
+        options={"maxiter": max_iter},
+    )
+    return result.x
+
+
+class LogisticRegression:
+    """Non-private L2-regularized logistic regression.
+
+    Parameters
+    ----------
+    lam:
+        L2 regularization strength (on the averaged loss).
+    fit_intercept:
+        Append a constant-1 column so the model learns a bias term.
+    """
+
+    def __init__(self, lam: float = 1e-3, fit_intercept: bool = True):
+        if lam < 0:
+            raise ValueError("lam must be non-negative")
+        self.lam = lam
+        self.fit_intercept = fit_intercept
+        self.weights: np.ndarray | None = None
+
+    def _design(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=float)
+        if self.fit_intercept:
+            return np.hstack([X, np.ones((len(X), 1))])
+        return X
+
+    @staticmethod
+    def _signed_labels(y: np.ndarray) -> np.ndarray:
+        y = np.asarray(y)
+        unique = set(np.unique(y).tolist())
+        if unique <= {0, 1}:
+            return np.where(y > 0, 1.0, -1.0)
+        if unique <= {-1, 1}:
+            return y.astype(float)
+        raise ValueError(f"labels must be binary, got values {sorted(unique)}")
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LogisticRegression":
+        design = self._design(X)
+        signed = self._signed_labels(y)
+        self.weights = fit_regularized_logistic(design, signed, self.lam)
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        if self.weights is None:
+            raise RuntimeError("model is not fitted")
+        return self._design(X) @ self.weights
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        scores = self.decision_function(X)
+        return 1.0 / (1.0 + np.exp(-np.clip(scores, -500, 500)))
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return (self.decision_function(X) >= 0.0).astype(int)

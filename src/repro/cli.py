@@ -1,0 +1,242 @@
+"""Command-line interface for the reproduction experiments.
+
+Each subcommand regenerates one of the paper's tables/figures at a
+configurable scale and prints the same rows the paper reports;
+``--output`` additionally writes the raw results as JSON.
+
+Usage examples::
+
+    python -m repro.cli table1
+    python -m repro.cli fig1 --users 400 --days 50 --folds 5
+    python -m repro.cli ngrams --n 4 --epsilon 1.0 0.01
+    python -m repro.cli dpbench --datasets adult patent --trials 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.data.tippers import TippersConfig
+from repro.evaluation.runner import format_table
+
+
+def _add_tippers_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--users", type=int, default=400, help="synthetic users")
+    parser.add_argument("--days", type=int, default=50, help="trace length in days")
+    parser.add_argument("--seed", type=int, default=7, help="generator seed")
+    parser.add_argument(
+        "--policies",
+        type=float,
+        nargs="+",
+        default=[99, 90, 75, 50, 25, 10, 1],
+        help="non-sensitive percentages (P_rho)",
+    )
+    parser.add_argument(
+        "--epsilon", type=float, nargs="+", default=[1.0, 0.01],
+        help="privacy budgets",
+    )
+
+
+def _tippers_config(args: argparse.Namespace) -> TippersConfig:
+    return TippersConfig(n_users=args.users, n_days=args.days, seed=args.seed)
+
+
+def _maybe_save(results, args: argparse.Namespace) -> None:
+    if getattr(args, "output", None):
+        from repro.evaluation.reporting import save_results
+
+        path = save_results(results, args.output)
+        print(f"\nresults written to {path}")
+
+
+def cmd_table1(args: argparse.Namespace) -> None:
+    from repro.evaluation.experiments.table1 import (
+        expected_release_percentages,
+        monte_carlo_release_percentages,
+    )
+
+    analytic = expected_release_percentages(tuple(args.epsilon))
+    measured = monte_carlo_release_percentages(
+        tuple(args.epsilon), n_records=args.records, seed=args.seed
+    )
+    rows = [[eps, analytic[eps], measured[eps]] for eps in args.epsilon]
+    print(format_table(["epsilon", "analytic %", "measured %"], rows))
+    _maybe_save({"analytic": analytic, "measured": measured}, args)
+
+
+def cmd_fig1(args: argparse.Namespace) -> None:
+    from repro.evaluation.experiments.fig1_classification import (
+        Fig1Config,
+        run_fig1,
+    )
+
+    config = Fig1Config(
+        tippers=_tippers_config(args),
+        policies=tuple(args.policies),
+        epsilons=tuple(args.epsilon),
+        cv_folds=args.folds,
+    )
+    out = run_fig1(config)
+    for eps, by_policy in out["errors"].items():
+        print(f"\n1 - AUC at epsilon = {eps}")
+        algos = ["all_ns", "osdp_rr", "objdp", "random"]
+        rows = [
+            [f"P{rho:g}"] + [by_policy[rho][a] for a in algos]
+            for rho in args.policies
+        ]
+        print(format_table(["policy", *algos], rows))
+    _maybe_save(out, args)
+
+
+def cmd_ngrams(args: argparse.Namespace) -> None:
+    from repro.evaluation.experiments.fig2_3_ngrams import (
+        NGramConfig,
+        run_ngram_experiment,
+    )
+
+    config = NGramConfig(
+        tippers=_tippers_config(args),
+        n=args.n,
+        policies=tuple(args.policies),
+        epsilons=tuple(args.epsilon),
+        n_trials=args.trials,
+    )
+    out = run_ngram_experiment(config)
+    print(f"{args.n}-gram domain {out['domain_size']:.3g}, "
+          f"support {out['n_support']}, k* = {out['lm_kstar']}")
+    for eps, by_policy in out["mre"].items():
+        print(f"\nMRE at epsilon = {eps}")
+        algos = ["all_ns", "osdp_rr", "lm_t1", "lm_tstar"]
+        rows = [
+            [f"P{rho:g}"] + [by_policy[rho][a] for a in algos]
+            for rho in args.policies
+        ]
+        print(format_table(["policy", *algos], rows))
+    _maybe_save(out, args)
+
+
+def cmd_tippers_hist(args: argparse.Namespace) -> None:
+    from repro.evaluation.experiments.fig4_5_tippers import (
+        ALGORITHMS,
+        TippersHistogramConfig,
+        run_tippers_histogram,
+    )
+
+    config = TippersHistogramConfig(
+        tippers=_tippers_config(args),
+        policies=tuple(args.policies),
+        epsilons=tuple(args.epsilon),
+        n_trials=args.trials,
+    )
+    out = run_tippers_histogram(config)
+    for eps, by_policy in out["mre"].items():
+        print(f"\nMRE at epsilon = {eps}")
+        rows = [
+            [f"P{rho:g}"] + [by_policy[rho][a] for a in ALGORITHMS]
+            for rho in args.policies
+        ]
+        print(format_table(["policy", *ALGORITHMS], rows))
+    for metric in ("rel50", "rel95"):
+        print(f"\n{metric} at epsilon = {args.epsilon[0]}")
+        rows = [
+            [f"P{rho:g}"] + [out[metric][rho][a] for a in ALGORITHMS]
+            for rho in args.policies
+        ]
+        print(format_table(["policy", *ALGORITHMS], rows))
+    _maybe_save(out, args)
+
+
+def cmd_dpbench(args: argparse.Namespace) -> None:
+    from repro.evaluation.experiments.fig6_10_dpbench import (
+        DPBenchConfig,
+        aggregate_regret,
+        run_dpbench_sweep,
+    )
+
+    config = DPBenchConfig(
+        datasets=tuple(args.datasets),
+        ratios=tuple(args.ratios),
+        epsilons=tuple(args.epsilon),
+        n_trials=args.trials,
+        seed=args.seed,
+    )
+    records = run_dpbench_sweep(config)
+    for policy in ("close", "far"):
+        by_rho = aggregate_regret(
+            records, group_by="rho", where={"policy": policy}
+        )
+        algos = sorted(next(iter(by_rho.values())))
+        rows = [
+            [rho] + [by_rho[rho][a] for a in algos]
+            for rho in sorted(by_rho, reverse=True)
+        ]
+        print(f"\naverage MRE-regret, policy = {policy}")
+        print(format_table(["rho_x", *algos], rows))
+    _maybe_save([dataclass_record.__dict__ for dataclass_record in records], args)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the tables and figures of "
+        "'One-sided Differential Privacy' (ICDE 2020).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_table1 = sub.add_parser("table1", help="OsdpRR release rates (Table 1)")
+    p_table1.add_argument("--epsilon", type=float, nargs="+", default=[1.0, 0.5, 0.1])
+    p_table1.add_argument("--records", type=int, default=20_000)
+    p_table1.add_argument("--seed", type=int, default=0)
+    p_table1.add_argument("--output", help="write JSON results here")
+    p_table1.set_defaults(func=cmd_table1)
+
+    p_fig1 = sub.add_parser("fig1", help="resident classification (Fig 1)")
+    _add_tippers_args(p_fig1)
+    p_fig1.add_argument("--folds", type=int, default=5)
+    p_fig1.add_argument("--output")
+    p_fig1.set_defaults(func=cmd_fig1)
+
+    p_ngrams = sub.add_parser("ngrams", help="n-gram histograms (Figs 2-3)")
+    _add_tippers_args(p_ngrams)
+    p_ngrams.add_argument("--n", type=int, default=4, choices=(2, 3, 4, 5))
+    p_ngrams.add_argument("--trials", type=int, default=5)
+    p_ngrams.add_argument("--output")
+    p_ngrams.set_defaults(func=cmd_ngrams)
+
+    p_hist = sub.add_parser(
+        "tippers-hist", help="TIPPERS 2-D histogram (Figs 4-5)"
+    )
+    _add_tippers_args(p_hist)
+    p_hist.add_argument("--trials", type=int, default=5)
+    p_hist.add_argument("--output")
+    p_hist.set_defaults(func=cmd_tippers_hist)
+
+    p_bench = sub.add_parser("dpbench", help="DPBench regret study (Figs 6-10)")
+    p_bench.add_argument(
+        "--datasets", nargs="+",
+        default=["adult", "nettrace", "searchlogs", "patent"],
+    )
+    p_bench.add_argument(
+        "--ratios", type=float, nargs="+",
+        default=[0.99, 0.75, 0.5, 0.25, 0.01],
+    )
+    p_bench.add_argument("--epsilon", type=float, nargs="+", default=[1.0])
+    p_bench.add_argument("--trials", type=int, default=3)
+    p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.add_argument("--output")
+    p_bench.set_defaults(func=cmd_dpbench)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

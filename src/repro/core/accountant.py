@@ -1,0 +1,102 @@
+"""Privacy budget accounting for OSDP analyses.
+
+The accountant tracks a total epsilon budget and a ledger of analyses
+run against the data, composing their guarantees per Theorem 3.3
+(sequential composition over the minimum relaxation of the policies
+involved).  Mechanisms in :mod:`repro.mechanisms` accept an optional
+accountant and charge it before releasing output, so a multi-step
+analysis (e.g. DAWAz's zero-detection + DAWA stages) is budget-audited
+end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.guarantees import OSDPGuarantee, sequential_composition
+from repro.core.policy import Policy
+
+
+class BudgetExceededError(RuntimeError):
+    """Raised when a charge would exceed the accountant's total budget."""
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One composed analysis: its policy, epsilon spent, and a label."""
+
+    policy: Policy
+    epsilon: float
+    label: str
+
+
+@dataclass
+class PrivacyAccountant:
+    """Sequential-composition budget tracker for OSDP mechanisms.
+
+    Parameters
+    ----------
+    total_epsilon:
+        The overall privacy budget.  Charges beyond this raise
+        :class:`BudgetExceededError` and leave the ledger unchanged.
+
+    Examples
+    --------
+    >>> from repro.core.policy import AllSensitivePolicy
+    >>> acct = PrivacyAccountant(total_epsilon=1.0)
+    >>> acct.charge(AllSensitivePolicy(), 0.4, label="histogram")
+    >>> round(acct.remaining, 10)
+    0.6
+    """
+
+    total_epsilon: float
+    _ledger: list[LedgerEntry] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.total_epsilon <= 0:
+            raise ValueError("total_epsilon must be positive")
+
+    @property
+    def spent(self) -> float:
+        return sum(entry.epsilon for entry in self._ledger)
+
+    @property
+    def remaining(self) -> float:
+        return self.total_epsilon - self.spent
+
+    @property
+    def ledger(self) -> tuple[LedgerEntry, ...]:
+        return tuple(self._ledger)
+
+    def charge(self, policy: Policy, epsilon: float, label: str = "") -> None:
+        """Record an (policy, epsilon)-OSDP analysis against the budget."""
+        if epsilon <= 0:
+            raise ValueError("epsilon charge must be positive")
+        # Small tolerance so that e.g. 0.1 + 0.9 == 1.0 charges succeed
+        # despite float representation error.
+        if self.spent + epsilon > self.total_epsilon * (1 + 1e-12) + 1e-12:
+            raise BudgetExceededError(
+                f"charge of {epsilon} exceeds remaining budget "
+                f"{self.remaining:.6g} (total {self.total_epsilon})"
+            )
+        self._ledger.append(LedgerEntry(policy=policy, epsilon=epsilon, label=label))
+
+    def composed_guarantee(self) -> OSDPGuarantee:
+        """The overall guarantee per Theorem 3.3: (P_mr, sum eps_i)-OSDP."""
+        if not self._ledger:
+            raise ValueError("no analyses have been charged yet")
+        return sequential_composition(
+            [OSDPGuarantee(policy=e.policy, epsilon=e.epsilon) for e in self._ledger]
+        )
+
+    def summary(self) -> str:
+        """Human-readable ledger, one line per charge."""
+        lines = [f"budget: {self.total_epsilon}  spent: {self.spent:.6g}  "
+                 f"remaining: {self.remaining:.6g}"]
+        for i, entry in enumerate(self._ledger, start=1):
+            label = entry.label or "(unlabelled)"
+            lines.append(
+                f"  {i}. {label}: epsilon={entry.epsilon:.6g} "
+                f"policy={entry.policy.name}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,239 @@
+"""The exclusion attack formalism (Section 3.2).
+
+An *exclusion attack* lets an adversary sharpen their belief about a
+sensitive record precisely because the record was excluded from a
+release (the paper's Bob-in-the-smoker's-lounge story).  Definition 3.4
+formalizes its converse: a mechanism is ``phi``-free from exclusion
+attacks when, for every product prior, observing the output inflates the
+posterior odds of "the target is the sensitive value x" versus "the
+target is value y" by at most ``e^phi``.
+
+This module computes those posterior odds *exactly* for finite
+mechanisms over small universes, which makes the paper's claims
+executable:
+
+* Theorem 3.1 — any (P, eps)-OSDP mechanism has odds inflation <= e^eps
+  under product priors;
+* reveal-all access-control mechanisms (Truman / non-Truman / PDP
+  ``Suppress`` with tau = inf) have *unbounded* inflation;
+* Theorem 3.4 — ``Suppress`` with finite tau achieves phi = tau only.
+
+Mechanisms are the same ``db -> {output: prob}`` callables consumed by
+:mod:`repro.core.verifier`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Hashable, Mapping, Sequence
+
+from repro.core.policy import Policy
+from repro.core.verifier import DistributionFn
+
+
+@dataclass(frozen=True)
+class ProductPrior:
+    """An adversary prior that factorizes over record positions.
+
+    ``marginals[i]`` is the prior distribution of the record at position
+    ``i`` as a mapping from record value to probability.  Theorem 3.1's
+    independence assumption is exactly this factorization.
+    """
+
+    marginals: tuple[Mapping[Hashable, float], ...]
+
+    def __post_init__(self) -> None:
+        for i, marginal in enumerate(self.marginals):
+            total = sum(marginal.values())
+            if not math.isclose(total, 1.0, rel_tol=1e-9, abs_tol=1e-9):
+                raise ValueError(
+                    f"marginal {i} sums to {total}, expected 1"
+                )
+
+    @classmethod
+    def uniform(cls, universe: Sequence, n_records: int) -> "ProductPrior":
+        """Uniform independent prior over ``universe`` for each position."""
+        p = 1.0 / len(universe)
+        marginal = {r: p for r in universe}
+        return cls(marginals=tuple(marginal for _ in range(n_records)))
+
+    @property
+    def n_records(self) -> int:
+        return len(self.marginals)
+
+    def support(self, position: int) -> list[Hashable]:
+        return [r for r, p in self.marginals[position].items() if p > 0]
+
+    def database_probability(self, db: Sequence[Hashable]) -> float:
+        if len(db) != self.n_records:
+            raise ValueError("database size does not match prior")
+        prob = 1.0
+        for marginal, record in zip(self.marginals, db):
+            prob *= marginal.get(record, 0.0)
+        return prob
+
+    def databases(self) -> "itertools.product":
+        """All databases in the prior's support (cartesian product)."""
+        return itertools.product(*(self.support(i) for i in range(self.n_records)))
+
+
+@dataclass(frozen=True)
+class ExclusionAttackResult:
+    """Worst-case posterior odds inflation for a mechanism and prior."""
+
+    max_inflation: float
+    witness_output: Hashable | None
+    witness_x: Hashable | None
+    witness_y: Hashable | None
+
+    @property
+    def phi(self) -> float:
+        """The tightest freedom-from-exclusion-attack parameter."""
+        return math.log(self.max_inflation) if self.max_inflation > 0 else 0.0
+
+    @property
+    def bounded(self) -> bool:
+        return math.isfinite(self.max_inflation)
+
+
+def _joint_output_given_value(
+    mechanism: DistributionFn,
+    prior: ProductPrior,
+    target_index: int,
+    value: Hashable,
+) -> dict[Hashable, float]:
+    """Pr[M(D) = o  and  r_target = value] for every output o."""
+    joint: dict[Hashable, float] = {}
+    fixed_prob = prior.marginals[target_index].get(value, 0.0)
+    if fixed_prob == 0.0:
+        return joint
+    other_positions = [
+        i for i in range(prior.n_records) if i != target_index
+    ]
+    supports = [prior.support(i) for i in other_positions]
+    for rest in itertools.product(*supports):
+        db = [None] * prior.n_records
+        db[target_index] = value
+        for pos, record in zip(other_positions, rest):
+            db[pos] = record
+        weight = fixed_prob
+        for pos, record in zip(other_positions, rest):
+            weight *= prior.marginals[pos][record]
+        if weight == 0.0:
+            continue
+        for output, p in mechanism(tuple(db)).items():
+            if p > 0:
+                joint[output] = joint.get(output, 0.0) + weight * p
+    return joint
+
+
+def posterior_odds_ratio(
+    mechanism: DistributionFn,
+    prior: ProductPrior,
+    output: Hashable,
+    target_index: int,
+    x: Hashable,
+    y: Hashable,
+) -> float:
+    """Posterior-to-prior odds inflation for values x vs y given ``output``.
+
+    Returns ``[Pr(r=x | o) / Pr(r=y | o)] / [Pr(r=x) / Pr(r=y)]`` which,
+    by Bayes, equals ``Pr(o | r=x) / Pr(o | r=y)``.  Infinite when the
+    output is impossible under ``y`` but possible under ``x``.
+    """
+    joint_x = _joint_output_given_value(mechanism, prior, target_index, x)
+    joint_y = _joint_output_given_value(mechanism, prior, target_index, y)
+    prior_x = prior.marginals[target_index].get(x, 0.0)
+    prior_y = prior.marginals[target_index].get(y, 0.0)
+    if prior_x <= 0 or prior_y <= 0:
+        raise ValueError("both x and y must have positive prior probability")
+    like_x = joint_x.get(output, 0.0) / prior_x
+    like_y = joint_y.get(output, 0.0) / prior_y
+    if like_x == 0.0:
+        return 0.0
+    if like_y == 0.0:
+        return math.inf
+    return like_x / like_y
+
+
+def worst_case_odds_inflation(
+    mechanism: DistributionFn,
+    prior: ProductPrior,
+    policy: Policy,
+    target_index: int = 0,
+) -> ExclusionAttackResult:
+    """sup over outputs, sensitive x, and any y of the odds inflation.
+
+    This is the quantity Definition 3.4 bounds by ``e^phi``; exhaustive
+    over the prior's support, so intended for small demonstration
+    universes.
+    """
+    support = prior.support(target_index)
+    sensitive_values = [v for v in support if policy.is_sensitive(v)]
+    if not sensitive_values:
+        raise ValueError("target position has no sensitive values in support")
+    joint_by_value = {
+        v: _joint_output_given_value(mechanism, prior, target_index, v)
+        for v in support
+    }
+    outputs: set[Hashable] = set()
+    for joint in joint_by_value.values():
+        outputs.update(joint)
+
+    best = ExclusionAttackResult(
+        max_inflation=0.0, witness_output=None, witness_x=None, witness_y=None
+    )
+    for x in sensitive_values:
+        prior_x = prior.marginals[target_index][x]
+        for y in support:
+            if y == x:
+                continue
+            prior_y = prior.marginals[target_index][y]
+            for output in outputs:
+                like_x = joint_by_value[x].get(output, 0.0) / prior_x
+                like_y = joint_by_value[y].get(output, 0.0) / prior_y
+                if like_x == 0.0:
+                    continue
+                inflation = math.inf if like_y == 0.0 else like_x / like_y
+                if inflation > best.max_inflation:
+                    best = ExclusionAttackResult(
+                        max_inflation=inflation,
+                        witness_output=output,
+                        witness_x=x,
+                        witness_y=y,
+                    )
+    return best
+
+
+def reveal_non_sensitive_mechanism(policy: Policy) -> DistributionFn:
+    """The deterministic 'release every non-sensitive record' mechanism.
+
+    This is the Truman-model authorized view, and equally PDP's
+    ``Suppress`` with tau = inf.  It is the canonical mechanism that is
+    *vulnerable* to exclusion attacks: excluding a record reveals it was
+    sensitive.
+    """
+
+    def mechanism(db: tuple) -> dict[Hashable, float]:
+        released = tuple(sorted((r for r in db if policy.is_non_sensitive(r)), key=repr))
+        return {released: 1.0}
+
+    return mechanism
+
+
+def non_truman_mechanism(policy: Policy) -> DistributionFn:
+    """Non-Truman access control: answer fully or reject.
+
+    Releases the full (sorted) database when no record is sensitive and
+    the distinguished token ``"REJECT"`` otherwise.  The rejection itself
+    leaks sensitivity — the other face of the exclusion attack.
+    """
+
+    def mechanism(db: tuple) -> dict[Hashable, float]:
+        if any(policy.is_sensitive(r) for r in db):
+            return {"REJECT": 1.0}
+        return {tuple(sorted(db, key=repr)): 1.0}
+
+    return mechanism

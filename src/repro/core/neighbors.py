@@ -1,0 +1,166 @@
+"""Neighbor relations: bounded DP, one-sided, and extended one-sided.
+
+Databases are represented as tuples of records (order is irrelevant for
+the privacy definitions; tuples keep the enumeration code simple and
+hashable).  These relations are primarily consumed by
+:mod:`repro.core.verifier`, which exhaustively checks the OSDP inequality
+for finite mechanisms over small universes — the executable counterpart
+of the paper's Theorems 4.1 and 5.2.
+
+* Definition 2.1 — DP neighbors: replace the value of one record.
+* Definition 3.2 — one-sided ``P``-neighbors: replace one *sensitive*
+  record with any other record.  The relation is asymmetric: a database
+  with no sensitive records has no one-sided neighbors.
+* Definition 10.1 — extended one-sided neighbors: remove one sensitive
+  record, or add any record distinct from some sensitive record.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.core.policy import Policy
+
+Database = tuple
+
+
+def _as_db(records: Iterable) -> Database:
+    return tuple(records)
+
+
+def dp_neighbors(db: Sequence, universe: Sequence) -> Iterator[Database]:
+    """All bounded-DP neighbors of ``db`` over a finite record universe."""
+    db = _as_db(db)
+    for i, r in enumerate(db):
+        for r_new in universe:
+            if r_new != r:
+                yield db[:i] + (r_new,) + db[i + 1 :]
+
+
+def one_sided_neighbors(
+    db: Sequence, policy: Policy, universe: Sequence
+) -> Iterator[Database]:
+    """All one-sided ``P``-neighbors of ``db`` (Definition 3.2).
+
+    Each neighbor replaces one sensitive record of ``db`` with an
+    arbitrary *different* record from the universe.
+    """
+    db = _as_db(db)
+    for i, r in enumerate(db):
+        if not policy.is_sensitive(r):
+            continue
+        for r_new in universe:
+            if r_new != r:
+                yield db[:i] + (r_new,) + db[i + 1 :]
+
+
+def extended_one_sided_neighbors(
+    db: Sequence, policy: Policy, universe: Sequence
+) -> Iterator[Database]:
+    """All extended one-sided neighbors of ``db`` (Definition 10.1).
+
+    ``D' = D - {r}`` for a sensitive ``r in D``, or ``D' = D + {r'}``
+    where ``r'`` differs from some sensitive record of ``D``.
+    """
+    db = _as_db(db)
+    sensitive_positions = [i for i, r in enumerate(db) if policy.is_sensitive(r)]
+    for i in sensitive_positions:
+        yield db[:i] + db[i + 1 :]
+    if sensitive_positions:
+        sensitive_values = {db[i] for i in sensitive_positions}
+        for r_new in universe:
+            # r' must differ from at least one sensitive record r in D.
+            if any(r_new != s for s in sensitive_values):
+                yield db + (r_new,)
+
+
+def is_dp_neighbor(db_a: Sequence, db_b: Sequence) -> bool:
+    """True when the two databases differ in the value of one record.
+
+    Multiset semantics: equal sizes and symmetric difference of exactly
+    one record on each side.
+    """
+    a, b = _as_db(db_a), _as_db(db_b)
+    if len(a) != len(b):
+        return False
+    return _multiset_replacement_diff(a, b) is not None
+
+
+def is_one_sided_neighbor(db_a: Sequence, db_b: Sequence, policy: Policy) -> bool:
+    """True when ``db_b`` is a one-sided P-neighbor of ``db_a``.
+
+    Asymmetric: the record *removed* from ``db_a`` must be sensitive.
+    """
+    a, b = _as_db(db_a), _as_db(db_b)
+    if len(a) != len(b):
+        return False
+    diff = _multiset_replacement_diff(a, b)
+    if diff is None:
+        return False
+    removed, _added = diff
+    return policy.is_sensitive(removed)
+
+
+def is_extended_one_sided_neighbor(
+    db_a: Sequence, db_b: Sequence, policy: Policy
+) -> bool:
+    """True when ``db_b`` is an extended one-sided neighbor of ``db_a``."""
+    a, b = _as_db(db_a), _as_db(db_b)
+    counts_a = _multiset_counts(a)
+    counts_b = _multiset_counts(b)
+    if len(b) == len(a) - 1:
+        removed = _single_extra(counts_a, counts_b)
+        return removed is not None and policy.is_sensitive(removed)
+    if len(b) == len(a) + 1:
+        added = _single_extra(counts_b, counts_a)
+        if added is None:
+            return False
+        return any(
+            policy.is_sensitive(r) and r != added for r in a
+        )
+    return False
+
+
+def _multiset_counts(db: Database) -> dict:
+    counts: dict = {}
+    for r in db:
+        counts[r] = counts.get(r, 0) + 1
+    return counts
+
+
+def _single_extra(bigger: dict, smaller: dict) -> object | None:
+    """The single record in ``bigger`` beyond ``smaller``, or None."""
+    extra = None
+    for r, c in bigger.items():
+        diff = c - smaller.get(r, 0)
+        if diff < 0:
+            return None
+        if diff == 1:
+            if extra is not None:
+                return None
+            extra = r
+        elif diff > 1:
+            return None
+    for r, c in smaller.items():
+        if c > bigger.get(r, 0):
+            return None
+    return extra
+
+
+def _multiset_replacement_diff(a: Database, b: Database) -> tuple | None:
+    """If ``b = a - {r} + {r'}`` with r != r', return (r, r'), else None."""
+    counts_a = _multiset_counts(a)
+    counts_b = _multiset_counts(b)
+    surplus_a = []  # records a has more of than b
+    surplus_b = []
+    for r in set(counts_a) | set(counts_b):
+        diff = counts_a.get(r, 0) - counts_b.get(r, 0)
+        if diff > 0:
+            surplus_a.extend([r] * diff)
+        elif diff < 0:
+            surplus_b.extend([r] * (-diff))
+        if len(surplus_a) > 1 or len(surplus_b) > 1:
+            return None
+    if len(surplus_a) == 1 and len(surplus_b) == 1:
+        return surplus_a[0], surplus_b[0]
+    return None

@@ -1,0 +1,248 @@
+"""Policy functions (Definition 3.1) and the relaxation algebra.
+
+A policy function ``P : T -> {0, 1}`` labels each record as sensitive
+(``P(r) = 0``) or non-sensitive (``P(r) = 1``).  The paper's examples —
+"minors are sensitive", "opted-out users are sensitive" — are expressible
+with :class:`AttributePolicy` and :class:`OptInPolicy`; arbitrary
+predicates with :class:`LambdaPolicy`.
+
+The relaxation partial order (Definition 3.5) and minimum relaxation
+(Definition 3.6) drive the composition theorem: composing OSDP mechanisms
+with different policies yields a guarantee under the *minimum relaxation*
+``P_mr(r) = max_i P_i(r)`` — a record stays protected only if *every*
+constituent policy protected it.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Iterable, Sequence
+
+Record = object
+
+SENSITIVE = 0
+NON_SENSITIVE = 1
+
+
+class Policy(ABC):
+    """A policy function mapping records to {0 (sensitive), 1 (non-sensitive)}."""
+
+    name: str = "policy"
+
+    @abstractmethod
+    def __call__(self, record: Record) -> int:
+        """Return 0 if ``record`` is sensitive, 1 if non-sensitive."""
+
+    def is_sensitive(self, record: Record) -> bool:
+        return self(record) == SENSITIVE
+
+    def is_non_sensitive(self, record: Record) -> bool:
+        return self(record) == NON_SENSITIVE
+
+    def sensitive_subset(self, records: Iterable[Record]) -> list[Record]:
+        return [r for r in records if self(r) == SENSITIVE]
+
+    def non_sensitive_subset(self, records: Iterable[Record]) -> list[Record]:
+        return [r for r in records if self(r) == NON_SENSITIVE]
+
+    def partition(
+        self, records: Iterable[Record]
+    ) -> tuple[list[Record], list[Record]]:
+        """Split ``records`` into (sensitive, non_sensitive) lists."""
+        sensitive: list[Record] = []
+        non_sensitive: list[Record] = []
+        for r in records:
+            if self(r) == SENSITIVE:
+                sensitive.append(r)
+            else:
+                non_sensitive.append(r)
+        return sensitive, non_sensitive
+
+    def sensitive_fraction(self, records: Sequence[Record]) -> float:
+        """Fraction of ``records`` the policy marks sensitive."""
+        if not records:
+            raise ValueError("cannot compute fraction of an empty collection")
+        return sum(1 for r in records if self(r) == SENSITIVE) / len(records)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class LambdaPolicy(Policy):
+    """Policy defined by an arbitrary predicate.
+
+    ``sensitive_when`` receives a record and returns True when the record
+    is *sensitive* (the predicate convention is usually easier to read
+    than the paper's 0/1 encoding).
+    """
+
+    def __init__(self, sensitive_when: Callable[[Record], bool], name: str = "lambda"):
+        self._sensitive_when = sensitive_when
+        self.name = name
+
+    def __call__(self, record: Record) -> int:
+        return SENSITIVE if self._sensitive_when(record) else NON_SENSITIVE
+
+
+class AttributePolicy(Policy):
+    """Record is sensitive when ``predicate(record[attribute])`` holds.
+
+    Records are mappings (dict-like); e.g. the paper's "minors are
+    sensitive" is ``AttributePolicy("age", lambda a: a <= 17)``.
+    """
+
+    def __init__(
+        self,
+        attribute: str,
+        predicate: Callable[[object], bool],
+        name: str | None = None,
+    ):
+        self.attribute = attribute
+        self._predicate = predicate
+        self.name = name or f"attr:{attribute}"
+
+    def __call__(self, record: Record) -> int:
+        value = record[self.attribute]  # type: ignore[index]
+        return SENSITIVE if self._predicate(value) else NON_SENSITIVE
+
+
+class SensitiveValuePolicy(Policy):
+    """Record is sensitive when ``record[attribute]`` is in a fixed set.
+
+    Models value-based policies such as "trajectories through the
+    smoker's lounge are sensitive".
+    """
+
+    def __init__(self, attribute: str, sensitive_values: Iterable[object], name: str | None = None):
+        self.attribute = attribute
+        self.sensitive_values = frozenset(sensitive_values)
+        self.name = name or f"values:{attribute}"
+
+    def __call__(self, record: Record) -> int:
+        value = record[self.attribute]  # type: ignore[index]
+        return SENSITIVE if value in self.sensitive_values else NON_SENSITIVE
+
+
+class OptInPolicy(Policy):
+    """Record is non-sensitive only when the user opted in to sharing.
+
+    ``record[attribute]`` is truthy for opt-in users.  Models the GDPR
+    affirmative-consent example of the paper's introduction.
+    """
+
+    def __init__(self, attribute: str = "opt_in", name: str = "opt-in"):
+        self.attribute = attribute
+        self.name = name
+
+    def __call__(self, record: Record) -> int:
+        return NON_SENSITIVE if record[self.attribute] else SENSITIVE  # type: ignore[index]
+
+
+class AllSensitivePolicy(Policy):
+    """``P_all`` (Definition 3.7): every record is sensitive.
+
+    OSDP under ``P_all`` is exactly bounded differential privacy
+    (Lemmas 3.1 and 3.2).
+    """
+
+    name = "P_all"
+
+    def __call__(self, record: Record) -> int:
+        return SENSITIVE
+
+
+class AllNonSensitivePolicy(Policy):
+    """The trivial policy: every record non-sensitive (no constraint).
+
+    The paper excludes this policy from consideration (it is degenerate —
+    any non-private algorithm vacuously satisfies OSDP under it); it is
+    provided as the top element of the relaxation order for the algebra
+    tests.
+    """
+
+    name = "P_none"
+
+    def __call__(self, record: Record) -> int:
+        return NON_SENSITIVE
+
+
+class MinimumRelaxationPolicy(Policy):
+    """``P_mr(r) = max_i P_i(r)`` (Definition 3.6).
+
+    A record is sensitive under the minimum relaxation only if it is
+    sensitive under *every* constituent policy; ``P_mr`` is the strictest
+    policy that is a relaxation of each ``P_i``.
+    """
+
+    def __init__(self, policies: Sequence[Policy]):
+        if not policies:
+            raise ValueError("minimum relaxation needs at least one policy")
+        self.policies = tuple(policies)
+        self.name = "mr(" + ",".join(p.name for p in self.policies) + ")"
+
+    def __call__(self, record: Record) -> int:
+        return max(p(record) for p in self.policies)
+
+
+class IntersectionPolicy(Policy):
+    """``P(r) = min_i P_i(r)``: sensitive under *any* constituent policy.
+
+    The greatest lower bound of the relaxation order — the strictest
+    combination.  Useful for policy specification (Section 7): combining
+    a legislative policy with a user-preference policy conservatively.
+    """
+
+    def __init__(self, policies: Sequence[Policy]):
+        if not policies:
+            raise ValueError("intersection needs at least one policy")
+        self.policies = tuple(policies)
+        self.name = "and(" + ",".join(p.name for p in self.policies) + ")"
+
+    def __call__(self, record: Record) -> int:
+        return min(p(record) for p in self.policies)
+
+
+def minimum_relaxation(*policies: Policy) -> Policy:
+    """Minimum relaxation of the given policies (Definition 3.6)."""
+    if len(policies) == 1:
+        return policies[0]
+    return MinimumRelaxationPolicy(policies)
+
+
+def strictest_combination(*policies: Policy) -> Policy:
+    """Policy sensitive wherever any input policy is sensitive."""
+    if len(policies) == 1:
+        return policies[0]
+    return IntersectionPolicy(policies)
+
+
+def is_relaxation_of(
+    weaker: Policy, stricter: Policy, records: Iterable[Record]
+) -> bool:
+    """Check ``weaker <=_p stricter`` (Definition 3.5) over ``records``.
+
+    ``weaker`` is a relaxation of ``stricter`` iff ``weaker(r) >=
+    stricter(r)`` for every record — every record sensitive under
+    ``weaker`` is also sensitive under ``stricter``.  Policies are
+    black-box functions, so the check is necessarily relative to a
+    (finite) record universe.
+    """
+    return all(weaker(r) >= stricter(r) for r in records)
+
+
+def validate_non_trivial(policy: Policy, records: Sequence[Record]) -> None:
+    """Raise if ``policy`` is trivial on ``records`` (Section 3.1).
+
+    The paper's algorithms assume at least one sensitive and one
+    non-sensitive record; with all-sensitive use plain DP, with
+    all-non-sensitive no privacy machinery is needed.
+    """
+    labels = {policy(r) for r in records}
+    if labels == {SENSITIVE}:
+        raise ValueError(
+            "policy marks every record sensitive; use a DP mechanism directly"
+        )
+    if labels == {NON_SENSITIVE}:
+        raise ValueError(
+            "policy marks every record non-sensitive; no private mechanism needed"
+        )

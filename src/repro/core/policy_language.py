@@ -1,0 +1,110 @@
+"""A small declarative policy-specification language (paper §7).
+
+The paper's future-work section calls for "mechanisms to specify
+comprehensive policies that dictate data sensitivity".  This module
+provides a JSON-serializable spec format that compiles to
+:class:`repro.core.policy.Policy` objects, so policies can live in
+configuration rather than code:
+
+    {"any": [
+        {"attr": "age", "op": "<=", "value": 17},
+        {"attr": "opt_in", "op": "==", "value": False},
+    ]}
+
+Semantics: a spec describes when a record is **sensitive**.
+
+* leaf specs compare one attribute: ``op`` in {==, !=, <, <=, >, >=, in,
+  not_in};
+* ``{"any": [...]}`` — sensitive when any sub-spec matches (union of
+  sensitive sets: the strictest combination);
+* ``{"all": [...]}`` — sensitive when every sub-spec matches;
+* ``{"not": ...}`` — negation.
+
+``compile_policy`` returns a policy whose ``name`` is a canonical
+rendering of the spec, and ``policy_spec_fingerprint`` gives a stable
+identifier for audit ledgers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import operator
+from typing import Callable, Mapping
+
+from repro.core.policy import LambdaPolicy, Policy
+
+_COMPARATORS: dict[str, Callable[[object, object], bool]] = {
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+class PolicySpecError(ValueError):
+    """Raised for malformed policy specifications."""
+
+
+def _compile_leaf(spec: Mapping) -> Callable[[object], bool]:
+    missing = {"attr", "op", "value"} - set(spec)
+    if missing:
+        raise PolicySpecError(f"leaf spec missing keys {sorted(missing)}: {spec}")
+    attr, op, value = spec["attr"], spec["op"], spec["value"]
+    if op in _COMPARATORS:
+        compare = _COMPARATORS[op]
+        return lambda record: compare(record[attr], value)
+    if op == "in":
+        allowed = frozenset(value)
+        return lambda record: record[attr] in allowed
+    if op == "not_in":
+        blocked = frozenset(value)
+        return lambda record: record[attr] not in blocked
+    raise PolicySpecError(f"unknown operator {op!r}")
+
+
+def _compile_predicate(spec) -> Callable[[object], bool]:
+    if not isinstance(spec, Mapping):
+        raise PolicySpecError(f"spec must be a mapping, got {type(spec).__name__}")
+    combinators = {"any", "all", "not"} & set(spec)
+    if len(combinators) > 1:
+        raise PolicySpecError(f"ambiguous spec with {sorted(combinators)}")
+    if "any" in spec:
+        subs = [_compile_predicate(s) for s in _require_list(spec["any"], "any")]
+        return lambda record: any(sub(record) for sub in subs)
+    if "all" in spec:
+        subs = [_compile_predicate(s) for s in _require_list(spec["all"], "all")]
+        return lambda record: all(sub(record) for sub in subs)
+    if "not" in spec:
+        sub = _compile_predicate(spec["not"])
+        return lambda record: not sub(record)
+    return _compile_leaf(spec)
+
+
+def _require_list(value, keyword: str) -> list:
+    if not isinstance(value, (list, tuple)) or not value:
+        raise PolicySpecError(f"{keyword!r} requires a non-empty list")
+    return list(value)
+
+
+def _canonical(spec) -> str:
+    return json.dumps(spec, sort_keys=True, default=str)
+
+
+def compile_policy(spec: Mapping, name: str | None = None) -> Policy:
+    """Compile a declarative spec into a Policy (sensitive-when semantics)."""
+    predicate = _compile_predicate(spec)
+    return LambdaPolicy(predicate, name=name or f"spec:{_canonical(spec)}")
+
+
+def policy_spec_fingerprint(spec: Mapping) -> str:
+    """Stable short hash of a spec, for accountant ledgers and audits."""
+    digest = hashlib.sha256(_canonical(spec).encode()).hexdigest()
+    return digest[:16]
+
+
+def validate_spec(spec: Mapping) -> None:
+    """Raise :class:`PolicySpecError` if the spec does not compile."""
+    _compile_predicate(spec)

@@ -1,0 +1,38 @@
+"""Data substrates for the reproduction.
+
+* :mod:`repro.data.database` — the record/database abstraction consumed
+  by policies and mechanisms;
+* :mod:`repro.data.dpbench` — synthetic stand-ins for the seven
+  DPBench-1D histograms of Table 2 (domain 4096, matched scale/sparsity);
+* :mod:`repro.data.sampling` — the ``MSampling`` (Close) and
+  ``HiLoSampling`` (Far) opt-in/opt-out policy simulators of
+  Section 6.1.2;
+* :mod:`repro.data.tippers` — a synthetic smart-building Wi-Fi trace
+  generator standing in for the IRB-restricted TIPPERS dataset of
+  Section 6.1.1, including the access-point-level ``P_rho`` policies.
+"""
+
+from repro.data.database import Database
+from repro.data.dpbench import DPBENCH_SPECS, DatasetSpec, generate_dpbench, load_all
+from repro.data.sampling import PolicySample, hilo_sampling, m_sampling
+from repro.data.tippers import (
+    Trajectory,
+    TippersConfig,
+    TippersDataset,
+    generate_tippers,
+)
+
+__all__ = [
+    "DPBENCH_SPECS",
+    "Database",
+    "DatasetSpec",
+    "PolicySample",
+    "TippersConfig",
+    "TippersDataset",
+    "Trajectory",
+    "generate_dpbench",
+    "generate_tippers",
+    "hilo_sampling",
+    "load_all",
+    "m_sampling",
+]

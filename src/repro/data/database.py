@@ -1,0 +1,84 @@
+"""A minimal multiset-of-records database abstraction.
+
+The privacy definitions treat a database as a multiset of records from a
+universe ``T`` (Section 2).  Records here are arbitrary Python objects —
+usually dicts for tabular data, or :class:`repro.data.tippers.Trajectory`
+objects for mobility data.  Policies index into records themselves, so
+the database class stays schema-free and only provides the operations
+the mechanisms need: iteration, filtering by policy, and histogram
+construction via a binning function.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.core.policy import Policy
+
+
+class Database:
+    """An immutable multiset of records.
+
+    Examples
+    --------
+    >>> db = Database([{"age": 15}, {"age": 40}])
+    >>> len(db)
+    2
+    """
+
+    def __init__(self, records: Iterable[object]):
+        self._records: tuple = tuple(records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[object]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> object:
+        return self._records[index]
+
+    @property
+    def records(self) -> tuple:
+        return self._records
+
+    def filter(self, predicate: Callable[[object], bool]) -> "Database":
+        """A new database with only the records satisfying ``predicate``."""
+        return Database(r for r in self._records if predicate(r))
+
+    def non_sensitive(self, policy: Policy) -> "Database":
+        """The subset ``D_ns = {r in D | P(r) = 1}`` used by OSDP primitives."""
+        return Database(policy.non_sensitive_subset(self._records))
+
+    def sensitive(self, policy: Policy) -> "Database":
+        return Database(policy.sensitive_subset(self._records))
+
+    def partition(self, policy: Policy) -> tuple["Database", "Database"]:
+        """(sensitive, non_sensitive) split under ``policy``."""
+        sens, non_sens = policy.partition(self._records)
+        return Database(sens), Database(non_sens)
+
+    def histogram(
+        self, bin_of: Callable[[object], int], n_bins: int
+    ) -> np.ndarray:
+        """Counts per bin; ``bin_of`` maps a record to its bin index.
+
+        Records mapped outside ``[0, n_bins)`` raise — a histogram query
+        is defined over a complete non-overlapping partitioning
+        (Section 5), so every record must land in a bin.
+        """
+        counts = np.zeros(n_bins, dtype=np.int64)
+        for record in self._records:
+            index = bin_of(record)
+            if not 0 <= index < n_bins:
+                raise ValueError(
+                    f"record {record!r} mapped to bin {index}, "
+                    f"outside [0, {n_bins})"
+                )
+            counts[index] += 1
+        return counts
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Database(n={len(self._records)})"

@@ -1,0 +1,161 @@
+"""Opt-in/opt-out policy simulators for benchmark histograms (§6.1.2).
+
+The DPBench datasets carry no sensitivity policy, so the paper simulates
+one by sampling a *non-sensitive sub-histogram* ``x_ns`` from the true
+histogram ``x``:
+
+* ``MSampling`` (policy **Close**): the empirical distribution of
+  ``x_ns`` tracks that of ``x`` — privacy preference is nearly
+  uncorrelated with record value.  Implemented as per-record Bernoulli
+  thinning (binomial per bin), which is unbiased for the shape; the
+  normalized mean and standard deviation of the sample are verified to
+  lie within a ``1 +/- theta`` factor of the original's (theta = 0.1 in
+  the paper), retrying with fresh randomness otherwise.
+
+* ``HiLoSampling`` (policy **Far**): preference is strongly correlated
+  with value.  A random center bin ``b`` defines a "High" region
+  ``b +/- d*beta``; records in High bins are sampled with weight
+  ``gamma`` (= 5), others with weight 1, until ``rho_x * ||x||_1``
+  records are drawn.  The paper samples bins with replacement; we draw a
+  weighted multinomial and cap each bin at its true count (redistributing
+  overflow) so that ``x_ns <= x`` holds — non-sensitive records must be
+  actual records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PolicySample:
+    """A simulated policy: the non-sensitive sub-histogram and metadata."""
+
+    x: np.ndarray
+    x_ns: np.ndarray
+    policy_name: str
+    rho_x: float
+
+    def __post_init__(self) -> None:
+        if self.x.shape != self.x_ns.shape:
+            raise ValueError("x and x_ns must have the same shape")
+        if np.any(self.x_ns > self.x):
+            raise ValueError("x_ns must be a sub-histogram of x")
+
+    @property
+    def achieved_ratio(self) -> float:
+        """``||x_ns||_1 / ||x||_1`` — the realized non-sensitive ratio."""
+        total = int(self.x.sum())
+        return float(self.x_ns.sum()) / total if total else 0.0
+
+
+def _normalized_moments(x: np.ndarray) -> tuple[float, float]:
+    """Mean and std of the bin-index distribution induced by ``x``."""
+    total = x.sum()
+    if total == 0:
+        return 0.0, 0.0
+    indices = np.arange(len(x), dtype=float)
+    p = x / total
+    mean = float(indices @ p)
+    var = float(((indices - mean) ** 2) @ p)
+    return mean, float(np.sqrt(var))
+
+
+def m_sampling(
+    x: np.ndarray,
+    rho_x: float,
+    rng: np.random.Generator,
+    theta: float = 0.1,
+    max_attempts: int = 50,
+) -> PolicySample:
+    """MSampling: shape-preserving sample with ``||x_ns||_1 ~ rho_x ||x||_1``.
+
+    Binomial thinning keeps each record independently with probability
+    ``rho_x``; the result's normalized mean/std are checked against the
+    ``1 +/- theta`` tolerance of the paper and the draw is retried on the
+    (rare) failure.
+    """
+    if not 0.0 < rho_x <= 1.0:
+        raise ValueError("rho_x must lie in (0, 1]")
+    x = np.asarray(x, dtype=np.int64)
+    mean_x, std_x = _normalized_moments(x)
+    last = None
+    for _ in range(max_attempts):
+        x_ns = rng.binomial(x, rho_x).astype(np.int64)
+        if x_ns.sum() == 0:
+            continue
+        mean_s, std_s = _normalized_moments(x_ns)
+        mean_ok = abs(mean_s - mean_x) <= theta * max(abs(mean_x), 1.0)
+        std_ok = abs(std_s - std_x) <= theta * max(std_x, 1.0)
+        last = x_ns
+        if mean_ok and std_ok:
+            break
+    if last is None:
+        raise RuntimeError("MSampling produced an empty sample repeatedly")
+    return PolicySample(x=x, x_ns=last, policy_name="close", rho_x=rho_x)
+
+
+def hilo_sampling(
+    x: np.ndarray,
+    rho_x: float,
+    rng: np.random.Generator,
+    gamma: float = 5.0,
+    beta: float = 0.4,
+) -> PolicySample:
+    """HiLoSampling: value-correlated sample biased toward a High region.
+
+    Bins within ``center +/- len(x)*beta`` receive sampling weight
+    ``gamma``; all others weight 1.  Exactly ``round(rho_x * ||x||_1)``
+    records are drawn (weighted, without exceeding any bin's true count).
+    """
+    if not 0.0 < rho_x <= 1.0:
+        raise ValueError("rho_x must lie in (0, 1]")
+    if gamma <= 1.0:
+        raise ValueError("gamma must exceed 1 for a meaningful High region")
+    x = np.asarray(x, dtype=np.int64)
+    d = len(x)
+    total = int(x.sum())
+    if total == 0:
+        raise ValueError("cannot sample from an empty histogram")
+    target = max(1, round(rho_x * total))
+
+    center = int(rng.integers(d))
+    radius = int(d * beta)
+    high = np.zeros(d, dtype=bool)
+    low_edge = max(0, center - radius)
+    high_edge = min(d, center + radius + 1)
+    high[low_edge:high_edge] = True
+
+    weights = np.where(high, gamma, 1.0) * x
+    x_ns = np.zeros(d, dtype=np.int64)
+    remaining = x.copy()
+    to_draw = target
+    # Weighted multinomial with per-bin caps: overflow beyond a bin's
+    # remaining records is redistributed over the uncapped bins.
+    for _ in range(64):
+        if to_draw <= 0:
+            break
+        weight_sum = weights.sum()
+        if weight_sum <= 0:
+            break
+        draw = rng.multinomial(to_draw, weights / weight_sum)
+        take = np.minimum(draw, remaining)
+        x_ns += take
+        remaining -= take
+        weights = np.where(remaining > 0, weights, 0.0)
+        to_draw = target - int(x_ns.sum())
+    return PolicySample(x=x, x_ns=x_ns, policy_name="far", rho_x=rho_x)
+
+
+def shape_distance(x: np.ndarray, x_ns: np.ndarray) -> float:
+    """Total-variation distance between the normalized shapes of x and x_ns.
+
+    The paper's "closeness" notion: Close policies should score near 0,
+    Far policies substantially higher.
+    """
+    tx, ts = x.sum(), x_ns.sum()
+    if tx == 0 or ts == 0:
+        raise ValueError("histograms must be non-empty")
+    return float(0.5 * np.abs(x / tx - x_ns / ts).sum())

@@ -1,0 +1,151 @@
+"""Wi-Fi trace ingestion: the paper's TIPPERS preprocessing (§6.1.1).
+
+The real TIPPERS pipeline consumes association events — triples
+``(ap_mac, device_mac, timestamp)`` — and builds *daily trajectories* by
+discretizing time into 10-minute slots and keeping, per slot, the most
+frequent access point.  This module reproduces that pipeline for anyone
+holding a real trace in CSV form, producing the same
+:class:`repro.data.tippers.Trajectory` records the rest of the library
+consumes; it also exports synthetic traces back to the event format so
+the two paths round-trip.
+
+Event CSV format (header optional): ``ap,device,timestamp`` with the
+timestamp in seconds since the epoch (float or int).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Mapping
+
+from repro.data.tippers import SLOTS_PER_DAY, Trajectory
+
+SECONDS_PER_SLOT = 600  # 10-minute discretization (the paper's choice)
+SECONDS_PER_DAY = 86_400
+
+
+@dataclass(frozen=True)
+class AssociationEvent:
+    """One Wi-Fi association: device seen at an AP at a point in time."""
+
+    ap: str
+    device: str
+    timestamp: float
+
+    @property
+    def day(self) -> int:
+        return int(self.timestamp // SECONDS_PER_DAY)
+
+    @property
+    def slot(self) -> int:
+        return int(self.timestamp % SECONDS_PER_DAY) // SECONDS_PER_SLOT
+
+
+def parse_events(lines: Iterable[str]) -> Iterator[AssociationEvent]:
+    """Parse CSV rows into events; a leading header row is skipped."""
+    reader = csv.reader(lines)
+    header = ["ap", "device", "timestamp"]
+    for row_number, row in enumerate(reader):
+        if not row:
+            continue
+        if row_number == 0 and [f.strip().lower() for f in row] == header:
+            continue
+        if len(row) != 3:
+            raise ValueError(
+                f"row {row_number}: expected 'ap,device,timestamp', got {row!r}"
+            )
+        ap, device, raw_ts = (field.strip() for field in row)
+        try:
+            timestamp = float(raw_ts)
+        except ValueError:
+            raise ValueError(
+                f"row {row_number}: bad timestamp {raw_ts!r}"
+            ) from None
+        yield AssociationEvent(ap=ap, device=device, timestamp=timestamp)
+
+
+def load_events(path: str | Path) -> list[AssociationEvent]:
+    """Load association events from a CSV file."""
+    with open(path, newline="") as handle:
+        return list(parse_events(handle))
+
+
+def build_trajectories(
+    events: Iterable[AssociationEvent],
+    ap_index: Mapping[str, int] | None = None,
+) -> tuple[list[Trajectory], dict[str, int]]:
+    """Discretize events into daily trajectories (the paper's recipe).
+
+    Per (device, day): slots are labelled with the *most frequent* AP
+    observed during the slot (ties break lexicographically for
+    determinism); gaps between observed slots are filled by carrying the
+    previous slot's AP forward, so each trajectory covers a contiguous
+    slot range — matching :class:`Trajectory`'s contract.
+
+    Returns the trajectories (user ids are dense integers per device)
+    and the AP-name -> integer index mapping used (built from the data
+    when not supplied).
+    """
+    if ap_index is None:
+        ap_index = {}
+        dynamic = True
+    else:
+        ap_index = dict(ap_index)
+        dynamic = False
+
+    # (device, day) -> slot -> {ap_id: count}
+    per_user_day: dict[tuple[str, int], dict[int, dict[int, int]]] = {}
+    for event in events:
+        if event.ap not in ap_index:
+            if not dynamic:
+                raise KeyError(f"unknown AP {event.ap!r} for fixed ap_index")
+            ap_index[event.ap] = len(ap_index)
+        ap_id = ap_index[event.ap]
+        slots = per_user_day.setdefault((event.device, event.day), {})
+        slots.setdefault(event.slot, {})[ap_id] = (
+            slots.get(event.slot, {}).get(ap_id, 0) + 1
+        )
+
+    device_ids: dict[str, int] = {}
+    trajectories: list[Trajectory] = []
+    for (device, day), slot_counts in sorted(per_user_day.items()):
+        user_id = device_ids.setdefault(device, len(device_ids))
+        dominant: dict[int, int] = {}
+        for slot, counts in slot_counts.items():
+            best = min(
+                counts, key=lambda ap: (-counts[ap], ap)
+            )  # most frequent, ties -> smallest id
+            dominant[slot] = best
+        first, last = min(dominant), max(dominant)
+        slots: list[tuple[int, int]] = []
+        current = dominant[first]
+        for slot in range(first, last + 1):
+            current = dominant.get(slot, current)
+            slots.append((slot, current))
+        trajectories.append(
+            Trajectory(user_id=user_id, day=day, slots=tuple(slots))
+        )
+    return trajectories, ap_index
+
+
+def export_events(
+    trajectories: Iterable[Trajectory],
+    ap_names: Mapping[int, str] | None = None,
+) -> str:
+    """Render trajectories as an event CSV (one event per slot)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["ap", "device", "timestamp"])
+    for trajectory in trajectories:
+        for slot, ap in trajectory.slots:
+            if not 0 <= slot < SLOTS_PER_DAY:
+                raise ValueError(f"slot {slot} outside a day")
+            name = ap_names[ap] if ap_names is not None else f"ap{ap}"
+            timestamp = (
+                trajectory.day * SECONDS_PER_DAY + slot * SECONDS_PER_SLOT
+            )
+            writer.writerow([name, f"device{trajectory.user_id}", timestamp])
+    return buffer.getvalue()

@@ -1,0 +1,105 @@
+"""Discrete counterparts of the Laplace noise distributions.
+
+These are extensions beyond the paper: when counts must remain integers
+(e.g. releasing exact histogram cells), the two-sided geometric
+distribution plays the role of the Laplace distribution and the one-sided
+geometric plays the role of ``Lap^-``.
+
+``TwoSidedGeometric(alpha)`` has pmf proportional to ``alpha**|k|`` over
+the integers; setting ``alpha = exp(-epsilon / sensitivity)`` gives an
+epsilon-DP additive mechanism for integer queries.  ``OneSidedGeometric``
+puts all mass on the non-positive integers and is the OSDP analogue.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def _validate_alpha(alpha: float) -> None:
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"alpha must lie strictly in (0, 1), got {alpha}")
+
+
+@dataclass(frozen=True)
+class TwoSidedGeometric:
+    """Two-sided geometric distribution over the integers.
+
+    pmf(k) = (1 - alpha) / (1 + alpha) * alpha**|k|
+    """
+
+    alpha: float
+
+    def __post_init__(self) -> None:
+        _validate_alpha(self.alpha)
+
+    @classmethod
+    def from_epsilon(cls, epsilon: float, sensitivity: float = 1.0) -> "TwoSidedGeometric":
+        """Calibrate so additive noise gives epsilon-DP at given sensitivity."""
+        if epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        return cls(alpha=math.exp(-epsilon / sensitivity))
+
+    def pmf(self, k: int | np.ndarray) -> float | np.ndarray:
+        arr = np.abs(np.asarray(k, dtype=float))
+        out = (1.0 - self.alpha) / (1.0 + self.alpha) * self.alpha**arr
+        return float(out) if np.isscalar(k) else out
+
+    @property
+    def variance(self) -> float:
+        return 2.0 * self.alpha / (1.0 - self.alpha) ** 2
+
+    def sample(
+        self, rng: np.random.Generator, size: int | tuple[int, ...] | None = None
+    ) -> int | np.ndarray:
+        """Difference of two iid geometric draws is two-sided geometric."""
+        # numpy's geometric counts trials >= 1; subtract 1 for support {0,1,...}.
+        g1 = rng.geometric(p=1.0 - self.alpha, size=size) - 1
+        g2 = rng.geometric(p=1.0 - self.alpha, size=size) - 1
+        out = g1 - g2
+        return int(out) if size is None else out
+
+
+@dataclass(frozen=True)
+class OneSidedGeometric:
+    """Geometric distribution on the non-positive integers.
+
+    pmf(k) = (1 - alpha) * alpha**(-k)   for k <= 0.
+
+    The discrete analogue of ``Lap^-``: suitable for OSDP release of
+    integer counts over non-sensitive records, where neighbors can only
+    increase the true count.
+    """
+
+    alpha: float
+
+    def __post_init__(self) -> None:
+        _validate_alpha(self.alpha)
+
+    @classmethod
+    def from_epsilon(cls, epsilon: float, sensitivity: float = 1.0) -> "OneSidedGeometric":
+        if epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        return cls(alpha=math.exp(-epsilon / sensitivity))
+
+    def pmf(self, k: int | np.ndarray) -> float | np.ndarray:
+        arr = np.asarray(k, dtype=float)
+        out = np.where(arr <= 0, (1.0 - self.alpha) * self.alpha ** (-arr), 0.0)
+        return float(out) if np.isscalar(k) else out
+
+    @property
+    def mean(self) -> float:
+        return -self.alpha / (1.0 - self.alpha)
+
+    @property
+    def variance(self) -> float:
+        return self.alpha / (1.0 - self.alpha) ** 2
+
+    def sample(
+        self, rng: np.random.Generator, size: int | tuple[int, ...] | None = None
+    ) -> int | np.ndarray:
+        out = -(rng.geometric(p=1.0 - self.alpha, size=size) - 1)
+        return int(out) if size is None else out

@@ -1,0 +1,89 @@
+"""The (two-sided) Laplace distribution of Definition 2.3.
+
+``LaplaceDistribution(scale=b, loc=mu)`` has density
+
+    f(x; mu, b) = exp(-|x - mu| / b) / (2 b)
+
+The paper writes ``Lap(b)`` for the zero-mean variant; the classical
+Laplace mechanism (Definition 2.5) adds ``Lap(S(f)/epsilon)`` noise to a
+query answer with L1-sensitivity ``S(f)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LaplaceDistribution:
+    """Laplace distribution with location ``loc`` and scale ``scale``."""
+
+    scale: float
+    loc: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ValueError(f"scale must be positive, got {self.scale}")
+
+    def pdf(self, x: float | np.ndarray) -> float | np.ndarray:
+        """Probability density at ``x``."""
+        z = np.abs(np.asarray(x, dtype=float) - self.loc) / self.scale
+        out = np.exp(-z) / (2.0 * self.scale)
+        return float(out) if np.isscalar(x) else out
+
+    def log_pdf(self, x: float | np.ndarray) -> float | np.ndarray:
+        """Log-density at ``x`` (useful for likelihood-ratio checks)."""
+        z = np.abs(np.asarray(x, dtype=float) - self.loc) / self.scale
+        out = -z - math.log(2.0 * self.scale)
+        return float(out) if np.isscalar(x) else out
+
+    def cdf(self, x: float | np.ndarray) -> float | np.ndarray:
+        """Cumulative distribution function at ``x``."""
+        arr = np.asarray(x, dtype=float)
+        z = (arr - self.loc) / self.scale
+        out = np.where(z < 0, 0.5 * np.exp(z), 1.0 - 0.5 * np.exp(-z))
+        return float(out) if np.isscalar(x) else out
+
+    def ppf(self, q: float | np.ndarray) -> float | np.ndarray:
+        """Quantile function (inverse CDF) at probability ``q``."""
+        arr = np.asarray(q, dtype=float)
+        if np.any((arr < 0) | (arr > 1)):
+            raise ValueError("quantile levels must lie in [0, 1]")
+        out = np.where(
+            arr < 0.5,
+            self.loc + self.scale * np.log(2.0 * arr),
+            self.loc - self.scale * np.log(2.0 * (1.0 - arr)),
+        )
+        return float(out) if np.isscalar(q) else out
+
+    @property
+    def mean(self) -> float:
+        return self.loc
+
+    @property
+    def variance(self) -> float:
+        return 2.0 * self.scale**2
+
+    @property
+    def expected_abs(self) -> float:
+        """E|X - loc|; the expected L1 noise magnitude per coordinate."""
+        return self.scale
+
+    def sample(
+        self, rng: np.random.Generator, size: int | tuple[int, ...] | None = None
+    ) -> float | np.ndarray:
+        """Draw samples using the supplied generator."""
+        out = rng.laplace(loc=self.loc, scale=self.scale, size=size)
+        return float(out) if size is None else out
+
+
+def sample_laplace(
+    rng: np.random.Generator,
+    scale: float,
+    size: int | tuple[int, ...] | None = None,
+) -> float | np.ndarray:
+    """Draw zero-mean ``Lap(scale)`` samples (paper notation ``Lap(b)``)."""
+    return LaplaceDistribution(scale=scale).sample(rng, size=size)

@@ -1,0 +1,32 @@
+"""Evaluation harness: error metrics, trial runner, experiment drivers.
+
+The :mod:`repro.evaluation.experiments` package contains one driver per
+paper table/figure; the benchmarks call into these with scaled-down
+configurations and EXPERIMENTS.md records paper-vs-measured outcomes.
+"""
+
+from repro.evaluation.metrics import (
+    l1_error,
+    mean_relative_error,
+    per_bin_relative_error,
+    regret,
+    regret_table,
+    rel_percentile,
+)
+from repro.evaluation.runner import (
+    average_over_trials,
+    format_table,
+    spawn_rngs,
+)
+
+__all__ = [
+    "average_over_trials",
+    "format_table",
+    "l1_error",
+    "mean_relative_error",
+    "per_bin_relative_error",
+    "regret",
+    "regret_table",
+    "rel_percentile",
+    "spawn_rngs",
+]

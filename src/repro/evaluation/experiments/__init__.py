@@ -1,0 +1,37 @@
+"""Experiment drivers, one per paper table/figure (see DESIGN.md §3).
+
+Each driver returns plain data structures (dicts / dataclasses) and the
+corresponding benchmark module renders the same rows/series the paper
+reports.  Configurations default to laptop-scale versions of the
+paper's setups; every driver is deterministic in its seed.
+"""
+
+from repro.evaluation.experiments.table1 import (
+    expected_release_percentages,
+    monte_carlo_release_percentages,
+)
+from repro.evaluation.experiments.fig1_classification import Fig1Config, run_fig1
+from repro.evaluation.experiments.fig2_3_ngrams import NGramConfig, run_ngram_experiment
+from repro.evaluation.experiments.fig4_5_tippers import (
+    TippersHistogramConfig,
+    run_tippers_histogram,
+)
+from repro.evaluation.experiments.fig6_10_dpbench import (
+    DPBenchConfig,
+    aggregate_regret,
+    run_dpbench_sweep,
+)
+
+__all__ = [
+    "DPBenchConfig",
+    "Fig1Config",
+    "NGramConfig",
+    "TippersHistogramConfig",
+    "aggregate_regret",
+    "expected_release_percentages",
+    "monte_carlo_release_percentages",
+    "run_dpbench_sweep",
+    "run_fig1",
+    "run_ngram_experiment",
+    "run_tippers_histogram",
+]

@@ -1,0 +1,89 @@
+"""Error metrics of Section 6.2 and the regret measure of Section 6.3.3.
+
+* mean relative error (MRE): ``mean_i |x_i - xhat_i| / max(x_i, delta)``
+  with ``delta = 1`` throughout the paper;
+* per-bin relative error and its percentiles: ``Rel50`` (median) and
+  ``Rel95`` capture typical and worst-case bin error;
+* regret: an algorithm's error divided by the best error any algorithm
+  in the comparison pool achieved on the *same input* — the paper's
+  device for aggregating across datasets with wildly different error
+  scales.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+DEFAULT_DELTA = 1.0
+
+
+def _as_pair(x: np.ndarray, estimate: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    x = np.asarray(x, dtype=float)
+    estimate = np.asarray(estimate, dtype=float)
+    if x.shape != estimate.shape:
+        raise ValueError(f"shape mismatch: {x.shape} vs {estimate.shape}")
+    return x, estimate
+
+
+def per_bin_relative_error(
+    x: np.ndarray, estimate: np.ndarray, delta: float = DEFAULT_DELTA
+) -> np.ndarray:
+    """``|x_i - xhat_i| / max(x_i, delta)`` per bin (the paper's Rel)."""
+    x, estimate = _as_pair(x, estimate)
+    return np.abs(x - estimate) / np.maximum(x, delta)
+
+
+def mean_relative_error(
+    x: np.ndarray, estimate: np.ndarray, delta: float = DEFAULT_DELTA
+) -> float:
+    """MRE: the mean of the per-bin relative errors."""
+    return float(per_bin_relative_error(x, estimate, delta).mean())
+
+
+def rel_percentile(
+    x: np.ndarray,
+    estimate: np.ndarray,
+    percentile: float,
+    delta: float = DEFAULT_DELTA,
+) -> float:
+    """Percentile of the per-bin relative error (Rel50, Rel95, ...)."""
+    if not 0.0 <= percentile <= 100.0:
+        raise ValueError("percentile must lie in [0, 100]")
+    return float(
+        np.percentile(per_bin_relative_error(x, estimate, delta), percentile)
+    )
+
+
+def l1_error(x: np.ndarray, estimate: np.ndarray) -> float:
+    """Total absolute error ``||x - xhat||_1``."""
+    x, estimate = _as_pair(x, estimate)
+    return float(np.abs(x - estimate).sum())
+
+
+def l2_error(x: np.ndarray, estimate: np.ndarray) -> float:
+    """Euclidean error ``||x - xhat||_2``."""
+    x, estimate = _as_pair(x, estimate)
+    return float(np.linalg.norm(x - estimate))
+
+
+def regret(error: float, optimal_error: float) -> float:
+    """``error / optimal_error``; >= 1 with 1 meaning per-input optimal.
+
+    When the optimum is exactly 0 (an algorithm nailed the input), any
+    nonzero error has infinite regret and zero error has regret 1.
+    """
+    if error < 0 or optimal_error < 0:
+        raise ValueError("errors must be non-negative")
+    if optimal_error == 0.0:
+        return 1.0 if error == 0.0 else float("inf")
+    return error / optimal_error
+
+
+def regret_table(errors: Mapping[str, float]) -> dict[str, float]:
+    """Per-algorithm regret relative to the pool's best error."""
+    if not errors:
+        raise ValueError("need at least one algorithm's error")
+    optimal = min(errors.values())
+    return {name: regret(err, optimal) for name, err in errors.items()}

@@ -1,0 +1,85 @@
+"""Result persistence: JSON round-trips and markdown rendering.
+
+Experiment drivers return plain dicts/dataclasses; this module writes
+them to disk in a stable, diff-friendly format and renders markdown
+tables for EXPERIMENTS.md-style reports.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Mapping, Sequence
+
+
+def _jsonable(value):
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: _jsonable(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, Mapping):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if hasattr(value, "tolist"):  # numpy scalars and arrays
+        return value.tolist()
+    if isinstance(value, float) and value != value:  # NaN
+        return None
+    return value
+
+
+def save_results(results, path: str | Path) -> Path:
+    """Write experiment results as pretty-printed, key-sorted JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(_jsonable(results), indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_results(path: str | Path) -> dict:
+    """Read results previously written by :func:`save_results`."""
+    return json.loads(Path(path).read_text())
+
+
+def markdown_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    float_format: str = "{:.4g}",
+) -> str:
+    """Render a GitHub-flavored markdown table."""
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_format.format(cell)
+        return str(cell)
+
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(render(c) for c in row) + " |")
+    return "\n".join(lines)
+
+
+def nested_dict_to_rows(
+    table: Mapping, row_label: str = "key"
+) -> tuple[list[str], list[list[object]]]:
+    """Flatten {row: {col: value}} into (headers, rows) for rendering.
+
+    Column order follows the first row's insertion order; missing cells
+    render as empty strings.
+    """
+    if not table:
+        raise ValueError("cannot render an empty table")
+    first = next(iter(table.values()))
+    if not isinstance(first, Mapping):
+        raise ValueError("expected a two-level {row: {col: value}} mapping")
+    columns = list(first)
+    headers = [row_label, *map(str, columns)]
+    rows = [
+        [row_key] + [cells.get(col, "") for col in columns]
+        for row_key, cells in table.items()
+    ]
+    return headers, rows

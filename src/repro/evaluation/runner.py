@@ -1,0 +1,55 @@
+"""Seeded multi-trial execution and plain-text result tables.
+
+The paper averages every loss over 10 independent executions; the
+helpers here keep that reproducible — a root seed spawns independent
+child generators per trial — and render results as aligned text tables
+for the benchmark harness output.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+
+def spawn_rngs(seed: int, n: int) -> list[np.random.Generator]:
+    """``n`` statistically independent generators from one root seed."""
+    if n < 1:
+        raise ValueError("need at least one generator")
+    return [np.random.default_rng(s) for s in np.random.SeedSequence(seed).spawn(n)]
+
+
+def average_over_trials(
+    fn: Callable[[np.random.Generator], float],
+    n_trials: int = 10,
+    seed: int = 0,
+) -> float:
+    """Mean of ``fn(rng)`` over independent trials (the paper's protocol)."""
+    rngs = spawn_rngs(seed, n_trials)
+    return float(np.mean([fn(rng) for rng in rngs]))
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    float_format: str = "{:.4g}",
+) -> str:
+    """Render an aligned plain-text table (no external dependencies)."""
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_format.format(cell)
+        return str(cell)
+
+    rendered = [[render(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[col]), *(len(r[col]) for r in rendered)) if rendered else len(headers[col])
+        for col in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rendered:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""Privacy mechanisms: DP baselines, OSDP primitives, and DAWA/DAWAz.
+
+Record-level mechanisms
+    * :class:`repro.mechanisms.osdp_rr.OsdpRR` — Algorithm 1: truthful
+      release of a Bernoulli(1 - e^-eps) sample of the non-sensitive
+      records.
+
+Histogram mechanisms (all consume :class:`repro.queries.histogram.HistogramInput`)
+    * :class:`repro.mechanisms.laplace.LaplaceHistogram` — the epsilon-DP
+      Laplace mechanism (Definition 2.5), sensitivity 2;
+    * :class:`repro.mechanisms.osdp_rr.OsdpRRHistogram` — histogram over
+      an OsdpRR sample;
+    * :class:`repro.mechanisms.osdp_laplace.OsdpLaplaceHistogram` and
+      :class:`~repro.mechanisms.osdp_laplace.OsdpLaplaceL1Histogram` —
+      one-sided-noise primitives of Section 5.1 (Algorithm 2);
+    * :class:`repro.mechanisms.osdp_laplace.HybridOsdpLaplace` — the
+      per-bin hybrid for value-based policies (Section 6.3.3.1);
+    * :class:`repro.mechanisms.suppress.SuppressHistogram` — the PDP
+      baseline of Section 3.4 (vulnerable to exclusion attacks);
+    * :class:`repro.mechanisms.dawa.Dawa` — the two-phase DP baseline;
+    * :class:`repro.mechanisms.dawaz.DawaZ` — Algorithm 3, the paper's
+      recipe applied to DAWA.
+"""
+
+from repro.mechanisms.ahp import Ahp, AhpZ
+from repro.mechanisms.base import HistogramMechanism, MechanismRegistry
+from repro.mechanisms.dawa import Dawa
+from repro.mechanisms.dawaz import DawaZ, TwoPhaseOsdpRecipe
+from repro.mechanisms.laplace import LaplaceHistogram, LaplaceMechanism
+from repro.mechanisms.osdp_laplace import (
+    HybridOsdpLaplace,
+    OsdpLaplaceHistogram,
+    OsdpLaplaceL1Histogram,
+)
+from repro.mechanisms.osdp_rr import OsdpRR, OsdpRRHistogram
+from repro.mechanisms.partitioned import PartitionedRelease
+from repro.mechanisms.suppress import Suppress, SuppressHistogram
+
+__all__ = [
+    "Ahp",
+    "AhpZ",
+    "Dawa",
+    "DawaZ",
+    "HistogramMechanism",
+    "HybridOsdpLaplace",
+    "LaplaceHistogram",
+    "LaplaceMechanism",
+    "MechanismRegistry",
+    "OsdpLaplaceHistogram",
+    "OsdpLaplaceL1Histogram",
+    "OsdpRR",
+    "OsdpRRHistogram",
+    "PartitionedRelease",
+    "Suppress",
+    "SuppressHistogram",
+    "TwoPhaseOsdpRecipe",
+]

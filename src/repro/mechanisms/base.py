@@ -1,0 +1,89 @@
+"""Common mechanism interfaces and a registry for the evaluation harness.
+
+Every histogram-release mechanism implements
+``release(hist: HistogramInput, rng) -> np.ndarray`` and exposes a
+``guarantee`` describing its privacy promise.  DP mechanisms read only
+``hist.x``; OSDP mechanisms additionally use ``hist.x_ns`` (and the
+optional sensitive-bin mask).  Keeping the interface uniform lets the
+regret experiments of Section 6.3.3 sweep a pool of mechanisms over the
+same inputs.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable
+
+import numpy as np
+
+from repro.core.accountant import PrivacyAccountant
+from repro.core.guarantees import DPGuarantee, OSDPGuarantee
+from repro.queries.histogram import HistogramInput
+
+
+class HistogramMechanism(ABC):
+    """A randomized histogram-release algorithm."""
+
+    name: str = "mechanism"
+
+    def __init__(self, epsilon: float):
+        if epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {epsilon}")
+        self.epsilon = epsilon
+
+    @abstractmethod
+    def release(
+        self, hist: HistogramInput, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Produce a private estimate of ``hist.x`` (full-domain vector)."""
+
+    @property
+    @abstractmethod
+    def guarantee(self) -> DPGuarantee | OSDPGuarantee:
+        """The privacy guarantee this mechanism satisfies."""
+
+    def charge(self, accountant: PrivacyAccountant | None, label: str = "") -> None:
+        """Charge this mechanism's epsilon to an accountant, if given."""
+        if accountant is None:
+            return
+        guarantee = self.guarantee
+        if isinstance(guarantee, DPGuarantee):
+            # DP is (P_all, eps)-OSDP (Lemma 3.1); charge under P_all.
+            from repro.core.policy import AllSensitivePolicy
+
+            accountant.charge(AllSensitivePolicy(), guarantee.epsilon, label or self.name)
+        else:
+            accountant.charge(guarantee.policy, guarantee.epsilon, label or self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(epsilon={self.epsilon})"
+
+
+MechanismFactory = Callable[[float], HistogramMechanism]
+
+
+class MechanismRegistry:
+    """Name -> factory registry used by the regret experiments."""
+
+    def __init__(self) -> None:
+        self._factories: dict[str, MechanismFactory] = {}
+
+    def register(self, name: str, factory: MechanismFactory) -> None:
+        if name in self._factories:
+            raise ValueError(f"mechanism {name!r} already registered")
+        self._factories[name] = factory
+
+    def create(self, name: str, epsilon: float) -> HistogramMechanism:
+        try:
+            factory = self._factories[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown mechanism {name!r}; registered: {sorted(self._factories)}"
+            ) from None
+        return factory(epsilon)
+
+    def names(self) -> list[str]:
+        return sorted(self._factories)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._factories

@@ -1,0 +1,172 @@
+"""DAWA stage 1: private data-aware partition selection.
+
+The partition quality of a bucket ``b`` is its L1 deviation cost
+``dev(b) = min_c sum_{i in b} |x_i - c|`` (minimized by the median): the
+bias a uniform within-bucket estimate incurs.  Stage 1 picks a partition
+minimizing ``sum_b [dev(b) + penalty]`` where the per-bucket penalty
+models stage 2's noise cost.
+
+To make the selection private we follow the original DAWA's
+power-of-two restriction, but over the *aligned* dyadic tree: candidate
+buckets are the nodes of a binary tree over the (zero-padded) domain.
+Each bin belongs to exactly one interval per level, and ``dev`` is
+1-Lipschitz in each count, so a bounded-DP replacement (two bins change
+by one) perturbs the full cost vector by at most 2 per level.  Adding
+``Lap(2 * n_levels / eps1)`` noise to every interval cost therefore
+yields an ``eps1``-DP view of all costs, after which the partition
+choice is post-processing: an exact bottom-up dynamic program chooses
+split-vs-merge at every node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.distributions.laplace import sample_laplace
+
+Bucket = tuple[int, int]  # half-open [start, end)
+
+
+def interval_deviation_cost(values: np.ndarray) -> float:
+    """``min_c sum |v - c|``, attained at the median."""
+    if len(values) == 0:
+        raise ValueError("cannot compute deviation of an empty interval")
+    med = float(np.median(values))
+    return float(np.abs(np.asarray(values, dtype=float) - med).sum())
+
+
+def _next_power_of_two(n: int) -> int:
+    power = 1
+    while power < n:
+        power *= 2
+    return power
+
+
+@dataclass(frozen=True)
+class DyadicCosts:
+    """Noisy deviation costs for every dyadic interval.
+
+    ``levels[k]`` holds the costs of intervals of length ``2**k`` in
+    left-to-right order; level 0 (singletons) has exact zero cost — the
+    deviation of a single bin is identically zero, independent of the
+    data, so it needs no noise and no budget.
+    """
+
+    levels: tuple[np.ndarray, ...]
+
+    @property
+    def n(self) -> int:
+        return len(self.levels[0])
+
+    def cost(self, level: int, index: int) -> float:
+        return float(self.levels[level][index])
+
+
+def noisy_dyadic_costs(
+    x: np.ndarray, epsilon1: float, rng: np.random.Generator
+) -> DyadicCosts:
+    """eps1-DP noisy L1-deviation costs for all aligned dyadic intervals."""
+    if epsilon1 <= 0:
+        raise ValueError("epsilon1 must be positive")
+    x = np.asarray(x, dtype=float)
+    n = _next_power_of_two(len(x))
+    padded = np.zeros(n)
+    padded[: len(x)] = x
+
+    n_levels = int(np.log2(n)) + 1
+    noisy_levels = n_levels - 1  # level 0 is data-independent
+    scale = 2.0 * max(noisy_levels, 1) / epsilon1
+
+    levels: list[np.ndarray] = [np.zeros(n)]
+    for level in range(1, n_levels):
+        width = 2**level
+        rows = padded.reshape(-1, width)
+        medians = np.median(rows, axis=1, keepdims=True)
+        costs = np.abs(rows - medians).sum(axis=1)
+        costs += sample_laplace(rng, scale, size=len(costs))
+        # True deviation costs are non-negative; clipping is
+        # post-processing and prevents the partition DP's min-selection
+        # from accumulating spuriously negative noise down the tree
+        # (which would shatter smooth regions into singleton buckets).
+        np.maximum(costs, 0.0, out=costs)
+        levels.append(costs)
+    return DyadicCosts(levels=tuple(levels))
+
+
+def optimal_dyadic_partition(
+    costs: DyadicCosts, bucket_penalty: float
+) -> list[Bucket]:
+    """Exact DP over the dyadic tree: minimize sum of cost + penalty.
+
+    Post-processing of the noisy costs.  For each node, keeping it as a
+    single bucket costs ``noisy_dev + penalty``; splitting costs the sum
+    of the children's optima.  Returns the chosen buckets left to right
+    over the padded domain.
+    """
+    if bucket_penalty < 0:
+        raise ValueError("bucket_penalty must be non-negative")
+    n = costs.n
+    n_levels = len(costs.levels)
+
+    # best[level][i] = optimal cost for the subtree rooted at interval i
+    # of the given level; keep[level][i] = True when the node stays whole.
+    best: list[np.ndarray] = [
+        np.asarray(costs.levels[0]) + bucket_penalty
+    ]
+    keep: list[np.ndarray] = [np.ones(n, dtype=bool)]
+    for level in range(1, n_levels):
+        whole = np.asarray(costs.levels[level]) + bucket_penalty
+        split = best[level - 1][0::2] + best[level - 1][1::2]
+        level_keep = whole <= split
+        level_best = np.where(level_keep, whole, split)
+        best.append(level_best)
+        keep.append(level_keep)
+
+    buckets: list[Bucket] = []
+
+    def descend(level: int, index: int) -> None:
+        if keep[level][index]:
+            width = 2**level
+            buckets.append((index * width, (index + 1) * width))
+        else:
+            descend(level - 1, 2 * index)
+            descend(level - 1, 2 * index + 1)
+
+    descend(n_levels - 1, 0)
+    buckets.sort()
+    return buckets
+
+
+def _clip_buckets(buckets: list[Bucket], n: int) -> list[Bucket]:
+    """Restrict buckets of the padded domain to the original length."""
+    clipped = []
+    for start, end in buckets:
+        if start >= n:
+            continue
+        clipped.append((start, min(end, n)))
+    return clipped
+
+
+def dyadic_partition(
+    x: np.ndarray,
+    epsilon1: float,
+    rng: np.random.Generator,
+    bucket_penalty: float,
+) -> list[Bucket]:
+    """Full stage 1: noisy costs + exact partition DP, clipped to len(x)."""
+    costs = noisy_dyadic_costs(x, epsilon1, rng)
+    buckets = optimal_dyadic_partition(costs, bucket_penalty)
+    return _clip_buckets(buckets, len(np.asarray(x)))
+
+
+def validate_partition(buckets: list[Bucket], n: int) -> None:
+    """Raise unless buckets exactly tile ``[0, n)`` in order."""
+    cursor = 0
+    for start, end in buckets:
+        if start != cursor or end <= start:
+            raise ValueError(f"buckets do not tile the domain at {start}")
+        cursor = end
+    if cursor != n:
+        raise ValueError(f"buckets cover [0, {cursor}), expected [0, {n})")

@@ -1,0 +1,153 @@
+"""DAWAz (Algorithm 3) and the general OSDP recipe of Section 5.2.
+
+The recipe upgrades any two-phase DP histogram algorithm: spend a
+fraction ``rho`` of the budget on an OSDP *zero-set detection* pass over
+the non-sensitive histogram, run the DP algorithm with the remaining
+``(1 - rho) * eps``, then post-process — zero out the detected-empty
+bins and redistribute each partition's removed mass over its surviving
+bins.  Sequential composition (Theorem 3.3) gives (P, eps)-OSDP overall
+(Theorem 5.3); the post-processing is privacy-free.
+
+Zero detection follows the paper's experimental setup: an OsdpRR pass
+(binomial thinning of ``x_ns`` with retention ``1 - e^{-rho * eps}``)
+whose empty bins form ``Z``.  An OsdpLaplaceL1 detector is provided for
+the ablation bench — its clipping step also produces exact zeros.
+
+A note on Algorithm 3's line 9: the paper prints the rescale ratio as
+``|B| / |Z ∩ B|``, which is non-finite for partitions with no zeroed
+bins and does not preserve bucket mass; we implement the evident intent,
+``|B| / (|B| - |Z ∩ B|)`` — spread each bucket's estimated total over
+its surviving bins (see EXPERIMENTS.md, deviations).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Literal
+
+import numpy as np
+
+from repro.core.guarantees import OSDPGuarantee
+from repro.core.policy import AllSensitivePolicy, Policy
+from repro.distributions.one_sided_laplace import OneSidedLaplace
+from repro.mechanisms.base import HistogramMechanism
+from repro.mechanisms.dawa.dawa import Dawa, DawaResult
+from repro.queries.histogram import HistogramInput
+
+ZeroDetector = Literal["osdp_rr", "osdp_laplace_l1"]
+
+
+def detect_zero_bins(
+    hist: HistogramInput,
+    epsilon: float,
+    rng: np.random.Generator,
+    detector: ZeroDetector = "osdp_rr",
+) -> np.ndarray:
+    """The OSDP zero set ``Z``: bins whose noisy non-sensitive count is 0.
+
+    Satisfies (P, epsilon)-OSDP — it is exactly an OSDP primitive of
+    Section 5.1 applied to ``x_ns``, with the zero test as
+    post-processing.
+    """
+    x_ns = np.asarray(hist.x_ns)
+    if detector == "osdp_rr":
+        retention = 1.0 - math.exp(-epsilon)
+        sampled = rng.binomial(x_ns.astype(np.int64), retention)
+        return sampled == 0
+    if detector == "osdp_laplace_l1":
+        noise = OneSidedLaplace(scale=1.0 / epsilon)
+        noisy = x_ns.astype(float) + noise.sample(rng, size=x_ns.shape)
+        return noisy <= 0.0
+    raise ValueError(f"unknown zero detector {detector!r}")
+
+
+def apply_zero_postprocessing(
+    result: DawaResult, zero_mask: np.ndarray
+) -> np.ndarray:
+    """Algorithm 3 lines 5-11: zero out Z and rescale within partitions."""
+    estimate = np.asarray(result.estimate, dtype=float).copy()
+    zero_mask = np.asarray(zero_mask, dtype=bool)
+    if zero_mask.shape != estimate.shape:
+        raise ValueError("zero mask must match the estimate's shape")
+    for start, end in result.buckets:
+        in_bucket = zero_mask[start:end]
+        n_zeroed = int(in_bucket.sum())
+        width = end - start
+        if n_zeroed == 0:
+            continue
+        if n_zeroed == width:
+            estimate[start:end] = 0.0
+            continue
+        removed_mass = float(estimate[start:end][in_bucket].sum())
+        estimate[start:end][in_bucket] = 0.0
+        survivors = ~in_bucket
+        # Redistribute the removed mass uniformly over the surviving
+        # bins: keeps the bucket total invariant (|B| / (|B| - |Z∩B|)
+        # rescaling of the uniform expansion).
+        estimate[start:end][survivors] += removed_mass / (width - n_zeroed)
+    return estimate
+
+
+class TwoPhaseOsdpRecipe(HistogramMechanism):
+    """Section 5.2's recipe around any partition-producing DP algorithm.
+
+    ``dp_factory(epsilon)`` must build a mechanism exposing
+    ``release_with_partition(hist, rng) -> DawaResult``.
+    """
+
+    name = "osdp_recipe"
+
+    def __init__(
+        self,
+        epsilon: float,
+        dp_factory: Callable[[float], Dawa],
+        rho: float = 0.1,
+        policy: Policy | None = None,
+        zero_detector: ZeroDetector = "osdp_rr",
+    ):
+        super().__init__(epsilon)
+        if not 0.0 < rho < 1.0:
+            raise ValueError("rho must lie strictly between 0 and 1")
+        self.rho = rho
+        self.policy = policy
+        self.zero_detector = zero_detector
+        self.epsilon_zero = rho * epsilon
+        self.epsilon_dp = (1.0 - rho) * epsilon
+        self.dp_algorithm = dp_factory(self.epsilon_dp)
+
+    @property
+    def guarantee(self) -> OSDPGuarantee:
+        """Theorem 5.3 via sequential composition: (P, eps)-OSDP."""
+        return OSDPGuarantee(
+            policy=self.policy if self.policy is not None else AllSensitivePolicy(),
+            epsilon=self.epsilon,
+        )
+
+    def release(self, hist: HistogramInput, rng: np.random.Generator) -> np.ndarray:
+        zero_mask = detect_zero_bins(
+            hist, self.epsilon_zero, rng, detector=self.zero_detector
+        )
+        result = self.dp_algorithm.release_with_partition(hist, rng)
+        return apply_zero_postprocessing(result, zero_mask)
+
+
+class DawaZ(TwoPhaseOsdpRecipe):
+    """Algorithm 3: the recipe instantiated with DAWA (rho = 0.1)."""
+
+    name = "dawaz"
+
+    def __init__(
+        self,
+        epsilon: float,
+        rho: float = 0.1,
+        policy: Policy | None = None,
+        zero_detector: ZeroDetector = "osdp_rr",
+        dawa_split: float = 0.5,
+    ):
+        super().__init__(
+            epsilon,
+            dp_factory=lambda eps: Dawa(eps, split=dawa_split),
+            rho=rho,
+            policy=policy,
+            zero_detector=zero_detector,
+        )

@@ -1,0 +1,185 @@
+"""One-sided Laplace mechanisms for counting queries (Section 5.1).
+
+Under OSDP, a one-sided neighbor replaces a sensitive record with an
+arbitrary one, so counts over the *non-sensitive* records can only grow:
+``x_ns <= x'_ns`` with ``||x'_ns - x_ns||_1 <= 1``.  Strictly negative
+noise therefore suffices:
+
+* :class:`OsdpLaplaceHistogram` — ``x_ns + Lap^-(1/eps)`` (Theorem 5.2),
+  noise variance 1/8 that of the DP Laplace histogram at matched eps;
+* :class:`OsdpLaplaceL1Histogram` — Algorithm 2: clip negatives to zero
+  (exact zero counts stay exactly zero) and de-bias the surviving
+  positive counts by the one-sided noise median ``ln 2 / eps``;
+* :class:`HybridOsdpLaplace` — the Section 6.3.3.1 construction for
+  value-based policies, where bins are purely sensitive or purely
+  non-sensitive: ordinary Laplace noise on the sensitive-only bins and
+  one-sided noise on the rest, composed sequentially.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.guarantees import OSDPGuarantee
+from repro.core.policy import AllSensitivePolicy, Policy
+from repro.distributions.laplace import sample_laplace
+from repro.distributions.one_sided_laplace import OneSidedLaplace
+from repro.mechanisms.base import HistogramMechanism
+from repro.queries.histogram import HISTOGRAM_L1_SENSITIVITY, HistogramInput
+
+
+def _guarantee_for(policy: Policy | None, epsilon: float) -> OSDPGuarantee:
+    return OSDPGuarantee(
+        policy=policy if policy is not None else AllSensitivePolicy(),
+        epsilon=epsilon,
+    )
+
+
+class OsdpLaplaceHistogram(HistogramMechanism):
+    """``x_ns + Lap^-(1/eps)`` per bin — (P, eps)-OSDP (Theorem 5.2).
+
+    ``ns_ratio`` (optional) divides the noisy counts by a known
+    non-sensitive mass fraction — post-processing that de-biases the
+    estimate toward the full histogram under value-independent
+    (opt-in style) policies; see EXPERIMENTS.md.
+    """
+
+    name = "osdp_laplace"
+
+    def __init__(
+        self,
+        epsilon: float,
+        policy: Policy | None = None,
+        ns_ratio: float | None = None,
+    ):
+        super().__init__(epsilon)
+        if ns_ratio is not None and not 0.0 < ns_ratio <= 1.0:
+            raise ValueError("ns_ratio must lie in (0, 1]")
+        self.policy = policy
+        self.ns_ratio = ns_ratio
+        self.noise = OneSidedLaplace(scale=1.0 / epsilon)
+
+    @property
+    def guarantee(self) -> OSDPGuarantee:
+        return _guarantee_for(self.policy, self.epsilon)
+
+    @property
+    def noise_variance(self) -> float:
+        """``1/eps**2`` — 1/8 of the DP Laplace histogram's ``8/eps**2``."""
+        return self.noise.variance
+
+    def release(self, hist: HistogramInput, rng: np.random.Generator) -> np.ndarray:
+        x_ns = np.asarray(hist.x_ns, dtype=float)
+        noisy = x_ns + self.noise.sample(rng, size=x_ns.shape)
+        if self.ns_ratio is not None:
+            noisy = noisy / self.ns_ratio
+        return noisy
+
+
+class OsdpLaplaceL1Histogram(HistogramMechanism):
+    """Algorithm 2 (``OsdpLaplaceL1``): clipped, de-biased one-sided noise.
+
+    Steps: add ``Lap^-(1/eps)``; clip negatives to zero (so true zero
+    counts are released as exact zeros); add back the noise median
+    ``ln 2 / eps`` to the remaining positive counts to remove the
+    one-sided bias.  ``debias=False`` disables step 4 (for the ablation
+    bench).
+    """
+
+    name = "osdp_laplace_l1"
+
+    def __init__(
+        self,
+        epsilon: float,
+        policy: Policy | None = None,
+        debias: bool = True,
+        ns_ratio: float | None = None,
+    ):
+        super().__init__(epsilon)
+        if ns_ratio is not None and not 0.0 < ns_ratio <= 1.0:
+            raise ValueError("ns_ratio must lie in (0, 1]")
+        self.policy = policy
+        self.debias = debias
+        self.ns_ratio = ns_ratio
+        self.noise = OneSidedLaplace(scale=1.0 / epsilon)
+
+    @property
+    def guarantee(self) -> OSDPGuarantee:
+        return _guarantee_for(self.policy, self.epsilon)
+
+    @property
+    def median_correction(self) -> float:
+        """``-median = ln 2 / eps``, added back to positive noisy counts."""
+        return -self.noise.median
+
+    def release(self, hist: HistogramInput, rng: np.random.Generator) -> np.ndarray:
+        x_ns = np.asarray(hist.x_ns, dtype=float)
+        noisy = x_ns + self.noise.sample(rng, size=x_ns.shape)
+        noisy[noisy < 0.0] = 0.0
+        if self.debias:
+            positive = noisy > 0.0
+            noisy[positive] += self.median_correction
+        if self.ns_ratio is not None:
+            noisy = noisy / self.ns_ratio
+        return noisy
+
+
+class HybridOsdpLaplace(HistogramMechanism):
+    """Per-bin hybrid for value-based policies (Section 6.3.3.1).
+
+    Requires ``hist.sensitive_bin_mask``: bins whose records are all
+    sensitive receive ordinary Laplace noise (scale ``2/eps_dp``) on
+    their true counts, all other bins receive the OsdpLaplaceL1 treatment
+    (scale ``1/eps_os``) on their non-sensitive counts.  Sequential
+    composition gives (P, eps_dp + eps_os)-OSDP; ``split`` apportions the
+    total epsilon (default an even split).
+
+    Falls back to plain OsdpLaplaceL1 when no mask is available.
+    """
+
+    name = "osdp_hybrid"
+
+    def __init__(
+        self, epsilon: float, policy: Policy | None = None, split: float = 0.5
+    ):
+        super().__init__(epsilon)
+        if not 0.0 < split < 1.0:
+            raise ValueError("split must lie strictly between 0 and 1")
+        self.policy = policy
+        self.split = split
+        self.epsilon_dp = split * epsilon
+        self.epsilon_os = (1.0 - split) * epsilon
+
+    @property
+    def guarantee(self) -> OSDPGuarantee:
+        return _guarantee_for(self.policy, self.epsilon)
+
+    def release(self, hist: HistogramInput, rng: np.random.Generator) -> np.ndarray:
+        if hist.sensitive_bin_mask is None:
+            fallback = OsdpLaplaceL1Histogram(self.epsilon, policy=self.policy)
+            return fallback.release(hist, rng)
+        mask = np.asarray(hist.sensitive_bin_mask, dtype=bool)
+        x = np.asarray(hist.x, dtype=float)
+
+        estimate = OsdpLaplaceL1Histogram(
+            self.epsilon_os, policy=self.policy
+        ).release(hist, rng)
+
+        n_sensitive = int(mask.sum())
+        if n_sensitive:
+            dp_scale = HISTOGRAM_L1_SENSITIVITY / self.epsilon_dp
+            noisy = x[mask] + sample_laplace(rng, dp_scale, size=n_sensitive)
+            estimate[mask] = np.maximum(noisy, 0.0)
+        return estimate
+
+
+def theorem_5_1_crossover(n_records: int, n_bins: int, epsilon: float) -> bool:
+    """True when Theorem 5.1 predicts OsdpRR loses to the Laplace mechanism.
+
+    The condition ``n * eps > 2 d * e^eps`` (equation 2): suppression
+    error of even a fully-non-sensitive OsdpRR release exceeds the
+    Laplace mechanism's expected L1 error.
+    """
+    return n_records * epsilon > 2.0 * n_bins * math.exp(epsilon)

@@ -1,0 +1,30 @@
+"""Query abstractions: histograms, n-gram counts, and range workloads.
+
+* :mod:`repro.queries.histogram` — histogram (GROUP BY count) queries
+  over databases, the :class:`HistogramInput` bundle every low-dim
+  mechanism consumes, and sensitivity bookkeeping (Section 5);
+* :mod:`repro.queries.ngram` — sparse n-gram counting over trajectory
+  databases with truncation for sensitivity control (Section 6.2);
+* :mod:`repro.queries.workload` — identity/prefix/range workload
+  matrices for the hierarchical estimator extension.
+"""
+
+from repro.queries.histogram import (
+    CategoricalBinning,
+    HistogramInput,
+    HistogramQuery,
+    IntegerBinning,
+    Product2DBinning,
+)
+from repro.queries.ngram import NGramCounter, SparseHistogram, truncate_trajectory_grams
+
+__all__ = [
+    "CategoricalBinning",
+    "HistogramInput",
+    "HistogramQuery",
+    "IntegerBinning",
+    "NGramCounter",
+    "Product2DBinning",
+    "SparseHistogram",
+    "truncate_trajectory_grams",
+]

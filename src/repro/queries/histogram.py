@@ -1,0 +1,199 @@
+"""Histogram (GROUP BY count) queries and the mechanism input bundle.
+
+The paper's histogram query (Section 5) is::
+
+    SELECT group, COUNT(*) FROM table WHERE <condition> GROUP BY <keys>
+
+reporting *all* groups including empty ones.  A binning object maps each
+record to a bin index over a fixed finite domain; :class:`HistogramQuery`
+evaluates the counts.  Under the bounded model the L1-sensitivity of the
+full histogram is 2 (a replacement moves one record between two bins)
+and of a single count is 1.
+
+:class:`HistogramInput` is the common currency of the low-dimensional
+evaluation (Section 6.3.3): the true histogram ``x``, the non-sensitive
+histogram ``x_ns``, and (for value-based policies such as TIPPERS')
+an optional per-bin mask marking bins whose records are all sensitive.
+DP mechanisms read only ``x``; OSDP mechanisms use ``x_ns`` and the mask.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.policy import Policy
+from repro.data.database import Database
+
+HISTOGRAM_L1_SENSITIVITY = 2.0
+SINGLE_COUNT_SENSITIVITY = 1.0
+
+
+class CategoricalBinning:
+    """Bin by the value of a categorical attribute with a fixed domain."""
+
+    def __init__(self, attribute: str, domain: Sequence[object]):
+        if len(set(domain)) != len(domain):
+            raise ValueError("domain values must be distinct")
+        self.attribute = attribute
+        self.domain = tuple(domain)
+        self._index = {value: i for i, value in enumerate(self.domain)}
+
+    @property
+    def n_bins(self) -> int:
+        return len(self.domain)
+
+    def bin_of(self, record: object) -> int:
+        value = record[self.attribute]  # type: ignore[index]
+        try:
+            return self._index[value]
+        except KeyError:
+            raise ValueError(
+                f"value {value!r} of attribute {self.attribute!r} "
+                "is outside the declared domain"
+            ) from None
+
+
+class IntegerBinning:
+    """Bin an integer attribute into equal-width intervals.
+
+    Bin ``i`` covers ``[low + i*width, low + (i+1)*width)``; values must
+    lie in ``[low, high)``.
+    """
+
+    def __init__(self, attribute: str, low: int, high: int, width: int = 1):
+        if high <= low:
+            raise ValueError("high must exceed low")
+        if width <= 0:
+            raise ValueError("width must be positive")
+        self.attribute = attribute
+        self.low = low
+        self.high = high
+        self.width = width
+
+    @property
+    def n_bins(self) -> int:
+        return -(-(self.high - self.low) // self.width)
+
+    def bin_of(self, record: object) -> int:
+        value = record[self.attribute]  # type: ignore[index]
+        if not self.low <= value < self.high:
+            raise ValueError(
+                f"value {value!r} outside [{self.low}, {self.high})"
+            )
+        return (value - self.low) // self.width
+
+
+class Product2DBinning:
+    """Row-major product of two binnings (2-D histograms, e.g. AP x hour)."""
+
+    def __init__(self, first, second):
+        self.first = first
+        self.second = second
+
+    @property
+    def n_bins(self) -> int:
+        return self.first.n_bins * self.second.n_bins
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.first.n_bins, self.second.n_bins)
+
+    def bin_of(self, record: object) -> int:
+        return self.first.bin_of(record) * self.second.n_bins + self.second.bin_of(
+            record
+        )
+
+
+class HistogramQuery:
+    """A histogram query over a database with a fixed binning."""
+
+    def __init__(self, binning):
+        self.binning = binning
+
+    @property
+    def n_bins(self) -> int:
+        return self.binning.n_bins
+
+    @property
+    def sensitivity(self) -> float:
+        """L1-sensitivity of the full histogram under bounded DP."""
+        return HISTOGRAM_L1_SENSITIVITY
+
+    def evaluate(self, db: Database) -> np.ndarray:
+        return db.histogram(self.binning.bin_of, self.n_bins)
+
+
+@dataclass(frozen=True)
+class HistogramInput:
+    """Everything a low-dimensional release mechanism may consume.
+
+    ``x`` — true histogram over all records;
+    ``x_ns`` — histogram over non-sensitive records only (``x_ns <= x``);
+    ``sensitive_bin_mask`` — optional; True for bins whose records are
+    exclusively sensitive under a value-based policy (the TIPPERS case,
+    §6.3.3.1).  When absent, bins may mix sensitive and non-sensitive
+    records (the opt-in/opt-out case).
+    """
+
+    x: np.ndarray
+    x_ns: np.ndarray
+    sensitive_bin_mask: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        x = np.asarray(self.x)
+        x_ns = np.asarray(self.x_ns)
+        if x.shape != x_ns.shape:
+            raise ValueError("x and x_ns must share a shape")
+        if x.ndim != 1:
+            raise ValueError("histograms must be flattened to 1-D")
+        if np.any(x_ns > x):
+            raise ValueError("x_ns must be a sub-histogram of x")
+        if np.any(x < 0):
+            raise ValueError("histogram counts must be non-negative")
+        if self.sensitive_bin_mask is not None:
+            mask = np.asarray(self.sensitive_bin_mask)
+            if mask.shape != x.shape:
+                raise ValueError("mask must match histogram shape")
+
+    @property
+    def n_bins(self) -> int:
+        return len(self.x)
+
+    @property
+    def x_sensitive(self) -> np.ndarray:
+        """Histogram of the sensitive records (``x - x_ns``)."""
+        return self.x - self.x_ns
+
+    @property
+    def non_sensitive_ratio(self) -> float:
+        total = float(self.x.sum())
+        return float(self.x_ns.sum()) / total if total else 0.0
+
+    @classmethod
+    def from_database(
+        cls, db: Database, query: HistogramQuery, policy: Policy
+    ) -> "HistogramInput":
+        """Evaluate the query on the full and non-sensitive databases.
+
+        Also derives the per-bin sensitivity mask: a bin is marked
+        sensitive-only when it holds records but none are non-sensitive
+        (the value-based-policy structure the hybrid mechanism exploits).
+        """
+        x = query.evaluate(db)
+        x_ns = query.evaluate(db.non_sensitive(policy))
+        mask = (x > 0) & (x_ns == 0)
+        return cls(x=x, x_ns=x_ns, sensitive_bin_mask=mask)
+
+    @classmethod
+    def from_arrays(
+        cls, x: np.ndarray, x_ns: np.ndarray
+    ) -> "HistogramInput":
+        return cls(x=np.asarray(x, dtype=float), x_ns=np.asarray(x_ns, dtype=float))
+
+
+def flatten_2d(hist2d: np.ndarray) -> np.ndarray:
+    """Row-major flatten for feeding 2-D histograms to 1-D mechanisms."""
+    return np.asarray(hist2d).reshape(-1)

@@ -1,0 +1,61 @@
+"""Linear query workloads over 1-D histogram domains.
+
+DAWA's second stage is workload-aware; the paper's experiments use the
+histogram (identity) workload, but the estimator extension supports
+range-style workloads, so the standard matrices are provided:
+
+* identity — one query per bin (the histogram itself);
+* prefix — cumulative counts ``x_1 + ... + x_i``;
+* all (or sampled) range queries ``sum(x[i:j])``.
+
+Workloads are dense float matrices ``W`` with one row per query; the
+error of an estimate ``x_hat`` on workload ``W`` is ``||W(x - x_hat)||``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def identity_workload(n: int) -> np.ndarray:
+    """The histogram workload: the n x n identity."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    return np.eye(n)
+
+
+def prefix_workload(n: int) -> np.ndarray:
+    """All prefix-sum queries: lower-triangular ones."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    return np.tril(np.ones((n, n)))
+
+
+def range_workload(n: int, ranges: list[tuple[int, int]]) -> np.ndarray:
+    """Indicator rows for the given half-open ranges ``[lo, hi)``."""
+    rows = np.zeros((len(ranges), n))
+    for row, (lo, hi) in enumerate(ranges):
+        if not 0 <= lo < hi <= n:
+            raise ValueError(f"range ({lo}, {hi}) invalid for domain size {n}")
+        rows[row, lo:hi] = 1.0
+    return rows
+
+
+def random_range_workload(
+    n: int, n_queries: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Uniformly random range queries (for estimator stress tests)."""
+    ranges = []
+    for _ in range(n_queries):
+        lo = int(rng.integers(0, n))
+        hi = int(rng.integers(lo + 1, n + 1))
+        ranges.append((lo, hi))
+    return range_workload(n, ranges)
+
+
+def workload_error(
+    workload: np.ndarray, x: np.ndarray, estimate: np.ndarray
+) -> float:
+    """Mean absolute workload-answer error ``mean |W(x - x_hat)|``."""
+    diff = workload @ (np.asarray(x, dtype=float) - np.asarray(estimate, dtype=float))
+    return float(np.mean(np.abs(diff)))

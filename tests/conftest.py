@@ -1,0 +1,67 @@
+"""Shared fixtures: deterministic RNGs, small policies, toy universes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+# Deterministic property testing: the suite is a reproduction artifact,
+# so example generation must not vary between runs.
+settings.register_profile(
+    "repro",
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+from repro.core.policy import AttributePolicy, LambdaPolicy, OptInPolicy
+from repro.queries.histogram import HistogramInput
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def minor_policy() -> AttributePolicy:
+    """The paper's example: records of minors (age <= 17) are sensitive."""
+    return AttributePolicy("age", lambda a: a <= 17, name="minors")
+
+
+@pytest.fixture
+def opt_in_policy() -> OptInPolicy:
+    return OptInPolicy()
+
+
+@pytest.fixture
+def parity_policy() -> LambdaPolicy:
+    """Integer-record toy policy: odd values are sensitive."""
+    return LambdaPolicy(lambda r: r % 2 == 1, name="odd-sensitive")
+
+
+@pytest.fixture
+def small_universe() -> tuple[int, ...]:
+    """Tiny integer record universe for exhaustive verification."""
+    return (0, 1, 2, 3)
+
+
+@pytest.fixture
+def mixed_records() -> list[dict]:
+    """Six records, half minors (sensitive under minor_policy)."""
+    return [
+        {"age": 15, "opt_in": False},
+        {"age": 16, "opt_in": True},
+        {"age": 17, "opt_in": False},
+        {"age": 25, "opt_in": True},
+        {"age": 40, "opt_in": True},
+        {"age": 70, "opt_in": False},
+    ]
+
+
+@pytest.fixture
+def small_hist() -> HistogramInput:
+    x = np.array([10.0, 0.0, 3.0, 7.0, 0.0, 25.0, 1.0, 4.0])
+    x_ns = np.array([8.0, 0.0, 2.0, 7.0, 0.0, 20.0, 0.0, 3.0])
+    return HistogramInput(x=x, x_ns=x_ns)

@@ -1,0 +1,86 @@
+"""Tests for the privacy budget accountant."""
+
+import pytest
+
+from repro.core.accountant import BudgetExceededError, PrivacyAccountant
+from repro.core.policy import AllSensitivePolicy, LambdaPolicy
+
+ODD = LambdaPolicy(lambda r: r % 2 == 1, name="odd")
+
+
+class TestBudget:
+    def test_rejects_non_positive_budget(self):
+        with pytest.raises(ValueError):
+            PrivacyAccountant(total_epsilon=0.0)
+
+    def test_spend_and_remaining(self):
+        acct = PrivacyAccountant(total_epsilon=1.0)
+        acct.charge(ODD, 0.4, label="first")
+        assert acct.spent == pytest.approx(0.4)
+        assert acct.remaining == pytest.approx(0.6)
+
+    def test_exact_budget_allowed_despite_float_error(self):
+        acct = PrivacyAccountant(total_epsilon=1.0)
+        acct.charge(ODD, 0.1)
+        acct.charge(ODD, 0.9)  # 0.1 + 0.9 is not exactly 1.0 in floats
+        assert acct.remaining == pytest.approx(0.0, abs=1e-9)
+
+    def test_over_budget_raises_and_keeps_ledger(self):
+        acct = PrivacyAccountant(total_epsilon=0.5)
+        acct.charge(ODD, 0.5)
+        with pytest.raises(BudgetExceededError):
+            acct.charge(ODD, 0.1)
+        assert len(acct.ledger) == 1
+
+    def test_non_positive_charge_rejected(self):
+        acct = PrivacyAccountant(total_epsilon=1.0)
+        with pytest.raises(ValueError):
+            acct.charge(ODD, 0.0)
+
+
+class TestComposedGuarantee:
+    def test_composed_epsilon_sums(self):
+        acct = PrivacyAccountant(total_epsilon=2.0)
+        acct.charge(ODD, 0.5, label="a")
+        acct.charge(AllSensitivePolicy(), 0.7, label="b")
+        composed = acct.composed_guarantee()
+        assert composed.epsilon == pytest.approx(1.2)
+
+    def test_composed_policy_is_minimum_relaxation(self):
+        acct = PrivacyAccountant(total_epsilon=2.0)
+        acct.charge(ODD, 0.5)
+        acct.charge(AllSensitivePolicy(), 0.5)
+        composed = acct.composed_guarantee()
+        # minimum relaxation of (odd, all): sensitive only where odd.
+        assert composed.policy(3) == 0
+        assert composed.policy(2) == 1
+
+    def test_composed_without_charges_raises(self):
+        with pytest.raises(ValueError):
+            PrivacyAccountant(total_epsilon=1.0).composed_guarantee()
+
+    def test_summary_mentions_labels(self):
+        acct = PrivacyAccountant(total_epsilon=1.0)
+        acct.charge(ODD, 0.25, label="zero-detection")
+        text = acct.summary()
+        assert "zero-detection" in text
+        assert "0.25" in text
+
+
+class TestMechanismCharging:
+    def test_mechanism_charge_helper(self, small_hist, rng):
+        from repro.mechanisms.laplace import LaplaceHistogram
+        from repro.mechanisms.osdp_laplace import OsdpLaplaceL1Histogram
+
+        acct = PrivacyAccountant(total_epsilon=1.0)
+        dp_mech = LaplaceHistogram(0.3)
+        dp_mech.charge(acct, label="dp part")
+        osdp_mech = OsdpLaplaceL1Histogram(0.7, policy=ODD)
+        osdp_mech.charge(acct, label="osdp part")
+        assert acct.remaining == pytest.approx(0.0, abs=1e-9)
+        assert acct.composed_guarantee().epsilon == pytest.approx(1.0)
+
+    def test_charge_none_accountant_is_noop(self):
+        from repro.mechanisms.laplace import LaplaceHistogram
+
+        LaplaceHistogram(0.3).charge(None)  # must not raise

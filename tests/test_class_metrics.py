@@ -1,0 +1,107 @@
+"""Tests for ROC/AUC and cross-validation utilities."""
+
+import numpy as np
+import pytest
+
+from repro.classification.logistic import LogisticRegression
+from repro.classification.metrics import (
+    cross_validated_auc,
+    roc_auc,
+    roc_curve,
+    stratified_kfold,
+)
+
+
+class TestRocAuc:
+    def test_perfect_ranking(self):
+        assert roc_auc([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == 1.0
+
+    def test_reversed_ranking(self):
+        assert roc_auc([0, 0, 1, 1], [0.9, 0.8, 0.2, 0.1]) == 0.0
+
+    def test_ties_give_half_credit(self):
+        assert roc_auc([0, 1], [0.5, 0.5]) == pytest.approx(0.5)
+
+    def test_random_scores_near_half(self, rng):
+        y = (rng.random(5000) < 0.5).astype(int)
+        scores = rng.random(5000)
+        assert roc_auc(y, scores) == pytest.approx(0.5, abs=0.03)
+
+    def test_requires_both_classes(self):
+        with pytest.raises(ValueError):
+            roc_auc([1, 1], [0.5, 0.6])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            roc_auc([0, 1], [0.5])
+
+    def test_invariant_to_monotone_transform(self, rng):
+        y = (rng.random(200) < 0.4).astype(int)
+        scores = rng.normal(size=200)
+        assert roc_auc(y, scores) == pytest.approx(
+            roc_auc(y, np.exp(scores)), abs=1e-12
+        )
+
+
+class TestRocCurve:
+    def test_endpoints(self):
+        fpr, tpr, _ = roc_curve([0, 1, 0, 1], [0.1, 0.9, 0.3, 0.7])
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == 1.0 and tpr[-1] == 1.0
+
+    def test_monotone(self):
+        rng = np.random.default_rng(0)
+        y = (rng.random(100) < 0.5).astype(int)
+        scores = rng.random(100)
+        fpr, tpr, _ = roc_curve(y, scores)
+        assert np.all(np.diff(fpr) >= 0)
+        assert np.all(np.diff(tpr) >= 0)
+
+    def test_auc_matches_trapezoid(self, rng):
+        y = (rng.random(500) < 0.3).astype(int)
+        scores = rng.normal(size=500) + y
+        fpr, tpr, _ = roc_curve(y, scores)
+        trap = np.trapezoid(tpr, fpr)
+        assert roc_auc(y, scores) == pytest.approx(trap, abs=1e-9)
+
+
+class TestStratifiedKFold:
+    def test_partition_covers_everything(self, rng):
+        y = (rng.random(103) < 0.3).astype(int)
+        seen = []
+        for _train, test in stratified_kfold(y, 5, rng):
+            seen.extend(test.tolist())
+        assert sorted(seen) == list(range(103))
+
+    def test_train_test_disjoint(self, rng):
+        y = (rng.random(60) < 0.5).astype(int)
+        for train, test in stratified_kfold(y, 4, rng):
+            assert not set(train) & set(test)
+
+    def test_class_balance_preserved(self, rng):
+        y = np.array([1] * 30 + [0] * 70)
+        for _train, test in stratified_kfold(y, 5, rng):
+            ratio = np.mean(y[test])
+            assert ratio == pytest.approx(0.3, abs=0.1)
+
+    def test_k_validation(self, rng):
+        with pytest.raises(ValueError):
+            list(stratified_kfold(np.array([0, 1]), 1, rng))
+
+
+class TestCrossValidatedAuc:
+    def test_separable_data_high_auc(self, rng):
+        X = rng.normal(size=(300, 3))
+        y = (X[:, 0] > 0).astype(int)
+        auc = cross_validated_auc(
+            lambda: LogisticRegression(lam=1e-4), X, y, k=5, rng=rng
+        )
+        assert auc > 0.95
+
+    def test_noise_data_auc_half(self, rng):
+        X = rng.normal(size=(400, 3))
+        y = (rng.random(400) < 0.5).astype(int)
+        auc = cross_validated_auc(
+            lambda: LogisticRegression(), X, y, k=5, rng=rng
+        )
+        assert auc == pytest.approx(0.5, abs=0.12)

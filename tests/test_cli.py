@@ -1,0 +1,96 @@
+"""Tests for the experiment CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table1_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.epsilon == [1.0, 0.5, 0.1]
+
+    def test_ngrams_n_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ngrams", "--n", "9"])
+
+    def test_dpbench_args(self):
+        args = build_parser().parse_args(
+            ["dpbench", "--datasets", "adult", "--ratios", "0.5", "--trials", "1"]
+        )
+        assert args.datasets == ["adult"]
+        assert args.ratios == [0.5]
+
+
+class TestExecution:
+    def test_table1_runs_and_prints(self, capsys):
+        assert main(["table1", "--records", "2000", "--epsilon", "1.0"]) == 0
+        out = capsys.readouterr().out
+        assert "analytic %" in out
+        assert "63" in out
+
+    def test_table1_writes_json(self, tmp_path, capsys):
+        out_file = tmp_path / "t1.json"
+        main(
+            [
+                "table1",
+                "--records",
+                "2000",
+                "--epsilon",
+                "1.0",
+                "--output",
+                str(out_file),
+            ]
+        )
+        data = json.loads(out_file.read_text())
+        assert "analytic" in data and "measured" in data
+
+    def test_dpbench_small_run(self, capsys):
+        code = main(
+            [
+                "dpbench",
+                "--datasets", "adult",
+                "--ratios", "0.99",
+                "--trials", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "average MRE-regret" in out
+        assert "dawaz" in out
+
+    def test_ngrams_small_run(self, capsys):
+        code = main(
+            [
+                "ngrams",
+                "--users", "80",
+                "--days", "15",
+                "--n", "4",
+                "--policies", "99",
+                "--epsilon", "1.0",
+                "--trials", "1",
+            ]
+        )
+        assert code == 0
+        assert "MRE at epsilon = 1.0" in capsys.readouterr().out
+
+    def test_tippers_hist_small_run(self, capsys):
+        code = main(
+            [
+                "tippers-hist",
+                "--users", "80",
+                "--days", "15",
+                "--policies", "99",
+                "--epsilon", "1.0",
+                "--trials", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rel95" in out

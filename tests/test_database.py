@@ -1,0 +1,66 @@
+"""Tests for the Database abstraction."""
+
+import numpy as np
+import pytest
+
+from repro.data.database import Database
+
+
+class TestBasics:
+    def test_len_and_iter(self, mixed_records):
+        db = Database(mixed_records)
+        assert len(db) == 6
+        assert list(db) == mixed_records
+
+    def test_indexing(self, mixed_records):
+        db = Database(mixed_records)
+        assert db[0] == mixed_records[0]
+
+    def test_immutability_of_records_tuple(self, mixed_records):
+        db = Database(mixed_records)
+        assert isinstance(db.records, tuple)
+
+    def test_filter(self, mixed_records):
+        db = Database(mixed_records)
+        adults = db.filter(lambda r: r["age"] >= 18)
+        assert len(adults) == 3
+
+
+class TestPolicyViews:
+    def test_non_sensitive_view(self, minor_policy, mixed_records):
+        db = Database(mixed_records)
+        ns = db.non_sensitive(minor_policy)
+        assert len(ns) == 3
+        assert all(r["age"] >= 18 for r in ns)
+
+    def test_sensitive_view(self, minor_policy, mixed_records):
+        db = Database(mixed_records)
+        sens = db.sensitive(minor_policy)
+        assert len(sens) == 3
+
+    def test_partition_sizes(self, minor_policy, mixed_records):
+        db = Database(mixed_records)
+        sens, ns = db.partition(minor_policy)
+        assert len(sens) + len(ns) == len(db)
+
+
+class TestHistogram:
+    def test_counts(self):
+        db = Database([{"v": 0}, {"v": 1}, {"v": 1}, {"v": 3}])
+        hist = db.histogram(lambda r: r["v"], n_bins=4)
+        assert np.array_equal(hist, [1, 2, 0, 1])
+
+    def test_zero_bins_reported(self):
+        db = Database([{"v": 0}])
+        hist = db.histogram(lambda r: r["v"], n_bins=5)
+        assert hist.sum() == 1
+        assert len(hist) == 5
+
+    def test_out_of_range_rejected(self):
+        db = Database([{"v": 9}])
+        with pytest.raises(ValueError):
+            db.histogram(lambda r: r["v"], n_bins=4)
+
+    def test_empty_database(self):
+        hist = Database([]).histogram(lambda r: 0, n_bins=3)
+        assert np.array_equal(hist, [0, 0, 0])

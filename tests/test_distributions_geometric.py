@@ -1,0 +1,73 @@
+"""Unit tests for the discrete geometric noise distributions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions.geometric import OneSidedGeometric, TwoSidedGeometric
+
+
+class TestTwoSided:
+    def test_rejects_bad_alpha(self):
+        for alpha in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ValueError):
+                TwoSidedGeometric(alpha=alpha)
+
+    def test_from_epsilon(self):
+        dist = TwoSidedGeometric.from_epsilon(1.0, sensitivity=2.0)
+        assert dist.alpha == pytest.approx(math.exp(-0.5))
+
+    def test_pmf_sums_to_one(self):
+        dist = TwoSidedGeometric(alpha=0.6)
+        ks = np.arange(-200, 201)
+        assert dist.pmf(ks).sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_pmf_symmetric(self):
+        dist = TwoSidedGeometric(alpha=0.4)
+        assert dist.pmf(5) == pytest.approx(dist.pmf(-5))
+
+    def test_privacy_ratio(self):
+        """pmf(k)/pmf(k+1) <= 1/alpha = e^eps at sensitivity 1."""
+        epsilon = 0.8
+        dist = TwoSidedGeometric.from_epsilon(epsilon)
+        for k in range(-10, 10):
+            ratio = dist.pmf(k) / dist.pmf(k + 1)
+            assert ratio <= math.exp(epsilon) + 1e-12
+
+    def test_sample_integer_and_variance(self, rng):
+        dist = TwoSidedGeometric(alpha=0.5)
+        samples = dist.sample(rng, size=200_000)
+        assert samples.dtype.kind == "i"
+        assert np.var(samples) == pytest.approx(dist.variance, rel=0.05)
+
+    def test_scalar_sample(self, rng):
+        assert isinstance(TwoSidedGeometric(alpha=0.5).sample(rng), int)
+
+
+class TestOneSided:
+    def test_no_mass_on_positive(self):
+        dist = OneSidedGeometric(alpha=0.5)
+        assert dist.pmf(1) == 0.0
+        assert dist.pmf(7) == 0.0
+
+    def test_pmf_sums_to_one(self):
+        dist = OneSidedGeometric(alpha=0.7)
+        ks = np.arange(-400, 1)
+        assert dist.pmf(ks).sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_samples_non_positive_integers(self, rng):
+        samples = OneSidedGeometric(alpha=0.6).sample(rng, size=5_000)
+        assert np.all(samples <= 0)
+
+    def test_moments(self, rng):
+        dist = OneSidedGeometric(alpha=0.5)
+        samples = dist.sample(rng, size=200_000)
+        assert np.mean(samples) == pytest.approx(dist.mean, abs=0.02)
+        assert np.var(samples) == pytest.approx(dist.variance, rel=0.05)
+
+    def test_from_epsilon_ratio(self):
+        epsilon = 1.2
+        dist = OneSidedGeometric.from_epsilon(epsilon)
+        # Shifting the true count up by one scales the pmf by e^eps.
+        assert dist.pmf(-3) / dist.pmf(-4) == pytest.approx(math.exp(epsilon))

@@ -1,0 +1,104 @@
+"""Unit tests for the (two-sided) Laplace distribution."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions.laplace import LaplaceDistribution, sample_laplace
+
+
+class TestValidation:
+    def test_rejects_zero_scale(self):
+        with pytest.raises(ValueError):
+            LaplaceDistribution(scale=0.0)
+
+    def test_rejects_negative_scale(self):
+        with pytest.raises(ValueError):
+            LaplaceDistribution(scale=-1.0)
+
+    def test_ppf_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            LaplaceDistribution(scale=1.0).ppf(1.5)
+
+
+class TestDensity:
+    def test_pdf_peak_at_location(self):
+        dist = LaplaceDistribution(scale=2.0, loc=3.0)
+        assert dist.pdf(3.0) == pytest.approx(1.0 / 4.0)
+
+    def test_pdf_symmetric(self):
+        dist = LaplaceDistribution(scale=1.5)
+        assert dist.pdf(2.0) == pytest.approx(dist.pdf(-2.0))
+
+    def test_pdf_integrates_to_one(self):
+        dist = LaplaceDistribution(scale=0.7)
+        grid = np.linspace(-30, 30, 200_001)
+        integral = np.trapezoid(dist.pdf(grid), grid)
+        assert integral == pytest.approx(1.0, abs=1e-6)
+
+    def test_log_pdf_consistent_with_pdf(self):
+        dist = LaplaceDistribution(scale=0.5, loc=-1.0)
+        xs = np.array([-3.0, -1.0, 0.0, 2.0])
+        assert np.allclose(dist.log_pdf(xs), np.log(dist.pdf(xs)))
+
+    def test_privacy_ratio_bound(self):
+        """Densities at points 1 apart differ by at most e^(1/scale)."""
+        scale = 2.0
+        dist = LaplaceDistribution(scale=scale)
+        for x in np.linspace(-5, 5, 101):
+            ratio = dist.pdf(x) / dist.pdf(x + 1.0)
+            assert ratio <= math.exp(1.0 / scale) * (1 + 1e-12)
+
+
+class TestCdfPpf:
+    def test_cdf_at_location_is_half(self):
+        assert LaplaceDistribution(scale=3.0, loc=1.0).cdf(1.0) == pytest.approx(0.5)
+
+    def test_cdf_monotone(self):
+        dist = LaplaceDistribution(scale=1.0)
+        grid = np.linspace(-10, 10, 101)
+        values = dist.cdf(grid)
+        assert np.all(np.diff(values) >= 0)
+
+    @given(st.floats(min_value=0.01, max_value=0.99))
+    @settings(max_examples=50)
+    def test_ppf_inverts_cdf(self, q):
+        dist = LaplaceDistribution(scale=1.7, loc=0.3)
+        assert dist.cdf(dist.ppf(q)) == pytest.approx(q, abs=1e-9)
+
+
+class TestMoments:
+    def test_variance_formula(self):
+        assert LaplaceDistribution(scale=3.0).variance == pytest.approx(18.0)
+
+    def test_expected_abs_equals_scale(self):
+        assert LaplaceDistribution(scale=2.5).expected_abs == pytest.approx(2.5)
+
+    def test_sample_moments(self, rng):
+        dist = LaplaceDistribution(scale=2.0)
+        samples = dist.sample(rng, size=200_000)
+        assert np.mean(samples) == pytest.approx(0.0, abs=0.05)
+        assert np.var(samples) == pytest.approx(8.0, rel=0.05)
+        assert np.mean(np.abs(samples)) == pytest.approx(2.0, rel=0.03)
+
+
+class TestSampling:
+    def test_scalar_sample(self, rng):
+        value = LaplaceDistribution(scale=1.0).sample(rng)
+        assert isinstance(value, float)
+
+    def test_shaped_sample(self, rng):
+        out = LaplaceDistribution(scale=1.0).sample(rng, size=(3, 4))
+        assert out.shape == (3, 4)
+
+    def test_helper_matches_distribution(self, rng):
+        out = sample_laplace(rng, 0.5, size=10)
+        assert out.shape == (10,)
+
+    def test_deterministic_given_seed(self):
+        a = sample_laplace(np.random.default_rng(7), 1.0, size=5)
+        b = sample_laplace(np.random.default_rng(7), 1.0, size=5)
+        assert np.array_equal(a, b)

@@ -1,0 +1,97 @@
+"""Tests for the DPBench-1D synthetic dataset generators (Table 2)."""
+
+import numpy as np
+import pytest
+
+from repro.data.dpbench import (
+    DOMAIN_SIZE,
+    DPBENCH_SPECS,
+    generate_dpbench,
+    load_all,
+    measured_sparsity,
+)
+
+
+class TestSpecs:
+    def test_seven_datasets(self):
+        assert len(DPBENCH_SPECS) == 7
+
+    def test_table_2_scales(self):
+        assert DPBENCH_SPECS["adult"].scale == 17_665
+        assert DPBENCH_SPECS["income"].scale == 20_787_122
+        assert DPBENCH_SPECS["patent"].scale == 27_948_226
+
+    def test_table_2_sparsities(self):
+        assert DPBENCH_SPECS["adult"].sparsity == 0.98
+        assert DPBENCH_SPECS["patent"].sparsity == 0.06
+
+    def test_support_size(self):
+        assert DPBENCH_SPECS["adult"].support_size == round(0.02 * DOMAIN_SIZE)
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("name", sorted(DPBENCH_SPECS))
+    def test_scale_exact(self, name):
+        x = generate_dpbench(name, seed=0)
+        assert int(x.sum()) == DPBENCH_SPECS[name].scale
+
+    @pytest.mark.parametrize("name", sorted(DPBENCH_SPECS))
+    def test_sparsity_near_target(self, name):
+        x = generate_dpbench(name, seed=0)
+        target = DPBENCH_SPECS[name].sparsity
+        assert measured_sparsity(x) == pytest.approx(target, abs=0.05)
+
+    @pytest.mark.parametrize("name", sorted(DPBENCH_SPECS))
+    def test_domain_size_and_non_negative(self, name):
+        x = generate_dpbench(name, seed=3)
+        assert x.shape == (DOMAIN_SIZE,)
+        assert np.all(x >= 0)
+
+    def test_deterministic_in_seed(self):
+        a = generate_dpbench("adult", seed=5)
+        b = generate_dpbench("adult", seed=5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = generate_dpbench("adult", seed=1)
+        b = generate_dpbench("adult", seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_nettrace_sorted_descending(self):
+        """§6.3.3.2: Nettrace is a sorted histogram (favoring DAWA)."""
+        x = generate_dpbench("nettrace", seed=0)
+        assert np.all(np.diff(x) <= 0)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            generate_dpbench("mystery")
+
+    def test_case_insensitive(self):
+        assert np.array_equal(
+            generate_dpbench("Adult", seed=0), generate_dpbench("adult", seed=0)
+        )
+
+    def test_load_all(self):
+        datasets = load_all(seed=0)
+        assert set(datasets) == set(DPBENCH_SPECS)
+
+
+class TestShapeFamilies:
+    def test_adult_is_clustered(self):
+        """Non-zero bins concentrate: the max gap between support points
+        is large relative to a uniform spread."""
+        x = generate_dpbench("adult", seed=0)
+        support = np.flatnonzero(x)
+        gaps = np.diff(support)
+        assert gaps.max() > 10 * np.median(gaps)
+
+    def test_patent_dense(self):
+        x = generate_dpbench("patent", seed=0)
+        assert measured_sparsity(x) < 0.15
+
+    def test_heavy_tail_income(self):
+        x = generate_dpbench("income", seed=0)
+        nonzero = x[x > 0]
+        # Top 1% of bins hold a disproportionate share of the mass.
+        top = np.sort(nonzero)[-len(nonzero) // 100 :]
+        assert top.sum() > 0.1 * nonzero.sum()

@@ -1,0 +1,119 @@
+"""Empirical privacy checks: sampled frequency-ratio audits.
+
+The exact verifier covers finite mechanisms; these tests audit the
+*sampling-based* mechanisms statistically, estimating output frequencies
+on neighboring inputs and checking the e^eps bound with slack for Monte
+Carlo error.  They catch calibration bugs (wrong sensitivity, wrong
+scale) that unit tests on formulas would miss.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.policy import LambdaPolicy
+from repro.distributions.geometric import OneSidedGeometric, TwoSidedGeometric
+from repro.mechanisms.osdp_laplace import OsdpLaplaceHistogram
+from repro.mechanisms.osdp_rr import OsdpRR
+from repro.queries.histogram import HistogramInput
+
+ODD = LambdaPolicy(lambda r: r % 2 == 1, name="odd")
+N_SAMPLES = 60_000
+
+
+def empirical_ratio_bound(samples_a, samples_b, bins) -> float:
+    """Max frequency ratio over bins where both sides have mass."""
+    hist_a, _ = np.histogram(samples_a, bins=bins)
+    hist_b, _ = np.histogram(samples_b, bins=bins)
+    mask = (hist_a > 50) & (hist_b > 50)  # Monte Carlo floor
+    return float(np.max(hist_a[mask] / hist_b[mask]))
+
+
+class TestOsdpLaplaceFrequencyRatio:
+    @pytest.mark.parametrize("epsilon", [0.5, 1.0])
+    def test_neighboring_counts_within_bound(self, epsilon, rng):
+        """x_ns = 5 vs x'_ns = 6 (one-sided neighbor): frequency ratio of
+        the noisy outputs is bounded by e^eps wherever both have mass."""
+        mech = OsdpLaplaceHistogram(epsilon)
+        hist_a = HistogramInput(x=np.array([5.0]), x_ns=np.array([5.0]))
+        hist_b = HistogramInput(x=np.array([6.0]), x_ns=np.array([6.0]))
+        samples_a = np.concatenate(
+            [mech.release(hist_a, rng) for _ in range(N_SAMPLES // 10)]
+        )
+        samples_b = np.concatenate(
+            [mech.release(hist_b, rng) for _ in range(N_SAMPLES // 10)]
+        )
+        bins = np.linspace(-5, 6, 30)
+        ratio = empirical_ratio_bound(samples_a, samples_b, bins)
+        assert ratio <= math.exp(epsilon) * 1.35  # MC slack
+
+
+class TestOsdpRRFrequencyRatio:
+    def test_suppression_probability_ratio(self, rng):
+        """Case 2.2 of Theorem 4.1's proof, measured: Pr[suppress |
+        sensitive] / Pr[suppress | non-sensitive] ~ e^eps."""
+        epsilon = 1.0
+        mech = OsdpRR(ODD, epsilon)
+        suppressed_sensitive = 0
+        suppressed_non_sensitive = 0
+        trials = 40_000
+        for _ in range(trials):
+            if not mech.sample([1], rng):  # sensitive record
+                suppressed_sensitive += 1
+            if not mech.sample([2], rng):  # non-sensitive record
+                suppressed_non_sensitive += 1
+        ratio = (suppressed_sensitive / trials) / (
+            suppressed_non_sensitive / trials
+        )
+        assert ratio == pytest.approx(math.exp(epsilon), rel=0.05)
+
+
+class TestGeometricFrequencyRatio:
+    def test_two_sided_geometric_dp_ratio(self, rng):
+        """Counts 10 vs 11 with TwoSidedGeometric noise: pointwise
+        frequency ratio bounded by e^eps."""
+        epsilon = 1.0
+        noise = TwoSidedGeometric.from_epsilon(epsilon)
+        out_a = 10 + noise.sample(rng, size=N_SAMPLES)
+        out_b = 11 + noise.sample(rng, size=N_SAMPLES)
+        values, counts_a = np.unique(out_a, return_counts=True)
+        freq_a = dict(zip(values.tolist(), counts_a.tolist()))
+        values, counts_b = np.unique(out_b, return_counts=True)
+        freq_b = dict(zip(values.tolist(), counts_b.tolist()))
+        for value in set(freq_a) & set(freq_b):
+            if freq_a[value] > 200 and freq_b[value] > 200:
+                ratio = freq_a[value] / freq_b[value]
+                assert ratio <= math.exp(epsilon) * 1.25
+
+    def test_one_sided_geometric_never_overshoots(self, rng):
+        noise = OneSidedGeometric.from_epsilon(1.0)
+        outs = 10 + noise.sample(rng, size=5_000)
+        assert np.max(outs) <= 10
+
+
+class TestCalibrationRegressions:
+    """Wrong-scale bugs show up as violated or vacuous bounds."""
+
+    def test_osdp_laplace_scale_is_inverse_epsilon(self, rng):
+        mech = OsdpLaplaceHistogram(epsilon=2.0)
+        hist = HistogramInput(x=np.zeros(50_000), x_ns=np.zeros(50_000))
+        noise = mech.release(hist, rng)
+        assert np.mean(np.abs(noise)) == pytest.approx(0.5, rel=0.05)
+
+    def test_laplace_histogram_scale_is_two_over_epsilon(self, rng):
+        from repro.mechanisms.laplace import LaplaceHistogram
+
+        mech = LaplaceHistogram(epsilon=2.0)
+        hist = HistogramInput(x=np.zeros(50_000), x_ns=np.zeros(50_000))
+        noise = mech.release(hist, rng)
+        assert np.mean(np.abs(noise)) == pytest.approx(1.0, rel=0.05)
+
+    def test_suppress_scale_is_two_over_tau(self, rng):
+        from repro.mechanisms.suppress import SuppressHistogram
+
+        mech = SuppressHistogram(tau=4.0)
+        hist = HistogramInput(x=np.zeros(50_000), x_ns=np.zeros(50_000))
+        out = mech.release(hist, rng)  # clipped at 0
+        # E[max(Lap(1/2), 0)] = scale / 2 = 1/4.
+        assert np.mean(out) == pytest.approx(0.25, rel=0.05)

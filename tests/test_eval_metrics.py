@@ -1,0 +1,108 @@
+"""Tests for the evaluation metrics (MRE, Rel percentiles, regret)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation.metrics import (
+    l1_error,
+    l2_error,
+    mean_relative_error,
+    per_bin_relative_error,
+    regret,
+    regret_table,
+    rel_percentile,
+)
+
+
+class TestPerBinRelativeError:
+    def test_delta_floor_on_zero_bins(self):
+        x = np.array([0.0, 10.0])
+        est = np.array([2.0, 5.0])
+        rel = per_bin_relative_error(x, est, delta=1.0)
+        assert rel[0] == pytest.approx(2.0)
+        assert rel[1] == pytest.approx(0.5)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            per_bin_relative_error(np.zeros(2), np.zeros(3))
+
+
+class TestMre:
+    def test_exact_estimate(self):
+        x = np.array([3.0, 4.0])
+        assert mean_relative_error(x, x) == 0.0
+
+    def test_known_value(self):
+        x = np.array([10.0, 0.0])
+        est = np.array([5.0, 3.0])
+        assert mean_relative_error(x, est) == pytest.approx((0.5 + 3.0) / 2)
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=30)
+    def test_non_negative(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.poisson(5, size=16).astype(float)
+        est = x + rng.normal(size=16)
+        assert mean_relative_error(x, est) >= 0.0
+
+
+class TestRelPercentile:
+    def test_median_and_tail(self):
+        x = np.ones(100)
+        est = x.copy()
+        est[:6] += 10.0  # 6% of bins badly wrong
+        assert rel_percentile(x, est, 50) == 0.0
+        assert rel_percentile(x, est, 95) == pytest.approx(10.0, abs=0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rel_percentile(np.ones(2), np.ones(2), 101)
+
+
+class TestNormErrors:
+    def test_l1(self):
+        assert l1_error(np.array([1.0, 2.0]), np.array([0.0, 4.0])) == 3.0
+
+    def test_l2(self):
+        assert l2_error(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == 5.0
+
+
+class TestRegret:
+    def test_optimal_algorithm_has_regret_one(self):
+        assert regret(2.0, 2.0) == 1.0
+
+    def test_ratio(self):
+        assert regret(6.0, 2.0) == 3.0
+
+    def test_zero_optimum(self):
+        assert regret(0.0, 0.0) == 1.0
+        assert regret(1.0, 0.0) == float("inf")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            regret(-1.0, 1.0)
+
+    def test_regret_table(self):
+        table = regret_table({"a": 2.0, "b": 4.0, "c": 10.0})
+        assert table["a"] == 1.0
+        assert table["b"] == 2.0
+        assert table["c"] == 5.0
+
+    def test_regret_table_empty_rejected(self):
+        with pytest.raises(ValueError):
+            regret_table({})
+
+    @given(
+        st.dictionaries(
+            st.sampled_from(["a", "b", "c", "d"]),
+            st.floats(min_value=0.001, max_value=1e6),
+            min_size=1,
+        )
+    )
+    @settings(max_examples=40)
+    def test_regret_always_at_least_one(self, errors):
+        table = regret_table(errors)
+        assert all(v >= 1.0 - 1e-12 for v in table.values())
+        assert min(table.values()) == pytest.approx(1.0)

@@ -1,0 +1,141 @@
+"""Tests for the exclusion-attack framework (Definition 3.4, Thms 3.1/3.4)."""
+
+import math
+
+import pytest
+
+from repro.core.exclusion import (
+    ProductPrior,
+    non_truman_mechanism,
+    posterior_odds_ratio,
+    reveal_non_sensitive_mechanism,
+    worst_case_odds_inflation,
+)
+from repro.core.policy import LambdaPolicy
+from repro.mechanisms.osdp_rr import OsdpRR
+
+# The smoker's-lounge scenario: location "lounge" is sensitive.
+LOUNGE_POLICY = LambdaPolicy(lambda r: r == "lounge", name="lounge-sensitive")
+LOCATIONS = ("lounge", "office", "lobby")
+
+
+class TestProductPrior:
+    def test_uniform_prior(self):
+        prior = ProductPrior.uniform(LOCATIONS, n_records=2)
+        assert prior.n_records == 2
+        assert prior.database_probability(("lounge", "office")) == pytest.approx(
+            1.0 / 9.0
+        )
+
+    def test_invalid_marginal_rejected(self):
+        with pytest.raises(ValueError):
+            ProductPrior(marginals=({"a": 0.4},))
+
+    def test_support_excludes_zero_mass(self):
+        prior = ProductPrior(marginals=({"a": 1.0, "b": 0.0},))
+        assert prior.support(0) == ["a"]
+
+    def test_databases_enumeration(self):
+        prior = ProductPrior.uniform(("x", "y"), n_records=2)
+        assert len(list(prior.databases())) == 4
+
+
+class TestExclusionAttackOnAccessControl:
+    """The paper's motivating example: Truman/non-Truman leak Bob's location."""
+
+    def test_truman_model_unbounded_inflation(self):
+        prior = ProductPrior.uniform(LOCATIONS, n_records=1)
+        mech = reveal_non_sensitive_mechanism(LOUNGE_POLICY)
+        result = worst_case_odds_inflation(mech, prior, LOUNGE_POLICY)
+        assert not result.bounded
+        assert result.witness_x == "lounge"
+
+    def test_non_truman_model_unbounded_inflation(self):
+        prior = ProductPrior.uniform(LOCATIONS, n_records=1)
+        mech = non_truman_mechanism(LOUNGE_POLICY)
+        result = worst_case_odds_inflation(mech, prior, LOUNGE_POLICY)
+        assert not result.bounded
+
+    def test_rejection_output_identifies_bob(self):
+        """Observing REJECT makes lounge certain vs office: infinite odds."""
+        prior = ProductPrior.uniform(LOCATIONS, n_records=1)
+        mech = non_truman_mechanism(LOUNGE_POLICY)
+        ratio = posterior_odds_ratio(
+            mech, prior, "REJECT", target_index=0, x="lounge", y="office"
+        )
+        assert ratio == math.inf
+
+
+class TestTheorem31OsdpIsFree:
+    """OSDP mechanisms have inflation <= e^eps under product priors."""
+
+    @pytest.mark.parametrize("epsilon", [0.2, 1.0, 2.0])
+    def test_osdp_rr_bounded_by_exp_epsilon(self, epsilon):
+        prior = ProductPrior.uniform(LOCATIONS, n_records=1)
+        mech = OsdpRR(LOUNGE_POLICY, epsilon)
+        result = worst_case_odds_inflation(
+            mech.output_distribution, prior, LOUNGE_POLICY
+        )
+        assert result.bounded
+        assert result.max_inflation <= math.exp(epsilon) * (1 + 1e-9)
+
+    def test_osdp_rr_bound_with_two_records(self):
+        epsilon = 1.0
+        prior = ProductPrior.uniform(LOCATIONS, n_records=2)
+        mech = OsdpRR(LOUNGE_POLICY, epsilon)
+        result = worst_case_odds_inflation(
+            mech.output_distribution, prior, LOUNGE_POLICY, target_index=1
+        )
+        assert result.bounded
+        assert result.phi <= epsilon + 1e-9
+
+    def test_non_uniform_prior_still_bounded(self):
+        epsilon = 0.7
+        prior = ProductPrior(
+            marginals=({"lounge": 0.1, "office": 0.5, "lobby": 0.4},)
+        )
+        mech = OsdpRR(LOUNGE_POLICY, epsilon)
+        result = worst_case_odds_inflation(
+            mech.output_distribution, prior, LOUNGE_POLICY
+        )
+        assert result.max_inflation <= math.exp(epsilon) * (1 + 1e-9)
+
+
+class TestTheorem34Suppress:
+    """Suppress(tau) achieves phi = tau only (here tau = inf shows the gap)."""
+
+    def test_suppress_inf_is_reveal_all(self):
+        from repro.mechanisms.suppress import Suppress
+
+        suppress = Suppress(LOUNGE_POLICY, tau=None)
+        prior = ProductPrior.uniform(LOCATIONS, n_records=1)
+        result = worst_case_odds_inflation(
+            suppress.output_distribution, prior, LOUNGE_POLICY
+        )
+        assert not result.bounded
+        assert suppress.exclusion_freedom_phi == math.inf
+
+    def test_finite_tau_reports_phi_tau(self):
+        from repro.mechanisms.suppress import Suppress
+
+        suppress = Suppress(LOUNGE_POLICY, tau=100.0)
+        assert suppress.exclusion_freedom_phi == 100.0
+
+
+class TestPosteriorOddsRatio:
+    def test_zero_prior_rejected(self):
+        prior = ProductPrior(marginals=({"lounge": 1.0, "office": 0.0},))
+        mech = reveal_non_sensitive_mechanism(LOUNGE_POLICY)
+        with pytest.raises(ValueError):
+            posterior_odds_ratio(
+                mech, prior, (), target_index=0, x="lounge", y="office"
+            )
+
+    def test_impossible_output_returns_zero(self):
+        prior = ProductPrior.uniform(LOCATIONS, n_records=1)
+        mech = reveal_non_sensitive_mechanism(LOUNGE_POLICY)
+        # Output ("office",) is impossible when the record is "lounge".
+        ratio = posterior_odds_ratio(
+            mech, prior, ("office",), target_index=0, x="lounge", y="office"
+        )
+        assert ratio == 0.0

@@ -1,0 +1,187 @@
+"""Tests for the per-figure experiment drivers (scaled-down configs)."""
+
+import numpy as np
+import pytest
+
+from repro.data.tippers import TippersConfig
+from repro.evaluation.experiments.fig1_classification import Fig1Config, run_fig1
+from repro.evaluation.experiments.fig2_3_ngrams import (
+    NGramConfig,
+    run_ngram_experiment,
+)
+from repro.evaluation.experiments.fig4_5_tippers import (
+    TippersHistogramConfig,
+    build_histogram_input,
+    run_tippers_histogram,
+)
+from repro.evaluation.experiments.fig6_10_dpbench import (
+    DPBenchConfig,
+    aggregate_regret,
+    make_mechanism,
+    overall_average_regret,
+    per_input_regret,
+    run_dpbench_sweep,
+)
+from repro.evaluation.experiments.table1 import (
+    expected_release_percentages,
+    monte_carlo_release_percentages,
+)
+
+TINY_TIPPERS = TippersConfig(n_users=120, n_days=25, seed=3)
+
+
+class TestTable1:
+    def test_analytic_values_match_paper(self):
+        values = expected_release_percentages()
+        assert values[1.0] == pytest.approx(63.2, abs=0.1)
+        assert values[0.5] == pytest.approx(39.3, abs=0.1)
+        assert values[0.1] == pytest.approx(9.5, abs=0.1)
+
+    def test_monte_carlo_agrees_with_analytic(self):
+        measured = monte_carlo_release_percentages(
+            epsilons=(1.0, 0.1), n_records=5000, n_trials=3, seed=0
+        )
+        analytic = expected_release_percentages((1.0, 0.1))
+        for eps in (1.0, 0.1):
+            assert measured[eps] == pytest.approx(analytic[eps], abs=1.5)
+
+
+class TestFig1:
+    def test_structure_and_shape(self):
+        config = Fig1Config(
+            tippers=TINY_TIPPERS,
+            policies=(99, 25),
+            epsilons=(1.0,),
+            cv_folds=3,
+        )
+        out = run_fig1(config)
+        errors = out["errors"][1.0]
+        assert set(errors) == {99, 25}
+        for rho in (99, 25):
+            assert set(errors[rho]) == {"all_ns", "osdp_rr", "objdp", "random"}
+            for value in errors[rho].values():
+                assert 0.0 <= value <= 1.0
+
+    def test_osdp_rr_tracks_all_ns_at_eps_1(self):
+        config = Fig1Config(
+            tippers=TINY_TIPPERS, policies=(99,), epsilons=(1.0,), cv_folds=3
+        )
+        errors = run_fig1(config)["errors"][1.0][99]
+        assert abs(errors["osdp_rr"] - errors["all_ns"]) < 0.1
+        assert errors["random"] == pytest.approx(0.5, abs=0.1)
+
+
+class TestFig23:
+    def test_structure(self):
+        config = NGramConfig(
+            tippers=TINY_TIPPERS,
+            n=4,
+            policies=(99, 50),
+            epsilons=(1.0,),
+            truncation_sweep=(1, 2),
+            n_trials=2,
+        )
+        out = run_ngram_experiment(config)
+        assert set(out["mre"][1.0]) == {99, 50}
+        assert out["lm_kstar"][1.0] in (1, 2)
+        assert out["domain_size"] == 64.0**4
+
+    def test_all_ns_below_osdp_rr(self):
+        config = NGramConfig(
+            tippers=TINY_TIPPERS, n=4, policies=(99,), epsilons=(1.0,),
+            truncation_sweep=(1,), n_trials=2,
+        )
+        mre = run_ngram_experiment(config)["mre"][1.0][99]
+        assert mre["all_ns"] <= mre["osdp_rr"]
+
+    def test_lm_collapses_at_tiny_epsilon(self):
+        config = NGramConfig(
+            tippers=TINY_TIPPERS, n=4, policies=(99,), epsilons=(1.0, 0.01),
+            truncation_sweep=(1,), n_trials=2,
+        )
+        out = run_ngram_experiment(config)["mre"]
+        assert out[0.01][99]["lm_t1"] > 10 * out[1.0][99]["lm_t1"]
+        assert out[0.01][99]["osdp_rr"] < out[0.01][99]["lm_t1"]
+
+
+class TestFig45:
+    def test_histogram_input_mask_structure(self):
+        from repro.data.tippers import generate_tippers
+
+        dataset = generate_tippers(TINY_TIPPERS)
+        policy = dataset.policy_for_fraction(75)
+        hist = build_histogram_input(dataset, policy)
+        # Sensitive-AP bins carry no non-sensitive mass.
+        assert np.all(hist.x_ns[hist.sensitive_bin_mask] == 0)
+        assert hist.x.shape == (dataset.config.n_aps * 24,)
+
+    def test_run_structure(self):
+        config = TippersHistogramConfig(
+            tippers=TINY_TIPPERS, policies=(99, 25), epsilons=(1.0,), n_trials=2
+        )
+        out = run_tippers_histogram(config)
+        assert set(out["mre"][1.0]) == {99, 25}
+        assert set(out["rel95"]) == {99, 25}
+        for algos in out["mre"][1.0].values():
+            assert set(algos) == {"osdp_laplace_l1", "dawaz", "dawa"}
+
+    def test_osdp_wins_at_p99(self):
+        config = TippersHistogramConfig(
+            tippers=TINY_TIPPERS, policies=(99,), epsilons=(1.0,), n_trials=3
+        )
+        mre = run_tippers_histogram(config)["mre"][1.0][99]
+        assert mre["osdp_laplace_l1"] < mre["dawa"]
+
+
+class TestFig610:
+    @pytest.fixture(scope="class")
+    def records(self):
+        config = DPBenchConfig(
+            datasets=("adult", "patent"),
+            ratios=(0.99, 0.25),
+            policies=("close", "far"),
+            epsilons=(1.0,),
+            n_trials=2,
+            seed=0,
+        )
+        return run_dpbench_sweep(config)
+
+    def test_record_count(self, records):
+        # 2 datasets x 2 ratios x 2 policies x 1 eps x 6 algorithms
+        assert len(records) == 48
+
+    def test_per_input_regret_minimum_one(self, records):
+        regrets = per_input_regret(records)
+        for algo_regrets in regrets.values():
+            pool_values = [
+                v for a, v in algo_regrets.items()
+            ]
+            assert min(pool_values) >= 1.0 - 1e-9
+
+    def test_aggregate_by_rho(self, records):
+        agg = aggregate_regret(records, group_by="rho", where={"policy": "close"})
+        assert set(agg) == {0.99, 0.25}
+
+    def test_osdp_wins_sparse_high_ratio_close(self, records):
+        agg = aggregate_regret(
+            records,
+            group_by="dataset",
+            where={"policy": "close", "rho": 0.99},
+        )
+        assert agg["adult"]["osdp_laplace_l1"] < agg["adult"]["dawa"]
+
+    def test_overall_average(self, records):
+        overall = overall_average_regret(records)
+        assert set(overall) >= {"dawa", "dawaz", "laplace", "osdp_laplace_l1"}
+
+    def test_unknown_group_by_rejected(self, records):
+        with pytest.raises(ValueError):
+            aggregate_regret(records, group_by="flavor")
+
+    def test_suppress_factory(self):
+        mech = make_mechanism("suppress100", epsilon=1.0)
+        assert mech.tau == 100.0
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError):
+            make_mechanism("quantum", 1.0)

@@ -1,0 +1,84 @@
+"""Tests for trajectory feature extraction."""
+
+import numpy as np
+import pytest
+
+from repro.classification.features import TrajectoryFeaturizer, resident_labels
+from repro.data.tippers import Trajectory
+
+
+def traj(aps, user_id=0, day=0):
+    return Trajectory(
+        user_id=user_id, day=day, slots=tuple((i, ap) for i, ap in enumerate(aps))
+    )
+
+
+class TestFeaturizer:
+    def test_base_features(self):
+        f = TrajectoryFeaturizer(n_aps=8, min_support=100)
+        f.fit([traj([1, 1, 2])])
+        v = f.transform_one(traj([1, 1, 2]))
+        assert v[0] == 3  # duration
+        assert v[1] == 2  # distinct aps
+        assert v[2 + 1] == 2  # ap 1 visited twice
+        assert v[2 + 2] == 1
+
+    def test_pattern_vocabulary_by_support(self):
+        f = TrajectoryFeaturizer(n_aps=8, min_support=2)
+        trajectories = [
+            traj([1, 2, 3], user_id=i) for i in range(3)
+        ] + [traj([4, 5, 6], user_id=9)]
+        f.fit(trajectories)
+        assert (1, 2, 3) in f.patterns_
+        assert (4, 5, 6) not in f.patterns_
+
+    def test_pattern_counts_in_vector(self):
+        f = TrajectoryFeaturizer(n_aps=8, min_support=1)
+        t = traj([1, 2, 3, 1, 2, 3])
+        f.fit([t])
+        v = f.transform_one(t)
+        offset = 2 + 8
+        index = f.patterns_.index((1, 2, 3))
+        assert v[offset + index] == 2.0
+
+    def test_consecutive_runs_collapsed(self):
+        """Idling at an AP does not spawn spurious patterns."""
+        f = TrajectoryFeaturizer(n_aps=8, min_support=1)
+        f.fit([traj([1, 1, 1, 2, 2, 3])])
+        assert f.patterns_ == [(1, 2, 3)]
+
+    def test_transform_matches_transform_one(self):
+        f = TrajectoryFeaturizer(n_aps=8, min_support=1)
+        trajectories = [traj([1, 2, 3, 4]), traj([2, 2, 5])]
+        f.fit(trajectories)
+        X = f.transform(trajectories)
+        for row, t in zip(X, trajectories):
+            assert np.array_equal(row, f.transform_one(t))
+
+    def test_unfitted_raises(self):
+        f = TrajectoryFeaturizer()
+        with pytest.raises(RuntimeError):
+            f.transform([traj([1, 2])])
+        with pytest.raises(RuntimeError):
+            _ = f.n_features
+
+    def test_min_support_validation(self):
+        with pytest.raises(ValueError):
+            TrajectoryFeaturizer(min_support=0)
+
+    def test_unknown_patterns_ignored_at_transform(self):
+        f = TrajectoryFeaturizer(n_aps=8, min_support=1)
+        f.fit([traj([1, 2, 3])])
+        v = f.transform_one(traj([4, 5, 6, 7]))
+        assert v[2 + 8 :].sum() == 0.0
+
+
+class TestResidentLabels:
+    def test_label_lookup(self):
+        trajectories = [traj([1], user_id=1), traj([2], user_id=2)]
+        labels = resident_labels(trajectories, {1: True, 2: False})
+        assert np.array_equal(labels, [1, 0])
+
+    def test_missing_user_defaults_to_visitor(self):
+        labels = resident_labels([traj([1], user_id=5)], {})
+        assert np.array_equal(labels, [0])

@@ -1,0 +1,112 @@
+"""Tests for guarantee objects and conversion lemmas (Lemmas 3.1/3.2 etc.)."""
+
+import pytest
+
+from repro.core.guarantees import (
+    DPGuarantee,
+    EOSDPGuarantee,
+    OSDPGuarantee,
+    PDPGuarantee,
+    dp_to_osdp,
+    eosdp_to_osdp,
+    osdp_all_sensitive_to_dp,
+    parallel_composition,
+    relax_guarantee,
+    sequential_composition,
+)
+from repro.core.policy import AllSensitivePolicy, LambdaPolicy
+
+ODD = LambdaPolicy(lambda r: r % 2 == 1, name="odd")
+BIG = LambdaPolicy(lambda r: r >= 2, name="big")
+
+
+class TestValidation:
+    def test_dp_guarantee_positive_epsilon(self):
+        with pytest.raises(ValueError):
+            DPGuarantee(epsilon=0.0)
+
+    def test_osdp_guarantee_positive_epsilon(self):
+        with pytest.raises(ValueError):
+            OSDPGuarantee(policy=ODD, epsilon=-1.0)
+
+    def test_str_forms(self):
+        assert str(DPGuarantee(1.0)) == "1.0-DP"
+        assert "OSDP" in str(OSDPGuarantee(policy=ODD, epsilon=0.5))
+        assert "eOSDP" in str(EOSDPGuarantee(policy=ODD, epsilon=0.5))
+
+
+class TestLemmas:
+    def test_lemma_3_1_dp_implies_osdp(self):
+        osdp = dp_to_osdp(DPGuarantee(epsilon=0.7), ODD)
+        assert osdp.epsilon == 0.7
+        assert osdp.policy is ODD
+
+    def test_lemma_3_2_pall_osdp_implies_dp(self):
+        guarantee = OSDPGuarantee(policy=AllSensitivePolicy(), epsilon=0.9)
+        assert osdp_all_sensitive_to_dp(guarantee).epsilon == 0.9
+
+    def test_lemma_3_2_rejects_other_policies(self):
+        with pytest.raises(ValueError):
+            osdp_all_sensitive_to_dp(OSDPGuarantee(policy=ODD, epsilon=1.0))
+
+    def test_theorem_3_2_relaxation_keeps_epsilon(self):
+        relaxed = relax_guarantee(OSDPGuarantee(policy=ODD, epsilon=0.3), BIG)
+        assert relaxed.epsilon == 0.3
+        assert relaxed.policy is BIG
+
+    def test_theorem_10_1_doubles_epsilon(self):
+        osdp = eosdp_to_osdp(EOSDPGuarantee(policy=ODD, epsilon=0.4))
+        assert osdp.epsilon == pytest.approx(0.8)
+
+
+class TestSequentialComposition:
+    def test_epsilons_add(self):
+        composed = sequential_composition(
+            [
+                OSDPGuarantee(policy=ODD, epsilon=0.3),
+                OSDPGuarantee(policy=ODD, epsilon=0.5),
+            ]
+        )
+        assert composed.epsilon == pytest.approx(0.8)
+
+    def test_policy_is_minimum_relaxation(self):
+        composed = sequential_composition(
+            [
+                OSDPGuarantee(policy=ODD, epsilon=0.1),
+                OSDPGuarantee(policy=BIG, epsilon=0.1),
+            ]
+        )
+        # Sensitive only where both sensitive: 3 is odd and >= 2.
+        assert composed.policy(3) == 0
+        assert composed.policy(1) == 1
+        assert composed.policy(2) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sequential_composition([])
+
+
+class TestParallelComposition:
+    def test_max_epsilon(self):
+        composed = parallel_composition(
+            [
+                EOSDPGuarantee(policy=ODD, epsilon=0.2),
+                EOSDPGuarantee(policy=ODD, epsilon=0.7),
+            ]
+        )
+        assert composed.epsilon == pytest.approx(0.7)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            parallel_composition([])
+
+
+class TestPDP:
+    def test_pdp_guarantee_holds_epsilon_function(self):
+        guarantee = PDPGuarantee(
+            epsilon_of=lambda r: float("inf") if r % 2 == 0 else 1.0,
+            description="test-PDP",
+        )
+        assert guarantee.epsilon_of(2) == float("inf")
+        assert guarantee.epsilon_of(1) == 1.0
+        assert str(guarantee) == "test-PDP"

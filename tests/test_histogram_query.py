@@ -1,0 +1,135 @@
+"""Tests for histogram queries and HistogramInput."""
+
+import numpy as np
+import pytest
+
+from repro.core.policy import AttributePolicy
+from repro.data.database import Database
+from repro.queries.histogram import (
+    CategoricalBinning,
+    HistogramInput,
+    HistogramQuery,
+    IntegerBinning,
+    Product2DBinning,
+    flatten_2d,
+)
+
+
+class TestCategoricalBinning:
+    def test_bin_of(self):
+        binning = CategoricalBinning("color", ["red", "green", "blue"])
+        assert binning.bin_of({"color": "green"}) == 1
+        assert binning.n_bins == 3
+
+    def test_unknown_value_rejected(self):
+        binning = CategoricalBinning("color", ["red"])
+        with pytest.raises(ValueError):
+            binning.bin_of({"color": "pink"})
+
+    def test_duplicate_domain_rejected(self):
+        with pytest.raises(ValueError):
+            CategoricalBinning("c", ["a", "a"])
+
+
+class TestIntegerBinning:
+    def test_unit_width(self):
+        binning = IntegerBinning("age", 0, 100)
+        assert binning.n_bins == 100
+        assert binning.bin_of({"age": 42}) == 42
+
+    def test_wider_bins(self):
+        binning = IntegerBinning("age", 0, 100, width=10)
+        assert binning.n_bins == 10
+        assert binning.bin_of({"age": 35}) == 3
+
+    def test_ceil_division_for_partial_last_bin(self):
+        binning = IntegerBinning("v", 0, 95, width=10)
+        assert binning.n_bins == 10
+
+    def test_out_of_range(self):
+        binning = IntegerBinning("age", 0, 10)
+        with pytest.raises(ValueError):
+            binning.bin_of({"age": 10})
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IntegerBinning("v", 5, 5)
+        with pytest.raises(ValueError):
+            IntegerBinning("v", 0, 5, width=0)
+
+
+class TestProduct2D:
+    def test_row_major_index(self):
+        binning = Product2DBinning(
+            IntegerBinning("a", 0, 3), IntegerBinning("b", 0, 4)
+        )
+        assert binning.n_bins == 12
+        assert binning.shape == (3, 4)
+        assert binning.bin_of({"a": 2, "b": 1}) == 9
+
+    def test_flatten_2d(self):
+        grid = np.arange(12).reshape(3, 4)
+        assert np.array_equal(flatten_2d(grid), np.arange(12))
+
+
+class TestHistogramQuery:
+    def test_evaluate_counts(self):
+        db = Database([{"age": 5}, {"age": 5}, {"age": 7}])
+        query = HistogramQuery(IntegerBinning("age", 0, 10))
+        assert np.array_equal(
+            query.evaluate(db), [0, 0, 0, 0, 0, 2, 0, 1, 0, 0]
+        )
+
+    def test_sensitivity_is_two(self):
+        query = HistogramQuery(IntegerBinning("age", 0, 10))
+        assert query.sensitivity == 2.0
+
+
+class TestHistogramInput:
+    def test_validation_shapes(self):
+        with pytest.raises(ValueError):
+            HistogramInput(x=np.zeros(3), x_ns=np.zeros(4))
+
+    def test_validation_sub_histogram(self):
+        with pytest.raises(ValueError):
+            HistogramInput(x=np.array([1.0]), x_ns=np.array([2.0]))
+
+    def test_validation_non_negative(self):
+        with pytest.raises(ValueError):
+            HistogramInput(x=np.array([-1.0]), x_ns=np.array([-1.0]))
+
+    def test_validation_1d_only(self):
+        with pytest.raises(ValueError):
+            HistogramInput(x=np.zeros((2, 2)), x_ns=np.zeros((2, 2)))
+
+    def test_x_sensitive(self, small_hist):
+        assert np.array_equal(
+            small_hist.x_sensitive, small_hist.x - small_hist.x_ns
+        )
+
+    def test_non_sensitive_ratio(self):
+        hist = HistogramInput(x=np.array([8.0, 2.0]), x_ns=np.array([4.0, 1.0]))
+        assert hist.non_sensitive_ratio == pytest.approx(0.5)
+
+    def test_from_database_builds_mask(self):
+        records = [
+            {"age": 15, "group": 0},  # minor -> sensitive
+            {"age": 30, "group": 1},
+            {"age": 16, "group": 2},  # minor-only bin
+            {"age": 40, "group": 1},
+        ]
+        db = Database(records)
+        policy = AttributePolicy("age", lambda a: a <= 17)
+        query = HistogramQuery(IntegerBinning("group", 0, 3))
+        hist = HistogramInput.from_database(db, query, policy)
+        assert np.array_equal(hist.x, [1, 2, 1])
+        assert np.array_equal(hist.x_ns, [0, 2, 0])
+        assert np.array_equal(hist.sensitive_bin_mask, [True, False, True])
+
+    def test_mask_shape_validated(self):
+        with pytest.raises(ValueError):
+            HistogramInput(
+                x=np.zeros(3),
+                x_ns=np.zeros(3),
+                sensitive_bin_mask=np.zeros(4, dtype=bool),
+            )

@@ -1,0 +1,171 @@
+"""Integration tests: full pipelines crossing module boundaries."""
+
+import numpy as np
+import pytest
+
+from repro.core.accountant import PrivacyAccountant
+from repro.core.policy import OptInPolicy
+from repro.core.policy_language import compile_policy
+from repro.data.database import Database
+from repro.data.dpbench import generate_dpbench
+from repro.data.sampling import m_sampling
+from repro.data.tippers import TippersConfig, generate_tippers
+from repro.evaluation.metrics import mean_relative_error
+from repro.mechanisms.dawaz import DawaZ
+from repro.mechanisms.laplace import LaplaceHistogram
+from repro.mechanisms.osdp_laplace import HybridOsdpLaplace
+from repro.mechanisms.osdp_rr import OsdpRR
+from repro.queries.histogram import (
+    HistogramInput,
+    HistogramQuery,
+    IntegerBinning,
+)
+
+
+class TestPolicySpecToReleasePipeline:
+    """Declarative policy -> database views -> budget-audited releases."""
+
+    def test_end_to_end(self, rng):
+        spec = {
+            "any": [
+                {"attr": "age", "op": "<=", "value": 17},
+                {"attr": "opt_in", "op": "==", "value": False},
+            ]
+        }
+        policy = compile_policy(spec, name="gdpr")
+        db = Database(
+            {
+                "age": int(rng.integers(12, 80)),
+                "opt_in": bool(rng.random() < 0.8),
+                "region": int(rng.integers(0, 8)),
+            }
+            for _ in range(3000)
+        )
+        accountant = PrivacyAccountant(total_epsilon=1.5)
+
+        # Release a truthful sample.
+        sample = OsdpRR(policy, epsilon=0.5).sample(
+            db.records, rng, accountant=accountant
+        )
+        assert sample
+        assert all(policy.is_non_sensitive(r) for r in sample)
+
+        # Release a region histogram with the hybrid mechanism.
+        query = HistogramQuery(IntegerBinning("region", 0, 8))
+        hist = HistogramInput.from_database(db, query, policy)
+        mech = HybridOsdpLaplace(epsilon=1.0, policy=policy)
+        estimate = mech.release(hist, rng)
+        mech.charge(accountant, label="region histogram")
+
+        assert estimate.shape == (8,)
+        assert accountant.remaining == pytest.approx(0.0, abs=1e-9)
+        composed = accountant.composed_guarantee()
+        assert composed.epsilon == pytest.approx(1.5)
+
+    def test_budget_enforced_across_pipeline(self, rng):
+        policy = OptInPolicy()
+        db = Database({"opt_in": True, "region": 0} for _ in range(100))
+        accountant = PrivacyAccountant(total_epsilon=0.4)
+        OsdpRR(policy, epsilon=0.3).sample(db.records, rng, accountant=accountant)
+        from repro.core.accountant import BudgetExceededError
+
+        with pytest.raises(BudgetExceededError):
+            OsdpRR(policy, epsilon=0.3).sample(
+                db.records, rng, accountant=accountant
+            )
+
+
+class TestBenchmarkPipeline:
+    """DPBench data -> policy simulation -> mechanism pool -> metrics."""
+
+    def test_osdp_beats_dp_on_sparse_close_input(self, rng):
+        x = generate_dpbench("adult", seed=2).astype(float)
+        x_ns = m_sampling(x, 0.9, rng).x_ns.astype(float)
+        hist = HistogramInput(x=x, x_ns=x_ns)
+
+        from repro.mechanisms.osdp_laplace import OsdpLaplaceL1Histogram
+
+        osdp_err = np.mean(
+            [
+                mean_relative_error(
+                    x,
+                    OsdpLaplaceL1Histogram(1.0, ns_ratio=0.9).release(hist, rng),
+                )
+                for _ in range(5)
+            ]
+        )
+        dp_err = np.mean(
+            [
+                mean_relative_error(x, LaplaceHistogram(1.0).release(hist, rng))
+                for _ in range(5)
+            ]
+        )
+        assert osdp_err < dp_err / 10
+
+    def test_dawaz_guarantee_and_accuracy_chain(self, rng):
+        x = generate_dpbench("nettrace", seed=1).astype(float)
+        x_ns = m_sampling(x, 0.75, rng).x_ns.astype(float)
+        hist = HistogramInput(x=x, x_ns=x_ns)
+        mech = DawaZ(epsilon=1.0, rho=0.1)
+        estimate = mech.release(hist, rng)
+        assert estimate.shape == x.shape
+        assert np.all(estimate >= 0.0)
+        assert mech.guarantee.epsilon == pytest.approx(1.0)
+
+
+class TestTrajectoryPipeline:
+    """TIPPERS generation -> policy -> trajectory release -> analysis."""
+
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return generate_tippers(TippersConfig(n_users=150, n_days=25, seed=9))
+
+    def test_release_then_classify(self, dataset, rng):
+        from repro.classification.features import (
+            TrajectoryFeaturizer,
+            resident_labels,
+        )
+        from repro.classification.logistic import LogisticRegression
+        from repro.classification.metrics import roc_auc
+
+        policy = dataset.policy_for_fraction(90)
+        sample = OsdpRR(policy, epsilon=1.0).sample(dataset.trajectories, rng)
+        assert all(policy.is_non_sensitive(t) for t in sample)
+
+        labels = dataset.heuristic_resident_labels()
+        featurizer = TrajectoryFeaturizer(min_support=10)
+        X_train = featurizer.fit_transform(sample)
+        y_train = resident_labels(sample, labels)
+        model = LogisticRegression(lam=1e-3).fit(X_train, y_train)
+
+        X_all = featurizer.transform(dataset.trajectories)
+        y_all = resident_labels(dataset.trajectories, labels)
+        auc = roc_auc(y_all, model.decision_function(X_all))
+        assert auc > 0.8  # truthful data carries nearly full signal
+
+    def test_release_then_ngram_counts(self, dataset, rng):
+        from repro.queries.ngram import NGramCounter, sparse_mre
+
+        policy = dataset.policy_for_fraction(90)
+        counter = NGramCounter(n=3, n_aps=dataset.config.n_aps)
+        truth = counter.count(dataset.trajectories)
+        sample = OsdpRR(policy, epsilon=1.0).sample(dataset.trajectories, rng)
+        estimate = counter.count(sample)
+        error = sparse_mre(truth, estimate.counts)
+        assert 0.0 < error < 1.0
+        # The sample's support is a subset of the truth's.
+        assert estimate.support() <= truth.support()
+
+    def test_event_histogram_release(self, dataset, rng):
+        from repro.evaluation.experiments.fig4_5_tippers import (
+            build_histogram_input,
+        )
+
+        policy = dataset.policy_for_fraction(75)
+        hist = build_histogram_input(dataset, policy)
+        estimate = HybridOsdpLaplace(1.0).release(hist, rng)
+        error = mean_relative_error(hist.x, estimate)
+        dp_error = mean_relative_error(
+            hist.x, LaplaceHistogram(1.0).release(hist, rng)
+        )
+        assert error < dp_error

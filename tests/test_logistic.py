@@ -1,0 +1,77 @@
+"""Tests for the from-scratch logistic regression."""
+
+import numpy as np
+import pytest
+
+from repro.classification.logistic import LogisticRegression
+
+
+def make_separable(rng, n=400, d=5, margin=2.0):
+    X = rng.normal(size=(n, d))
+    w = rng.normal(size=d)
+    y = (X @ w + margin * 0 > 0).astype(int)
+    return X, y, w
+
+
+class TestFit:
+    def test_learns_separable_data(self, rng):
+        X, y, _ = make_separable(rng)
+        model = LogisticRegression(lam=1e-4).fit(X, y)
+        acc = np.mean(model.predict(X) == y)
+        assert acc > 0.95
+
+    def test_signed_label_input(self, rng):
+        X, y, _ = make_separable(rng)
+        signed = np.where(y > 0, 1, -1)
+        model = LogisticRegression(lam=1e-4).fit(X, signed)
+        assert np.mean(model.predict(X) == y) > 0.95
+
+    def test_rejects_non_binary_labels(self, rng):
+        X = rng.normal(size=(10, 2))
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(X, np.arange(10))
+
+    def test_rejects_negative_lambda(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(lam=-0.1)
+
+    def test_unfitted_prediction_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            LogisticRegression().decision_function(rng.normal(size=(3, 2)))
+
+
+class TestIntercept:
+    def test_intercept_handles_shifted_data(self, rng):
+        X = rng.normal(size=(500, 2)) + 10.0
+        y = (X[:, 0] > 10.0).astype(int)
+        with_b = LogisticRegression(lam=1e-4, fit_intercept=True).fit(X, y)
+        assert np.mean(with_b.predict(X) == y) > 0.9
+
+    def test_weights_dimension(self, rng):
+        X, y, _ = make_separable(rng, d=4)
+        with_b = LogisticRegression(fit_intercept=True).fit(X, y)
+        without_b = LogisticRegression(fit_intercept=False).fit(X, y)
+        assert len(with_b.weights) == 5
+        assert len(without_b.weights) == 4
+
+
+class TestRegularization:
+    def test_large_lambda_shrinks_weights(self, rng):
+        X, y, _ = make_separable(rng)
+        small = LogisticRegression(lam=1e-6).fit(X, y)
+        large = LogisticRegression(lam=10.0).fit(X, y)
+        assert np.linalg.norm(large.weights) < np.linalg.norm(small.weights)
+
+
+class TestProbabilities:
+    def test_probabilities_in_unit_interval(self, rng):
+        X, y, _ = make_separable(rng)
+        model = LogisticRegression().fit(X, y)
+        p = model.predict_proba(X)
+        assert np.all((p >= 0) & (p <= 1))
+
+    def test_decision_sign_matches_prediction(self, rng):
+        X, y, _ = make_separable(rng)
+        model = LogisticRegression().fit(X, y)
+        scores = model.decision_function(X)
+        assert np.array_equal(model.predict(X), (scores >= 0).astype(int))

@@ -1,0 +1,80 @@
+"""Tests for the Laplace mechanism (Definition 2.5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.guarantees import DPGuarantee
+from repro.mechanisms.laplace import LaplaceHistogram, LaplaceMechanism
+from repro.queries.histogram import HistogramInput
+
+
+class TestLaplaceMechanism:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LaplaceMechanism(epsilon=0.0, sensitivity=1.0)
+        with pytest.raises(ValueError):
+            LaplaceMechanism(epsilon=1.0, sensitivity=0.0)
+
+    def test_scale_is_sensitivity_over_epsilon(self):
+        assert LaplaceMechanism(epsilon=0.5, sensitivity=2.0).scale == 4.0
+
+    def test_guarantee(self):
+        assert LaplaceMechanism(1.0, 1.0).guarantee == DPGuarantee(1.0)
+
+    def test_scalar_release(self, rng):
+        mech = LaplaceMechanism(epsilon=1.0, sensitivity=1.0)
+        value = mech.release(10.0, rng)
+        assert isinstance(value, float)
+
+    def test_vector_release_shape(self, rng):
+        mech = LaplaceMechanism(epsilon=1.0, sensitivity=1.0)
+        out = mech.release(np.zeros(16), rng)
+        assert out.shape == (16,)
+
+    def test_unbiased(self, rng):
+        mech = LaplaceMechanism(epsilon=1.0, sensitivity=1.0)
+        outs = [mech.release(5.0, rng) for _ in range(20_000)]
+        assert np.mean(outs) == pytest.approx(5.0, abs=0.05)
+
+    def test_noise_magnitude_scales_inverse_epsilon(self, rng):
+        big = LaplaceMechanism(epsilon=10.0, sensitivity=1.0)
+        small = LaplaceMechanism(epsilon=0.1, sensitivity=1.0)
+        err_big = np.mean(
+            [abs(big.release(0.0, rng)) for _ in range(4000)]
+        )
+        err_small = np.mean(
+            [abs(small.release(0.0, rng)) for _ in range(4000)]
+        )
+        assert err_small > 10 * err_big
+
+
+class TestLaplaceHistogram:
+    def test_uses_full_histogram(self, small_hist, rng):
+        mech = LaplaceHistogram(epsilon=100.0)
+        out = mech.release(small_hist, rng)
+        # At enormous epsilon the release is essentially x, not x_ns.
+        assert np.allclose(out, small_hist.x, atol=0.5)
+
+    def test_expected_l1_error_matches_theorem_5_1(self, rng):
+        """E L1 error = 2 d / eps for a d-bin histogram."""
+        epsilon, d = 1.0, 512
+        hist = HistogramInput(x=np.zeros(d), x_ns=np.zeros(d))
+        mech = LaplaceHistogram(epsilon=epsilon)
+        errors = [
+            np.abs(mech.release(hist, rng)).sum() for _ in range(60)
+        ]
+        assert np.mean(errors) == pytest.approx(2.0 * d / epsilon, rel=0.1)
+        assert mech.expected_l1_error * d == pytest.approx(2.0 * d / epsilon)
+
+    def test_clip_negative_option(self, small_hist, rng):
+        mech = LaplaceHistogram(epsilon=0.01, clip_negative=True)
+        out = mech.release(small_hist, rng)
+        assert np.all(out >= 0.0)
+
+    def test_unclipped_can_be_negative(self, small_hist, rng):
+        mech = LaplaceHistogram(epsilon=0.01)
+        out = mech.release(small_hist, rng)
+        assert np.any(out < 0.0)
+
+    def test_guarantee_epsilon(self):
+        assert LaplaceHistogram(0.7).guarantee.epsilon == 0.7

@@ -1,0 +1,120 @@
+"""Tests for the neighbor relations (Definitions 2.1, 3.2, 10.1)."""
+
+import pytest
+
+from repro.core.neighbors import (
+    dp_neighbors,
+    extended_one_sided_neighbors,
+    is_dp_neighbor,
+    is_extended_one_sided_neighbor,
+    is_one_sided_neighbor,
+    one_sided_neighbors,
+)
+from repro.core.policy import AllSensitivePolicy, LambdaPolicy
+
+ODD_SENSITIVE = LambdaPolicy(lambda r: r % 2 == 1, name="odd")
+UNIVERSE = (0, 1, 2, 3)
+
+
+class TestDPNeighbors:
+    def test_counts(self):
+        db = (0, 1)
+        neighbors = list(dp_neighbors(db, UNIVERSE))
+        # Each of 2 positions can take 3 other values.
+        assert len(neighbors) == 6
+
+    def test_same_size(self):
+        for n in dp_neighbors((0, 1, 2), UNIVERSE):
+            assert len(n) == 3
+
+    def test_is_dp_neighbor_true(self):
+        assert is_dp_neighbor((0, 1), (0, 2))
+
+    def test_is_dp_neighbor_multiset_semantics(self):
+        # (0, 1) -> (1, 1): replace the 0 with a 1.
+        assert is_dp_neighbor((0, 1), (1, 1))
+
+    def test_is_dp_neighbor_false_same_db(self):
+        assert not is_dp_neighbor((0, 1), (1, 0))  # same multiset
+
+    def test_is_dp_neighbor_false_two_changes(self):
+        assert not is_dp_neighbor((0, 1), (2, 3))
+
+    def test_is_dp_neighbor_false_different_sizes(self):
+        assert not is_dp_neighbor((0, 1), (0, 1, 2))
+
+
+class TestOneSidedNeighbors:
+    def test_only_sensitive_records_replaced(self):
+        db = (1, 2)  # 1 sensitive, 2 not
+        neighbors = set(one_sided_neighbors(db, ODD_SENSITIVE, UNIVERSE))
+        # Only position 0 can change, to 0, 2 or 3.
+        assert neighbors == {(0, 2), (2, 2), (3, 2)}
+
+    def test_no_sensitive_no_neighbors(self):
+        assert list(one_sided_neighbors((0, 2), ODD_SENSITIVE, UNIVERSE)) == []
+
+    def test_asymmetry(self):
+        """D' in N_P(D) does not imply D in N_P(D')."""
+        d = (1, 2)
+        d_prime = (0, 2)  # replaced the sensitive 1 with non-sensitive 0
+        assert is_one_sided_neighbor(d, d_prime, ODD_SENSITIVE)
+        assert not is_one_sided_neighbor(d_prime, d, ODD_SENSITIVE)
+
+    def test_all_sensitive_policy_reduces_to_dp(self):
+        db = (0, 1)
+        dp = set(dp_neighbors(db, UNIVERSE))
+        osdp = set(one_sided_neighbors(db, AllSensitivePolicy(), UNIVERSE))
+        assert dp == osdp
+
+    def test_is_one_sided_neighbor_respects_policy(self):
+        assert is_one_sided_neighbor((1, 0), (3, 0), ODD_SENSITIVE)
+        assert not is_one_sided_neighbor((0, 2), (2, 2), ODD_SENSITIVE)
+
+    def test_is_one_sided_neighbor_size_mismatch(self):
+        assert not is_one_sided_neighbor((1,), (1, 2), ODD_SENSITIVE)
+
+
+class TestExtendedNeighbors:
+    def test_removal_of_sensitive(self):
+        db = (1, 2)
+        neighbors = list(extended_one_sided_neighbors(db, ODD_SENSITIVE, UNIVERSE))
+        assert (2,) in neighbors
+
+    def test_no_removal_of_non_sensitive(self):
+        db = (1, 2)
+        neighbors = list(extended_one_sided_neighbors(db, ODD_SENSITIVE, UNIVERSE))
+        assert (1,) not in neighbors
+
+    def test_addition_requires_distinct_record(self):
+        db = (1,)  # single sensitive record with value 1
+        neighbors = set(extended_one_sided_neighbors(db, ODD_SENSITIVE, UNIVERSE))
+        # Can add any r' != 1, and can remove the 1.
+        assert neighbors == {(), (1, 0), (1, 2), (1, 3)}
+
+    def test_no_sensitive_records_no_neighbors(self):
+        assert (
+            list(extended_one_sided_neighbors((0, 2), ODD_SENSITIVE, UNIVERSE)) == []
+        )
+
+    def test_is_extended_checks_removal(self):
+        assert is_extended_one_sided_neighbor((1, 2), (2,), ODD_SENSITIVE)
+        assert not is_extended_one_sided_neighbor((1, 2), (1,), ODD_SENSITIVE)
+
+    def test_is_extended_checks_addition(self):
+        assert is_extended_one_sided_neighbor((1, 2), (1, 2, 0), ODD_SENSITIVE)
+        # No sensitive record in the base database: nothing may be added.
+        assert not is_extended_one_sided_neighbor((0, 2), (0, 2, 3), ODD_SENSITIVE)
+
+    def test_is_extended_rejects_same_size(self):
+        assert not is_extended_one_sided_neighbor((1, 2), (3, 2), ODD_SENSITIVE)
+
+    def test_theorem_10_1_two_hops(self):
+        """The appendix proof: an OSDP neighbor is reachable by two
+        extended steps (add then remove)."""
+        d = (1, 2)
+        d_prime = (0, 2)
+        bridge = (1, 2, 0)  # D + {r'}
+        assert is_extended_one_sided_neighbor(d, bridge, ODD_SENSITIVE)
+        # bridge - {1} = (2, 0) == d_prime as a multiset
+        assert is_extended_one_sided_neighbor(bridge, (2, 0), ODD_SENSITIVE)

@@ -1,0 +1,110 @@
+"""Tests for ObjDP (objective perturbation, Chaudhuri et al.)."""
+
+import numpy as np
+import pytest
+
+from repro.classification.logistic import LogisticRegression
+from repro.classification.metrics import roc_auc
+from repro.classification.objective_perturbation import (
+    ObjectivePerturbationLR,
+    RandomBaseline,
+    normalize_rows,
+    sample_perturbation,
+)
+
+
+def separable_data(rng, n=800, d=4):
+    X = rng.normal(size=(n, d))
+    y = (X[:, 0] + 0.5 * X[:, 1] > 0).astype(int)
+    return X, y
+
+
+class TestNormalization:
+    def test_norms_bounded_by_one(self, rng):
+        X = rng.normal(size=(50, 3)) * 100
+        normalized = normalize_rows(X)
+        assert np.linalg.norm(normalized, axis=1).max() <= 1.0 + 1e-12
+
+    def test_already_bounded_unchanged(self):
+        X = np.array([[0.1, 0.2], [0.0, 0.5]])
+        assert np.array_equal(normalize_rows(X), X)
+
+    def test_preserves_direction(self, rng):
+        X = rng.normal(size=(10, 3)) * 7
+        normalized = normalize_rows(X)
+        # Global scaling: ratios between rows are preserved.
+        ratio = X[0] / normalized[0]
+        assert np.allclose(X / normalized, ratio[None, :])
+
+
+class TestPerturbationSampling:
+    def test_norm_distribution(self, rng):
+        """||b|| ~ Gamma(d, 2/eps'): mean d * 2 / eps'."""
+        d, eps = 5, 2.0
+        norms = [
+            np.linalg.norm(sample_perturbation(d, eps, rng)) for _ in range(4000)
+        ]
+        assert np.mean(norms) == pytest.approx(d * 2.0 / eps, rel=0.05)
+
+    def test_direction_roughly_uniform(self, rng):
+        d = 3
+        vecs = np.stack(
+            [sample_perturbation(d, 1.0, rng) for _ in range(4000)]
+        )
+        directions = vecs / np.linalg.norm(vecs, axis=1, keepdims=True)
+        assert np.allclose(directions.mean(axis=0), 0.0, atol=0.05)
+
+
+class TestObjDP:
+    def test_epsilon_validation(self):
+        with pytest.raises(ValueError):
+            ObjectivePerturbationLR(epsilon=0.0)
+
+    def test_no_intercept(self):
+        assert not ObjectivePerturbationLR(epsilon=1.0).fit_intercept
+
+    def test_high_epsilon_approaches_non_private(self, rng):
+        X, y = separable_data(rng)
+        Xn = normalize_rows(X)
+        private = ObjectivePerturbationLR(epsilon=50.0, lam=1e-2)
+        private.fit(Xn, y, rng=rng)
+        baseline = LogisticRegression(lam=1e-2, fit_intercept=False).fit(Xn, y)
+        auc_private = roc_auc(y, private.decision_function(Xn))
+        auc_base = roc_auc(y, baseline.decision_function(Xn))
+        assert auc_private == pytest.approx(auc_base, abs=0.03)
+
+    def test_low_epsilon_near_random(self, rng):
+        X, y = separable_data(rng, n=300)
+        Xn = normalize_rows(X)
+        aucs = []
+        for seed in range(10):
+            model = ObjectivePerturbationLR(epsilon=0.001, lam=1e-2)
+            model.fit(Xn, y, rng=np.random.default_rng(seed))
+            aucs.append(roc_auc(y, model.decision_function(Xn)))
+        assert np.mean(aucs) == pytest.approx(0.5, abs=0.15)
+
+    def test_epsilon_prime_correction_applied(self, rng):
+        X, y = separable_data(rng, n=200)
+        model = ObjectivePerturbationLR(epsilon=1.0, lam=1e-2)
+        model.fit(normalize_rows(X), y, rng=rng)
+        assert model.epsilon_prime_ is not None
+        assert model.epsilon_prime_ < 1.0
+
+    def test_lambda_raised_when_epsilon_prime_negative(self, rng):
+        """Tiny lambda at small n forces the algorithm's fallback branch."""
+        X, y = separable_data(rng, n=40)
+        model = ObjectivePerturbationLR(epsilon=0.05, lam=1e-9)
+        model.fit(normalize_rows(X), y, rng=rng)
+        assert model.effective_lam_ > 1e-9
+        assert model.epsilon_prime_ == pytest.approx(0.025)
+
+    def test_guarantee(self):
+        assert ObjectivePerturbationLR(epsilon=0.7).guarantee.epsilon == 0.7
+
+
+class TestRandomBaseline:
+    def test_auc_near_half(self, rng):
+        y = (rng.random(4000) < 0.3).astype(int)
+        baseline = RandomBaseline(seed=1).fit(None, y)
+        scores = baseline.decision_function(np.zeros((4000, 1)))
+        assert roc_auc(y, scores) == pytest.approx(0.5, abs=0.05)

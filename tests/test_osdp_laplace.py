@@ -1,0 +1,140 @@
+"""Tests for OsdpLaplace / OsdpLaplaceL1 (Algorithm 2) and the hybrid."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.policy import LambdaPolicy
+from repro.mechanisms.osdp_laplace import (
+    HybridOsdpLaplace,
+    OsdpLaplaceHistogram,
+    OsdpLaplaceL1Histogram,
+)
+from repro.queries.histogram import HistogramInput
+
+ODD = LambdaPolicy(lambda r: r % 2 == 1)
+
+
+class TestOsdpLaplace:
+    def test_noise_strictly_non_positive(self, small_hist, rng):
+        mech = OsdpLaplaceHistogram(epsilon=1.0)
+        for _ in range(20):
+            out = mech.release(small_hist, rng)
+            assert np.all(out <= small_hist.x_ns + 1e-12)
+
+    def test_theorem_5_2_density_ratio(self):
+        """One-sided neighbors increase x_ns by <= 1; the density ratio of
+        the release at any output is bounded by e^eps (Theorem 5.2)."""
+        epsilon = 0.8
+        mech = OsdpLaplaceHistogram(epsilon=epsilon)
+        noise = mech.noise
+        # Output y <= x_ns <= x'_ns: ratio pdf(y - x)/pdf(y - x') = e^(eps * (x' - x)).
+        x, x_prime = 5.0, 6.0
+        for y in np.linspace(0.0, 4.9, 25):
+            ratio = noise.pdf(y - x) / noise.pdf(y - x_prime)
+            assert ratio <= math.exp(epsilon) * (1 + 1e-12)
+
+    def test_noise_variance_matches_paper(self):
+        mech = OsdpLaplaceHistogram(epsilon=2.0)
+        assert mech.noise_variance == pytest.approx(0.25)
+
+    def test_ns_ratio_scaling(self, rng):
+        x = np.full(16, 100.0)
+        x_ns = np.full(16, 50.0)
+        hist = HistogramInput(x=x, x_ns=x_ns)
+        mech = OsdpLaplaceHistogram(epsilon=100.0, ns_ratio=0.5)
+        out = mech.release(hist, rng)
+        assert np.allclose(out, 100.0, atol=1.0)
+
+    def test_invalid_ns_ratio(self):
+        with pytest.raises(ValueError):
+            OsdpLaplaceHistogram(epsilon=1.0, ns_ratio=0.0)
+
+
+class TestOsdpLaplaceL1:
+    def test_zero_counts_stay_exactly_zero(self, rng):
+        """Algorithm 2 step 2: true zeros are released as exact zeros."""
+        x = np.array([0.0, 10.0, 0.0, 5.0])
+        hist = HistogramInput(x=x, x_ns=x.copy())
+        mech = OsdpLaplaceL1Histogram(epsilon=0.5)
+        for _ in range(50):
+            out = mech.release(hist, rng)
+            assert out[0] == 0.0
+            assert out[2] == 0.0
+
+    def test_output_non_negative(self, small_hist, rng):
+        mech = OsdpLaplaceL1Histogram(epsilon=0.3)
+        for _ in range(20):
+            assert np.all(mech.release(small_hist, rng) >= 0.0)
+
+    def test_median_correction_value(self):
+        mech = OsdpLaplaceL1Histogram(epsilon=2.0)
+        assert mech.median_correction == pytest.approx(math.log(2.0) / 2.0)
+
+    def test_debias_restores_median(self, rng):
+        """For large counts the debiased release has median ~ x_ns."""
+        x = np.full(2000, 50.0)
+        hist = HistogramInput(x=x, x_ns=x.copy())
+        mech = OsdpLaplaceL1Histogram(epsilon=1.0)
+        out = mech.release(hist, rng)
+        assert np.median(out) == pytest.approx(50.0, abs=0.15)
+
+    def test_no_debias_median_shifted(self, rng):
+        x = np.full(2000, 50.0)
+        hist = HistogramInput(x=x, x_ns=x.copy())
+        mech = OsdpLaplaceL1Histogram(epsilon=1.0, debias=False)
+        out = mech.release(hist, rng)
+        assert np.median(out) == pytest.approx(50.0 - math.log(2.0), abs=0.15)
+
+    def test_lower_error_than_laplace_on_zero_heavy_input(self, rng):
+        """The §5.1 motivation: much less noise than the DP Laplace
+        histogram when x_ns tracks x (here: identical, very sparse)."""
+        from repro.mechanisms.laplace import LaplaceHistogram
+
+        x = np.zeros(1024)
+        x[::64] = 100.0
+        hist = HistogramInput(x=x, x_ns=x.copy())
+        osdp_err = np.abs(
+            OsdpLaplaceL1Histogram(1.0).release(hist, rng) - x
+        ).sum()
+        dp_err = np.abs(LaplaceHistogram(1.0).release(hist, rng) - x).sum()
+        assert osdp_err < dp_err / 4
+
+
+class TestHybrid:
+    def _hist_with_mask(self):
+        x = np.array([10.0, 20.0, 7.0, 0.0])
+        x_ns = np.array([0.0, 20.0, 7.0, 0.0])  # bin 0 purely sensitive
+        mask = np.array([True, False, False, False])
+        return HistogramInput(x=x, x_ns=x_ns, sensitive_bin_mask=mask)
+
+    def test_sensitive_bins_get_two_sided_noise(self, rng):
+        hist = self._hist_with_mask()
+        mech = HybridOsdpLaplace(epsilon=1.0)
+        outs = np.stack([mech.release(hist, rng) for _ in range(500)])
+        # Bin 0 is estimated from x (10), not x_ns (0).
+        assert np.mean(outs[:, 0]) == pytest.approx(10.0, abs=1.0)
+
+    def test_non_sensitive_bins_one_sided(self, rng):
+        hist = self._hist_with_mask()
+        mech = HybridOsdpLaplace(epsilon=1.0)
+        for _ in range(50):
+            out = mech.release(hist, rng)
+            assert out[3] == 0.0  # empty non-sensitive bin stays zero
+
+    def test_fallback_without_mask(self, small_hist, rng):
+        mech = HybridOsdpLaplace(epsilon=1.0)
+        out = mech.release(small_hist, rng)
+        # Behaves like OsdpLaplaceL1: bounded by x_ns + correction.
+        assert np.all(out <= small_hist.x_ns + mech.epsilon_os**-1 * 2 + 1.0)
+
+    def test_split_validation(self):
+        with pytest.raises(ValueError):
+            HybridOsdpLaplace(epsilon=1.0, split=0.0)
+
+    def test_budget_split(self):
+        mech = HybridOsdpLaplace(epsilon=1.0, split=0.3)
+        assert mech.epsilon_dp == pytest.approx(0.3)
+        assert mech.epsilon_os == pytest.approx(0.7)
+        assert mech.guarantee.epsilon == pytest.approx(1.0)

@@ -1,0 +1,147 @@
+"""Tests for OsdpRR (Algorithm 1) and its histogram estimator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.accountant import PrivacyAccountant
+from repro.core.policy import LambdaPolicy
+from repro.mechanisms.osdp_rr import (
+    OsdpRR,
+    OsdpRRHistogram,
+    release_probability,
+)
+from repro.queries.histogram import HistogramInput
+
+ODD = LambdaPolicy(lambda r: r % 2 == 1, name="odd")
+
+
+class TestReleaseProbability:
+    def test_table_1_values(self):
+        """Table 1: ~63% at eps=1, ~39% at eps=0.5, ~9.5% at eps=0.1."""
+        assert release_probability(1.0) == pytest.approx(0.632, abs=0.001)
+        assert release_probability(0.5) == pytest.approx(0.393, abs=0.001)
+        assert release_probability(0.1) == pytest.approx(0.095, abs=0.001)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            release_probability(0.0)
+
+    def test_monotone_in_epsilon(self):
+        eps = np.linspace(0.01, 5, 40)
+        probs = [release_probability(e) for e in eps]
+        assert all(a < b for a, b in zip(probs, probs[1:]))
+
+
+class TestOsdpRRSampling:
+    def test_never_releases_sensitive(self, rng):
+        mech = OsdpRR(ODD, epsilon=5.0)
+        records = list(range(100))
+        released = mech.sample(records, rng)
+        assert all(r % 2 == 0 for r in released)
+
+    def test_release_rate_matches_probability(self, rng):
+        epsilon = 1.0
+        mech = OsdpRR(ODD, epsilon)
+        records = [2 * i for i in range(20_000)]  # all non-sensitive
+        released = mech.sample(records, rng)
+        rate = len(released) / len(records)
+        assert rate == pytest.approx(release_probability(epsilon), abs=0.01)
+
+    def test_sample_charges_accountant(self, rng):
+        acct = PrivacyAccountant(total_epsilon=1.0)
+        mech = OsdpRR(ODD, epsilon=0.5)
+        mech.sample([1, 2, 3], rng, accountant=acct)
+        assert acct.spent == pytest.approx(0.5)
+
+    def test_guarantee(self):
+        g = OsdpRR(ODD, 0.5).guarantee
+        assert g.epsilon == 0.5
+        assert g.policy is ODD
+
+    def test_released_records_are_true_records(self, rng):
+        """The sample contains actual input records — truthful release."""
+        records = [{"age": 20 + i} for i in range(50)]
+        policy = LambdaPolicy(lambda r: r["age"] < 30)
+        mech = OsdpRR(policy, epsilon=3.0)
+        for r in mech.sample(records, rng):
+            assert r in records
+
+    def test_output_distribution_sums_to_one(self):
+        mech = OsdpRR(ODD, epsilon=1.0)
+        dist = mech.output_distribution((0, 1, 2))
+        assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_output_distribution_empty_always_possible(self):
+        mech = OsdpRR(ODD, epsilon=1.0)
+        dist = mech.output_distribution((0, 2))
+        assert dist[()] == pytest.approx((math.e ** -1.0) ** 2, rel=1e-9)
+
+
+class TestOsdpRRHistogram:
+    def test_binomial_thinning_of_x_ns(self, small_hist, rng):
+        mech = OsdpRRHistogram(epsilon=50.0)
+        out = mech.release(small_hist, rng)
+        # At huge epsilon the sample is essentially x_ns itself.
+        assert np.array_equal(out, small_hist.x_ns)
+
+    def test_counts_bounded_by_x_ns(self, small_hist, rng):
+        mech = OsdpRRHistogram(epsilon=1.0)
+        for _ in range(10):
+            out = mech.release(small_hist, rng)
+            assert np.all(out <= small_hist.x_ns)
+            assert np.all(out >= 0)
+
+    def test_scaled_unbiased_for_x_ns(self, rng):
+        x = np.full(64, 1000.0)
+        hist = HistogramInput(x=x, x_ns=x.copy())
+        mech = OsdpRRHistogram(epsilon=1.0, scaled=True)
+        outs = np.stack([mech.release(hist, rng) for _ in range(200)])
+        assert np.mean(outs) == pytest.approx(1000.0, rel=0.01)
+
+    def test_ns_ratio_scaling(self, rng):
+        x = np.full(32, 1000.0)
+        x_ns = np.full(32, 500.0)
+        hist = HistogramInput(x=x, x_ns=x_ns)
+        mech = OsdpRRHistogram(epsilon=1.0, scaled=True, ns_ratio=0.5)
+        outs = np.stack([mech.release(hist, rng) for _ in range(200)])
+        # Unbiased for the full histogram after both corrections.
+        assert np.mean(outs) == pytest.approx(1000.0, rel=0.02)
+
+    def test_invalid_ns_ratio(self):
+        with pytest.raises(ValueError):
+            OsdpRRHistogram(epsilon=1.0, ns_ratio=1.5)
+
+    def test_expected_l1_error_formula(self, small_hist):
+        """Theorem 5.1 accounting: sensitive mass + e^-eps * ns mass."""
+        epsilon = 1.0
+        mech = OsdpRRHistogram(epsilon=epsilon)
+        expected = mech.expected_l1_error(small_hist)
+        sensitive_mass = float((small_hist.x - small_hist.x_ns).sum())
+        ns_mass = float(small_hist.x_ns.sum())
+        assert expected == pytest.approx(
+            sensitive_mass + math.exp(-epsilon) * ns_mass
+        )
+
+    def test_measured_l1_close_to_expected(self, rng):
+        x = np.full(128, 50.0)
+        x_ns = np.full(128, 40.0)
+        hist = HistogramInput(x=x, x_ns=x_ns)
+        mech = OsdpRRHistogram(epsilon=1.0)
+        errors = [
+            np.abs(mech.release(hist, rng) - x).sum() for _ in range(100)
+        ]
+        assert np.mean(errors) == pytest.approx(
+            mech.expected_l1_error(hist), rel=0.05
+        )
+
+
+class TestTheorem51Crossover:
+    def test_crossover_condition(self):
+        """n * eps > 2 d e^eps -> Laplace beats OsdpRR (equation 2)."""
+        from repro.mechanisms.osdp_laplace import theorem_5_1_crossover
+
+        # The paper's example: d = 10^4, eps = 0.1 -> threshold 2.2e5.
+        assert theorem_5_1_crossover(3 * 10**5, 10**4, 0.1)
+        assert not theorem_5_1_crossover(2 * 10**5, 10**4, 0.1)

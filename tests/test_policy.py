@@ -1,0 +1,192 @@
+"""Tests for policy functions and the relaxation algebra (Defs 3.1, 3.5, 3.6)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.policy import (
+    SENSITIVE,
+    NON_SENSITIVE,
+    AllNonSensitivePolicy,
+    AllSensitivePolicy,
+    AttributePolicy,
+    LambdaPolicy,
+    OptInPolicy,
+    SensitiveValuePolicy,
+    is_relaxation_of,
+    minimum_relaxation,
+    strictest_combination,
+    validate_non_trivial,
+)
+
+
+class TestBasicPolicies:
+    def test_attribute_policy_minors(self, minor_policy, mixed_records):
+        assert minor_policy(mixed_records[0]) == SENSITIVE  # age 15
+        assert minor_policy(mixed_records[3]) == NON_SENSITIVE  # age 25
+
+    def test_opt_in_policy(self, opt_in_policy, mixed_records):
+        assert opt_in_policy(mixed_records[0]) == SENSITIVE  # opted out
+        assert opt_in_policy(mixed_records[1]) == NON_SENSITIVE
+
+    def test_lambda_policy_predicate_convention(self):
+        policy = LambdaPolicy(lambda r: r < 0, name="negatives")
+        assert policy(-1) == SENSITIVE
+        assert policy(1) == NON_SENSITIVE
+
+    def test_sensitive_value_policy(self):
+        policy = SensitiveValuePolicy("location", {"lounge", "restroom"})
+        assert policy({"location": "lounge"}) == SENSITIVE
+        assert policy({"location": "office"}) == NON_SENSITIVE
+
+    def test_all_sensitive(self):
+        policy = AllSensitivePolicy()
+        assert policy("anything") == SENSITIVE
+
+    def test_all_non_sensitive(self):
+        assert AllNonSensitivePolicy()(42) == NON_SENSITIVE
+
+    def test_is_sensitive_helpers(self, parity_policy):
+        assert parity_policy.is_sensitive(3)
+        assert parity_policy.is_non_sensitive(2)
+
+
+class TestPartitioning:
+    def test_partition_splits(self, minor_policy, mixed_records):
+        sensitive, non_sensitive = minor_policy.partition(mixed_records)
+        assert len(sensitive) == 3
+        assert len(non_sensitive) == 3
+        assert all(r["age"] <= 17 for r in sensitive)
+
+    def test_subsets_consistent_with_partition(self, minor_policy, mixed_records):
+        sens = minor_policy.sensitive_subset(mixed_records)
+        non = minor_policy.non_sensitive_subset(mixed_records)
+        assert len(sens) + len(non) == len(mixed_records)
+
+    def test_sensitive_fraction(self, parity_policy):
+        assert parity_policy.sensitive_fraction([1, 2, 3, 4]) == pytest.approx(0.5)
+
+    def test_sensitive_fraction_empty_raises(self, parity_policy):
+        with pytest.raises(ValueError):
+            parity_policy.sensitive_fraction([])
+
+
+class TestRelaxationOrder:
+    def test_every_policy_relaxes_all_sensitive(self, parity_policy, small_universe):
+        assert is_relaxation_of(parity_policy, AllSensitivePolicy(), small_universe)
+
+    def test_all_non_sensitive_relaxes_everything(self, parity_policy, small_universe):
+        assert is_relaxation_of(
+            AllNonSensitivePolicy(), parity_policy, small_universe
+        )
+
+    def test_not_a_relaxation(self, small_universe):
+        odd = LambdaPolicy(lambda r: r % 2 == 1)
+        even = LambdaPolicy(lambda r: r % 2 == 0)
+        assert not is_relaxation_of(odd, even, small_universe)
+        assert not is_relaxation_of(even, odd, small_universe)
+
+    def test_reflexive(self, parity_policy, small_universe):
+        assert is_relaxation_of(parity_policy, parity_policy, small_universe)
+
+
+class TestMinimumRelaxation:
+    def test_sensitive_only_when_all_sensitive(self, small_universe):
+        odd = LambdaPolicy(lambda r: r % 2 == 1)
+        big = LambdaPolicy(lambda r: r >= 2)
+        pmr = minimum_relaxation(odd, big)
+        # 3 is odd AND >= 2: sensitive under both, hence under P_mr.
+        assert pmr(3) == SENSITIVE
+        # 1 is odd but < 2: non-sensitive under P_mr.
+        assert pmr(1) == NON_SENSITIVE
+        assert pmr(0) == NON_SENSITIVE
+
+    def test_is_relaxation_of_each_input(self, small_universe):
+        odd = LambdaPolicy(lambda r: r % 2 == 1)
+        big = LambdaPolicy(lambda r: r >= 2)
+        pmr = minimum_relaxation(odd, big)
+        assert is_relaxation_of(pmr, odd, small_universe)
+        assert is_relaxation_of(pmr, big, small_universe)
+
+    def test_single_policy_passthrough(self, parity_policy):
+        assert minimum_relaxation(parity_policy) is parity_policy
+
+    def test_idempotent(self, parity_policy, small_universe):
+        pmr = minimum_relaxation(parity_policy, parity_policy)
+        for r in small_universe:
+            assert pmr(r) == parity_policy(r)
+
+    def test_empty_raises(self):
+        from repro.core.policy import MinimumRelaxationPolicy
+
+        with pytest.raises(ValueError):
+            MinimumRelaxationPolicy([])
+
+
+class TestStrictestCombination:
+    def test_sensitive_when_any_sensitive(self, small_universe):
+        odd = LambdaPolicy(lambda r: r % 2 == 1)
+        big = LambdaPolicy(lambda r: r >= 2)
+        strict = strictest_combination(odd, big)
+        assert strict(1) == SENSITIVE
+        assert strict(2) == SENSITIVE
+        assert strict(0) == NON_SENSITIVE
+
+    def test_inputs_relax_the_combination(self, small_universe):
+        odd = LambdaPolicy(lambda r: r % 2 == 1)
+        big = LambdaPolicy(lambda r: r >= 2)
+        strict = strictest_combination(odd, big)
+        assert is_relaxation_of(odd, strict, small_universe)
+        assert is_relaxation_of(big, strict, small_universe)
+
+
+class TestNonTrivialValidation:
+    def test_all_sensitive_rejected(self, mixed_records):
+        with pytest.raises(ValueError, match="every record sensitive"):
+            validate_non_trivial(AllSensitivePolicy(), mixed_records)
+
+    def test_all_non_sensitive_rejected(self, mixed_records):
+        with pytest.raises(ValueError, match="non-sensitive"):
+            validate_non_trivial(AllNonSensitivePolicy(), mixed_records)
+
+    def test_mixed_accepted(self, minor_policy, mixed_records):
+        validate_non_trivial(minor_policy, mixed_records)
+
+
+@st.composite
+def random_policy(draw):
+    """A policy as a random subset of a small integer universe."""
+    sensitive_set = draw(st.frozensets(st.integers(0, 7), max_size=8))
+    return LambdaPolicy(lambda r, s=sensitive_set: r in s)
+
+
+class TestRelaxationProperties:
+    universe = tuple(range(8))
+
+    @given(random_policy(), random_policy())
+    @settings(max_examples=60)
+    def test_minimum_relaxation_is_least_upper_bound(self, p1, p2):
+        pmr = minimum_relaxation(p1, p2)
+        assert is_relaxation_of(pmr, p1, self.universe)
+        assert is_relaxation_of(pmr, p2, self.universe)
+        # Strictness: P_mr is sensitive exactly where both are.
+        for r in self.universe:
+            assert pmr(r) == max(p1(r), p2(r))
+
+    @given(random_policy(), random_policy(), random_policy())
+    @settings(max_examples=40)
+    def test_minimum_relaxation_associative(self, p1, p2, p3):
+        left = minimum_relaxation(minimum_relaxation(p1, p2), p3)
+        right = minimum_relaxation(p1, minimum_relaxation(p2, p3))
+        for r in self.universe:
+            assert left(r) == right(r)
+
+    @given(random_policy(), random_policy())
+    @settings(max_examples=40)
+    def test_order_antisymmetry_on_extension(self, p1, p2):
+        both = is_relaxation_of(p1, p2, self.universe) and is_relaxation_of(
+            p2, p1, self.universe
+        )
+        if both:
+            for r in self.universe:
+                assert p1(r) == p2(r)

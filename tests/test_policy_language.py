@@ -1,0 +1,116 @@
+"""Tests for the declarative policy-specification language."""
+
+import pytest
+
+from repro.core.policy_language import (
+    PolicySpecError,
+    compile_policy,
+    policy_spec_fingerprint,
+    validate_spec,
+)
+
+MINOR = {"attr": "age", "op": "<=", "value": 17}
+OPT_OUT = {"attr": "opt_in", "op": "==", "value": False}
+
+
+class TestLeafSpecs:
+    def test_comparison_operators(self):
+        record = {"age": 20}
+        cases = [
+            ("==", 20, True),
+            ("!=", 20, False),
+            ("<", 25, True),
+            ("<=", 20, True),
+            (">", 19, True),
+            (">=", 21, False),
+        ]
+        for op, value, sensitive in cases:
+            policy = compile_policy({"attr": "age", "op": op, "value": value})
+            assert policy.is_sensitive(record) == sensitive, (op, value)
+
+    def test_in_operator(self):
+        policy = compile_policy(
+            {"attr": "race", "op": "in", "value": ["NativeAmerican"]}
+        )
+        assert policy.is_sensitive({"race": "NativeAmerican"})
+        assert policy.is_non_sensitive({"race": "Other"})
+
+    def test_not_in_operator(self):
+        policy = compile_policy(
+            {"attr": "region", "op": "not_in", "value": ["EU", "UK"]}
+        )
+        assert policy.is_sensitive({"region": "US"})
+        assert policy.is_non_sensitive({"region": "EU"})
+
+    def test_missing_keys_rejected(self):
+        with pytest.raises(PolicySpecError):
+            compile_policy({"attr": "age", "op": "<="})
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(PolicySpecError):
+            compile_policy({"attr": "age", "op": "~", "value": 1})
+
+
+class TestCombinators:
+    def test_any_is_union_of_sensitive(self):
+        """The paper's example 2 policy: opted-out OR Native American."""
+        policy = compile_policy({"any": [MINOR, OPT_OUT]})
+        assert policy.is_sensitive({"age": 15, "opt_in": True})
+        assert policy.is_sensitive({"age": 30, "opt_in": False})
+        assert policy.is_non_sensitive({"age": 30, "opt_in": True})
+
+    def test_all_requires_every_condition(self):
+        policy = compile_policy({"all": [MINOR, OPT_OUT]})
+        assert policy.is_sensitive({"age": 15, "opt_in": False})
+        assert policy.is_non_sensitive({"age": 15, "opt_in": True})
+
+    def test_not_negates(self):
+        policy = compile_policy({"not": MINOR})
+        assert policy.is_sensitive({"age": 40})
+        assert policy.is_non_sensitive({"age": 10})
+
+    def test_nested_composition(self):
+        spec = {"any": [{"all": [MINOR, OPT_OUT]}, {"not": OPT_OUT, }]}
+        # Sensitive when (minor AND opted out) OR opted in.
+        policy = compile_policy(spec)
+        assert policy.is_sensitive({"age": 10, "opt_in": False})
+        assert policy.is_sensitive({"age": 40, "opt_in": True})
+        assert policy.is_non_sensitive({"age": 40, "opt_in": False})
+
+    def test_empty_combinator_rejected(self):
+        with pytest.raises(PolicySpecError):
+            compile_policy({"any": []})
+
+    def test_ambiguous_combinators_rejected(self):
+        with pytest.raises(PolicySpecError):
+            compile_policy({"any": [MINOR], "all": [OPT_OUT]})
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(PolicySpecError):
+            compile_policy({"any": ["nonsense"]})
+
+
+class TestUtilities:
+    def test_validate_accepts_good_spec(self):
+        validate_spec({"any": [MINOR, OPT_OUT]})
+
+    def test_validate_rejects_bad_spec(self):
+        with pytest.raises(PolicySpecError):
+            validate_spec({"nope": 1})
+
+    def test_fingerprint_stable_and_order_insensitive(self):
+        a = {"attr": "age", "op": "<=", "value": 17}
+        b = {"value": 17, "op": "<=", "attr": "age"}
+        assert policy_spec_fingerprint(a) == policy_spec_fingerprint(b)
+        assert len(policy_spec_fingerprint(a)) == 16
+
+    def test_fingerprint_differs_across_specs(self):
+        assert policy_spec_fingerprint(MINOR) != policy_spec_fingerprint(OPT_OUT)
+
+    def test_custom_name(self):
+        policy = compile_policy(MINOR, name="minors")
+        assert policy.name == "minors"
+
+    def test_default_name_embeds_spec(self):
+        policy = compile_policy(MINOR)
+        assert "age" in policy.name

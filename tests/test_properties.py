@@ -1,0 +1,203 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These cover the cross-cutting guarantees the paper's proofs rely on:
+
+* OsdpRR satisfies the exact OSDP inequality on random tiny universes;
+* one-sided noise never inflates non-sensitive counts;
+* the zero-preservation invariant of OsdpLaplaceL1 and the mass
+  invariant of DAWAz post-processing;
+* metric axioms (regret >= 1, MRE scale behavior);
+* policy-sampling sub-histogram invariants under random inputs.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.policy import LambdaPolicy
+from repro.core.verifier import verify_osdp
+from repro.data.sampling import hilo_sampling, m_sampling
+from repro.evaluation.metrics import mean_relative_error
+from repro.mechanisms.dawa.dawa import DawaResult
+from repro.mechanisms.dawaz import apply_zero_postprocessing
+from repro.mechanisms.osdp_laplace import (
+    OsdpLaplaceHistogram,
+    OsdpLaplaceL1Histogram,
+)
+from repro.mechanisms.osdp_rr import OsdpRR
+from repro.queries.histogram import HistogramInput
+
+
+@st.composite
+def policy_and_database(draw):
+    """A random policy (subset of a 5-record universe) and database."""
+    universe = tuple(range(5))
+    sensitive = draw(
+        st.frozensets(st.sampled_from(universe), min_size=1, max_size=4)
+    )
+    db = tuple(draw(st.lists(st.sampled_from(universe), min_size=1, max_size=2)))
+    policy = LambdaPolicy(lambda r, s=sensitive: r in s)
+    return policy, db, universe
+
+
+class TestOsdpRRPrivacyProperty:
+    @given(policy_and_database(), st.sampled_from([0.2, 0.7, 1.3]))
+    @settings(max_examples=40, deadline=None)
+    def test_osdp_inequality_holds_exactly(self, setup, epsilon):
+        """Theorem 4.1 over randomly drawn policies and databases."""
+        policy, db, universe = setup
+        mech = OsdpRR(policy, epsilon)
+        result = verify_osdp(
+            mech.output_distribution, [db], policy, epsilon, universe
+        )
+        assert result.satisfied
+
+    @given(policy_and_database())
+    @settings(max_examples=20, deadline=None)
+    def test_output_distribution_normalized(self, setup):
+        policy, db, _ = setup
+        dist = OsdpRR(policy, 1.0).output_distribution(db)
+        assert sum(dist.values()) == pytest.approx(1.0)
+        assert all(p >= 0 for p in dist.values())
+
+
+@st.composite
+def histogram_input(draw):
+    n = draw(st.integers(2, 40))
+    x = np.array(draw(st.lists(st.integers(0, 60), min_size=n, max_size=n)), dtype=float)
+    fractions = np.array(
+        draw(st.lists(st.floats(0.0, 1.0), min_size=n, max_size=n))
+    )
+    x_ns = np.floor(x * fractions)
+    return HistogramInput(x=x, x_ns=x_ns)
+
+
+class TestOneSidedNoiseProperties:
+    @given(histogram_input(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_osdp_laplace_never_exceeds_x_ns(self, hist, seed):
+        out = OsdpLaplaceHistogram(1.0).release(
+            hist, np.random.default_rng(seed)
+        )
+        assert np.all(out <= hist.x_ns + 1e-9)
+
+    @given(histogram_input(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_l1_variant_zero_preservation(self, hist, seed):
+        """Bins with x_ns = 0 are always released as exactly 0, and the
+        output is non-negative."""
+        out = OsdpLaplaceL1Histogram(0.7).release(
+            hist, np.random.default_rng(seed)
+        )
+        assert np.all(out >= 0.0)
+        assert np.all(out[hist.x_ns == 0] == 0.0)
+
+    @given(histogram_input(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_osdp_rr_histogram_bounded(self, hist, seed):
+        from repro.mechanisms.osdp_rr import OsdpRRHistogram
+
+        out = OsdpRRHistogram(1.0).release(hist, np.random.default_rng(seed))
+        assert np.all(out >= 0)
+        assert np.all(out <= hist.x_ns)
+
+
+@st.composite
+def dawa_result_and_mask(draw):
+    n = draw(st.integers(2, 32))
+    estimate = np.array(
+        draw(st.lists(st.floats(0.0, 100.0), min_size=n, max_size=n))
+    )
+    # Random contiguous partition.
+    cuts = sorted(
+        draw(st.sets(st.integers(1, n - 1), max_size=min(5, n - 1)))
+    )
+    bounds = [0, *cuts, n]
+    buckets = list(zip(bounds, bounds[1:]))
+    mask = np.array(draw(st.lists(st.booleans(), min_size=n, max_size=n)))
+    return DawaResult(estimate=estimate, buckets=buckets), mask
+
+
+class TestDawaZPostprocessingProperties:
+    @given(dawa_result_and_mask())
+    @settings(max_examples=60, deadline=None)
+    def test_zeroed_bins_are_zero(self, setup):
+        result, mask = setup
+        out = apply_zero_postprocessing(result, mask)
+        assert np.all(out[mask] == 0.0)
+
+    @given(dawa_result_and_mask())
+    @settings(max_examples=60, deadline=None)
+    def test_bucket_mass_preserved_unless_fully_zeroed(self, setup):
+        result, mask = setup
+        out = apply_zero_postprocessing(result, mask)
+        for start, end in result.buckets:
+            if mask[start:end].all():
+                assert out[start:end].sum() == 0.0
+            else:
+                assert out[start:end].sum() == pytest.approx(
+                    result.estimate[start:end].sum(), rel=1e-9, abs=1e-7
+                )
+
+
+class TestSamplingProperties:
+    @given(
+        st.lists(st.integers(0, 200), min_size=8, max_size=64),
+        st.sampled_from([0.9, 0.5, 0.2]),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_m_sampling_sub_histogram(self, counts, rho, seed):
+        x = np.array(counts, dtype=np.int64)
+        assume(x.sum() > 20)
+        sample = m_sampling(x, rho, np.random.default_rng(seed))
+        assert np.all(sample.x_ns <= x)
+        assert np.all(sample.x_ns >= 0)
+
+    @given(
+        st.lists(st.integers(0, 200), min_size=8, max_size=64),
+        st.sampled_from([0.9, 0.5, 0.2]),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_hilo_sampling_exact_target(self, counts, rho, seed):
+        x = np.array(counts, dtype=np.int64)
+        assume(x.sum() > 20)
+        sample = hilo_sampling(x, rho, np.random.default_rng(seed))
+        assert np.all(sample.x_ns <= x)
+        target = max(1, round(rho * int(x.sum())))
+        assert int(sample.x_ns.sum()) == target
+
+
+class TestMetricProperties:
+    @given(
+        st.lists(st.floats(0.0, 1000.0), min_size=1, max_size=50),
+        st.floats(min_value=1.001, max_value=100.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_mre_scales_with_error_magnitude(self, values, factor):
+        x = np.array(values)
+        offset = np.ones_like(x)
+        small = mean_relative_error(x, x + offset)
+        large = mean_relative_error(x, x + factor * offset)
+        assert large == pytest.approx(factor * small, rel=1e-9)
+
+    @given(st.lists(st.floats(0.0, 1000.0), min_size=1, max_size=50))
+    @settings(max_examples=40, deadline=None)
+    def test_mre_identity_is_zero(self, values):
+        x = np.array(values)
+        assert mean_relative_error(x, x) == 0.0
+
+
+class TestReleaseProbabilityProperties:
+    @given(st.floats(min_value=0.001, max_value=10.0))
+    @settings(max_examples=50)
+    def test_retention_in_unit_interval(self, epsilon):
+        from repro.mechanisms.osdp_rr import release_probability
+
+        p = release_probability(epsilon)
+        assert 0.0 < p < 1.0
+        assert p == pytest.approx(1.0 - math.exp(-epsilon))

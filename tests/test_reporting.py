@@ -1,0 +1,76 @@
+"""Tests for result persistence and markdown rendering."""
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.evaluation.reporting import (
+    load_results,
+    markdown_table,
+    nested_dict_to_rows,
+    save_results,
+)
+
+
+@dataclass
+class Sample:
+    name: str
+    value: float
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, tmp_path):
+        results = {"a": 1, "b": [1.5, 2.5], "c": {"nested": True}}
+        path = save_results(results, tmp_path / "out.json")
+        assert load_results(path) == results
+
+    def test_dataclass_serialized(self, tmp_path):
+        path = save_results(Sample("x", 2.0), tmp_path / "out.json")
+        assert load_results(path) == {"name": "x", "value": 2.0}
+
+    def test_numpy_values_serialized(self, tmp_path):
+        results = {"arr": np.array([1.0, 2.0]), "scalar": np.float64(3.5)}
+        path = save_results(results, tmp_path / "out.json")
+        assert load_results(path) == {"arr": [1.0, 2.0], "scalar": 3.5}
+
+    def test_nan_becomes_null(self, tmp_path):
+        path = save_results({"v": math.nan}, tmp_path / "out.json")
+        assert load_results(path) == {"v": None}
+
+    def test_non_string_keys_stringified(self, tmp_path):
+        path = save_results({1.0: {99: 0.5}}, tmp_path / "out.json")
+        assert load_results(path) == {"1.0": {"99": 0.5}}
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = save_results({}, tmp_path / "deep" / "dir" / "out.json")
+        assert path.exists()
+
+
+class TestMarkdown:
+    def test_table_structure(self):
+        text = markdown_table(["a", "b"], [["x", 1.23456]])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert "1.235" in lines[2]
+
+    def test_nested_dict_to_rows(self):
+        table = {"P99": {"osdp": 0.1, "dp": 0.5}, "P50": {"osdp": 0.3, "dp": 0.5}}
+        headers, rows = nested_dict_to_rows(table, row_label="policy")
+        assert headers == ["policy", "osdp", "dp"]
+        assert rows[0] == ["P99", 0.1, 0.5]
+
+    def test_nested_dict_missing_cells(self):
+        table = {"r1": {"a": 1.0}, "r2": {}}
+        _headers, rows = nested_dict_to_rows(table)
+        assert rows[1] == ["r2", ""]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            nested_dict_to_rows({})
+
+    def test_flat_dict_rejected(self):
+        with pytest.raises(ValueError):
+            nested_dict_to_rows({"a": 1.0})

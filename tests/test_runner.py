@@ -1,0 +1,60 @@
+"""Tests for the trial runner and table formatter."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.runner import average_over_trials, format_table, spawn_rngs
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_deterministic(self):
+        a = [g.random() for g in spawn_rngs(7, 3)]
+        b = [g.random() for g in spawn_rngs(7, 3)]
+        assert a == b
+
+    def test_independent_streams(self):
+        values = [g.random() for g in spawn_rngs(7, 10)]
+        assert len(set(values)) == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, 0)
+
+
+class TestAverageOverTrials:
+    def test_averages(self):
+        result = average_over_trials(lambda rng: 2.0, n_trials=4, seed=0)
+        assert result == 2.0
+
+    def test_deterministic_in_seed(self):
+        fn = lambda rng: float(rng.random())  # noqa: E731
+        a = average_over_trials(fn, n_trials=10, seed=3)
+        b = average_over_trials(fn, n_trials=10, seed=3)
+        assert a == b
+
+    def test_uses_different_rngs(self):
+        values = []
+        average_over_trials(
+            lambda rng: values.append(rng.random()) or 0.0, n_trials=5, seed=0
+        )
+        assert len(set(values)) == 5
+
+
+class TestFormatTable:
+    def test_contains_headers_and_rows(self):
+        text = format_table(["name", "value"], [["laplace", 1.2345]])
+        assert "name" in text
+        assert "laplace" in text
+        assert "1.234" in text
+
+    def test_alignment_consistent(self):
+        text = format_table(["a", "b"], [["xx", 1.0], ["y", 22.0]])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines if line.strip()}) <= 2
+
+    def test_empty_rows(self):
+        text = format_table(["col"], [])
+        assert "col" in text

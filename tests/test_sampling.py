@@ -1,0 +1,114 @@
+"""Tests for the MSampling / HiLoSampling policy simulators (§6.1.2)."""
+
+import numpy as np
+import pytest
+
+from repro.data.dpbench import generate_dpbench
+from repro.data.sampling import (
+    PolicySample,
+    hilo_sampling,
+    m_sampling,
+    shape_distance,
+)
+
+
+@pytest.fixture
+def histogram(rng):
+    x = np.zeros(512, dtype=np.int64)
+    support = rng.choice(512, size=128, replace=False)
+    x[support] = rng.poisson(80, size=128)
+    return x
+
+
+class TestPolicySample:
+    def test_sub_histogram_enforced(self):
+        with pytest.raises(ValueError):
+            PolicySample(
+                x=np.array([1, 2]),
+                x_ns=np.array([2, 2]),
+                policy_name="bad",
+                rho_x=0.5,
+            )
+
+    def test_achieved_ratio(self):
+        sample = PolicySample(
+            x=np.array([10, 10]),
+            x_ns=np.array([5, 5]),
+            policy_name="close",
+            rho_x=0.5,
+        )
+        assert sample.achieved_ratio == pytest.approx(0.5)
+
+
+class TestMSampling:
+    def test_ratio_near_target(self, histogram, rng):
+        for rho in (0.9, 0.5, 0.1):
+            sample = m_sampling(histogram, rho, rng)
+            assert sample.achieved_ratio == pytest.approx(rho, abs=0.05)
+
+    def test_sub_histogram(self, histogram, rng):
+        sample = m_sampling(histogram, 0.5, rng)
+        assert np.all(sample.x_ns <= histogram)
+
+    def test_shape_preserved(self, histogram, rng):
+        """Close policy: normalized shapes are close (the paper's theta)."""
+        sample = m_sampling(histogram, 0.5, rng, theta=0.1)
+        assert shape_distance(histogram, sample.x_ns) < 0.15
+
+    def test_policy_name(self, histogram, rng):
+        assert m_sampling(histogram, 0.5, rng).policy_name == "close"
+
+    def test_invalid_rho(self, histogram, rng):
+        with pytest.raises(ValueError):
+            m_sampling(histogram, 0.0, rng)
+
+    def test_rho_one_keeps_everything(self, histogram, rng):
+        sample = m_sampling(histogram, 1.0, rng)
+        assert np.array_equal(sample.x_ns, histogram)
+
+
+class TestHiLoSampling:
+    def test_ratio_near_target(self, histogram, rng):
+        for rho in (0.9, 0.5, 0.1):
+            sample = hilo_sampling(histogram, rho, rng)
+            assert sample.achieved_ratio == pytest.approx(rho, abs=0.05)
+
+    def test_sub_histogram(self, histogram, rng):
+        sample = hilo_sampling(histogram, 0.5, rng)
+        assert np.all(sample.x_ns <= histogram)
+
+    def test_far_policy_more_distorted_than_close(self, rng):
+        """The defining property: HiLo's shape diverges from x much more
+        than MSampling's (Close vs Far)."""
+        x = generate_dpbench("searchlogs", seed=0)
+        close = m_sampling(x, 0.25, rng)
+        distances_far = []
+        for seed in range(5):
+            far = hilo_sampling(x, 0.25, np.random.default_rng(seed))
+            distances_far.append(shape_distance(x, far.x_ns))
+        assert np.mean(distances_far) > 2 * shape_distance(x, close.x_ns)
+
+    def test_gamma_validation(self, histogram, rng):
+        with pytest.raises(ValueError):
+            hilo_sampling(histogram, 0.5, rng, gamma=1.0)
+
+    def test_empty_histogram_rejected(self, rng):
+        with pytest.raises(ValueError):
+            hilo_sampling(np.zeros(8, dtype=np.int64), 0.5, rng)
+
+    def test_policy_name(self, histogram, rng):
+        assert hilo_sampling(histogram, 0.5, rng).policy_name == "far"
+
+
+class TestShapeDistance:
+    def test_identical_is_zero(self, histogram):
+        assert shape_distance(histogram, histogram) == pytest.approx(0.0)
+
+    def test_disjoint_is_one(self):
+        a = np.array([10, 0], dtype=np.int64)
+        b = np.array([0, 10], dtype=np.int64)
+        assert shape_distance(a, b) == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            shape_distance(np.zeros(3), np.ones(3))

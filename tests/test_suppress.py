@@ -1,0 +1,92 @@
+"""Tests for the Suppress PDP baseline (Section 3.4, Fig 10)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.policy import LambdaPolicy
+from repro.mechanisms.suppress import Suppress, SuppressHistogram
+from repro.queries.histogram import HistogramInput
+
+ODD = LambdaPolicy(lambda r: r % 2 == 1, name="odd")
+
+
+class TestSuppressRecordLevel:
+    def test_retained_drops_all_sensitive(self):
+        suppress = Suppress(ODD, tau=10.0)
+        assert suppress.retained([0, 1, 2, 3, 4]) == [0, 2, 4]
+
+    def test_tau_validation(self):
+        with pytest.raises(ValueError):
+            Suppress(ODD, tau=-1.0)
+
+    def test_tau_none_means_infinity(self):
+        suppress = Suppress(ODD, tau=None)
+        assert suppress.exclusion_freedom_phi == math.inf
+
+    def test_pdp_guarantee_structure(self):
+        suppress = Suppress(ODD, tau=10.0)
+        g = suppress.guarantee
+        assert g.epsilon_of(2) == math.inf  # non-sensitive
+        assert g.epsilon_of(1) == 10.0  # sensitive
+
+    def test_output_distribution_deterministic(self):
+        suppress = Suppress(ODD, tau=None)
+        dist = suppress.output_distribution((0, 1, 2))
+        assert dist == {(0, 2): 1.0}
+
+    def test_output_distribution_finite_tau_unimplemented(self):
+        with pytest.raises(NotImplementedError):
+            Suppress(ODD, tau=5.0).output_distribution((0,))
+
+
+class TestSuppressHistogram:
+    def test_large_tau_approaches_exact_x_ns(self, small_hist, rng):
+        mech = SuppressHistogram(tau=10_000.0)
+        out = mech.release(small_hist, rng)
+        assert np.allclose(out, small_hist.x_ns, atol=0.1)
+
+    def test_noise_scale_is_2_over_tau(self, rng):
+        x = np.zeros(4096)
+        hist = HistogramInput(x=x, x_ns=x.copy())
+        mech = SuppressHistogram(tau=10.0)
+        out = mech.release(hist, rng)
+        # Clipped |Lap(0.2)| has mean scale/2 = 0.1.
+        assert np.mean(out) == pytest.approx(0.1, rel=0.1)
+
+    def test_name_embeds_tau(self):
+        assert SuppressHistogram(tau=100.0).name == "suppress100"
+
+    def test_ns_ratio_scaling(self, rng):
+        x = np.full(16, 100.0)
+        x_ns = np.full(16, 25.0)
+        hist = HistogramInput(x=x, x_ns=x_ns)
+        mech = SuppressHistogram(tau=10_000.0, ns_ratio=0.25)
+        out = mech.release(hist, rng)
+        assert np.allclose(out, 100.0, atol=1.0)
+
+    def test_more_accurate_than_matched_osdp_but_weaker_protection(
+        self, small_hist, rng
+    ):
+        """Fig 10's tradeoff: Suppress100 is accurate because tau = 100
+        buys 100x weaker exclusion-attack freedom than (P, 1)-OSDP."""
+        from repro.mechanisms.osdp_laplace import OsdpLaplaceL1Histogram
+
+        suppress = SuppressHistogram(tau=100.0)
+        osdp = OsdpLaplaceL1Histogram(epsilon=1.0)
+        sup_err = np.mean(
+            [
+                np.abs(suppress.release(small_hist, rng) - small_hist.x_ns).sum()
+                for _ in range(50)
+            ]
+        )
+        osdp_err = np.mean(
+            [
+                np.abs(osdp.release(small_hist, rng) - small_hist.x_ns).sum()
+                for _ in range(50)
+            ]
+        )
+        assert sup_err < osdp_err
+        record_level = Suppress(ODD, tau=100.0)
+        assert record_level.exclusion_freedom_phi == 100.0  # vs phi = 1

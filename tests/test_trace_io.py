@@ -1,0 +1,119 @@
+"""Tests for the Wi-Fi trace ingestion pipeline."""
+
+import pytest
+
+from repro.data.tippers import TippersConfig, generate_tippers
+from repro.data.trace_io import (
+    SECONDS_PER_DAY,
+    SECONDS_PER_SLOT,
+    AssociationEvent,
+    build_trajectories,
+    export_events,
+    parse_events,
+)
+
+
+def event(ap, device, day=0, slot=0, offset=0.0):
+    return AssociationEvent(
+        ap=ap,
+        device=device,
+        timestamp=day * SECONDS_PER_DAY + slot * SECONDS_PER_SLOT + offset,
+    )
+
+
+class TestEventParsing:
+    def test_basic_rows(self):
+        rows = ["ap1,deviceA,600", "ap2,deviceA,1200"]
+        events = list(parse_events(rows))
+        assert events[0].ap == "ap1"
+        assert events[0].slot == 1
+        assert events[1].slot == 2
+
+    def test_header_skipped(self):
+        rows = ["ap,device,timestamp", "ap1,d,0"]
+        assert len(list(parse_events(rows))) == 1
+
+    def test_bad_column_count(self):
+        with pytest.raises(ValueError, match="expected"):
+            list(parse_events(["onlyonefield"]))
+
+    def test_bad_timestamp(self):
+        with pytest.raises(ValueError, match="timestamp"):
+            list(parse_events(["ap,dev,yesterday"]))
+
+    def test_day_and_slot_derivation(self):
+        e = AssociationEvent("a", "d", SECONDS_PER_DAY * 3 + 605)
+        assert e.day == 3
+        assert e.slot == 1
+
+
+class TestBuildTrajectories:
+    def test_single_user_day(self):
+        events = [event("a", "bob", slot=10), event("a", "bob", slot=11)]
+        trajectories, ap_index = build_trajectories(events)
+        assert len(trajectories) == 1
+        t = trajectories[0]
+        assert t.slots == ((10, ap_index["a"]), (11, ap_index["a"]))
+
+    def test_dominant_ap_per_slot(self):
+        """Most frequent AP in a slot wins (the paper's discretization)."""
+        events = [
+            event("weak", "bob", slot=5, offset=0),
+            event("strong", "bob", slot=5, offset=100),
+            event("strong", "bob", slot=5, offset=200),
+        ]
+        trajectories, ap_index = build_trajectories(events)
+        assert trajectories[0].slots == ((5, ap_index["strong"]),)
+
+    def test_gap_filled_by_carry_forward(self):
+        events = [event("a", "bob", slot=3), event("b", "bob", slot=6)]
+        trajectories, ap_index = build_trajectories(events)
+        aps = trajectories[0].aps
+        assert len(aps) == 4  # slots 3..6 contiguous
+        assert aps == (ap_index["a"], ap_index["a"], ap_index["a"], ap_index["b"])
+
+    def test_separate_days_separate_trajectories(self):
+        events = [event("a", "bob", day=0), event("a", "bob", day=1)]
+        trajectories, _ = build_trajectories(events)
+        assert len(trajectories) == 2
+        assert trajectories[0].user_id == trajectories[1].user_id
+
+    def test_fixed_ap_index_enforced(self):
+        with pytest.raises(KeyError):
+            build_trajectories([event("mystery", "bob")], ap_index={"a": 0})
+
+    def test_deterministic_user_ids(self):
+        events = [event("a", "zoe"), event("a", "adam")]
+        trajectories, _ = build_trajectories(events)
+        by_user = {t.user_id for t in trajectories}
+        assert by_user == {0, 1}
+
+
+class TestRoundTrip:
+    def test_synthetic_trace_round_trips(self):
+        dataset = generate_tippers(TippersConfig(n_users=30, n_days=5, seed=2))
+        csv_text = export_events(dataset.trajectories)
+        events = list(parse_events(csv_text.splitlines()))
+        rebuilt, ap_index = build_trajectories(events)
+        assert len(rebuilt) == len(dataset.trajectories)
+        # Slot coverage and AP sequences survive the round trip (user
+        # ids are re-densified, so compare sorted slot structures).
+        original = sorted(
+            (t.day, t.start_slot, len(t.slots)) for t in dataset.trajectories
+        )
+        recovered = sorted((t.day, t.start_slot, len(t.slots)) for t in rebuilt)
+        assert original == recovered
+
+    def test_export_rejects_bad_slot(self):
+        from repro.data.tippers import Trajectory
+
+        bad = Trajectory(user_id=0, day=0, slots=((999, 0),))
+        with pytest.raises(ValueError):
+            export_events([bad])
+
+    def test_export_uses_ap_names(self):
+        from repro.data.tippers import Trajectory
+
+        t = Trajectory(user_id=0, day=0, slots=((0, 7),))
+        text = export_events([t], ap_names={7: "lounge"})
+        assert "lounge" in text

@@ -1,0 +1,144 @@
+"""Tests for the exact privacy verifier, incl. Theorem 4.1 executable checks."""
+
+import math
+
+import pytest
+
+from repro.core.policy import AllSensitivePolicy, LambdaPolicy
+from repro.core.verifier import max_likelihood_ratio, verify_dp, verify_osdp
+from repro.mechanisms.osdp_rr import OsdpRR
+
+ODD = LambdaPolicy(lambda r: r % 2 == 1, name="odd")
+UNIVERSE = (0, 1, 2, 3)
+
+
+def randomized_response_mechanism(p_truth: float):
+    """Classic binary randomized response over single-bit databases."""
+
+    def mechanism(db: tuple) -> dict:
+        bit = db[0]
+        return {bit: p_truth, 1 - bit: 1.0 - p_truth}
+
+    return mechanism
+
+
+class TestMaxLikelihoodRatio:
+    def test_identical_distributions(self):
+        d = {"a": 0.5, "b": 0.5}
+        assert max_likelihood_ratio(d, d) == pytest.approx(1.0)
+
+    def test_unbounded_when_support_differs(self):
+        assert max_likelihood_ratio({"a": 1.0}, {"b": 1.0}) == math.inf
+
+    def test_ratio_value(self):
+        a = {"x": 0.8, "y": 0.2}
+        b = {"x": 0.4, "y": 0.6}
+        assert max_likelihood_ratio(a, b) == pytest.approx(2.0)
+
+
+class TestVerifyDP:
+    def test_randomized_response_satisfies_its_epsilon(self):
+        p = 0.75
+        eps = math.log(p / (1 - p))
+        mech = randomized_response_mechanism(p)
+        result = verify_dp(mech, [(0,), (1,)], eps, universe=(0, 1))
+        assert result.satisfied
+        assert result.max_ratio == pytest.approx(math.exp(eps))
+
+    def test_randomized_response_fails_smaller_epsilon(self):
+        p = 0.75
+        eps = math.log(p / (1 - p))
+        mech = randomized_response_mechanism(p)
+        result = verify_dp(mech, [(0,), (1,)], eps * 0.5, universe=(0, 1))
+        assert not result.satisfied
+        assert result.violation is not None
+        assert result.tight_epsilon == pytest.approx(eps)
+
+    def test_identity_mechanism_not_dp(self):
+        mech = lambda db: {db: 1.0}  # noqa: E731 - release everything
+        result = verify_dp(mech, [(0,)], 5.0, universe=(0, 1))
+        assert not result.satisfied
+        assert result.max_ratio == math.inf
+
+    def test_invalid_distribution_rejected(self):
+        mech = lambda db: {0: 0.4}  # noqa: E731 - doesn't sum to 1
+        with pytest.raises(ValueError):
+            verify_dp(mech, [(0,)], 1.0, universe=(0, 1))
+
+
+class TestTheorem41OsdpRR:
+    """Executable version of Theorem 4.1: OsdpRR satisfies (P, eps)-OSDP."""
+
+    @pytest.mark.parametrize("epsilon", [0.1, 0.5, 1.0, 2.0])
+    def test_single_record_databases(self, epsilon):
+        mech = OsdpRR(ODD, epsilon)
+        databases = [(r,) for r in UNIVERSE]
+        result = verify_osdp(
+            mech.output_distribution, databases, ODD, epsilon, UNIVERSE
+        )
+        assert result.satisfied
+
+    def test_two_record_databases(self):
+        epsilon = 0.8
+        mech = OsdpRR(ODD, epsilon)
+        databases = [(a, b) for a in UNIVERSE for b in UNIVERSE]
+        result = verify_osdp(
+            mech.output_distribution, databases, ODD, epsilon, UNIVERSE
+        )
+        assert result.satisfied
+
+    def test_bound_is_tight(self):
+        """Case 2.2 of the proof achieves the ratio e^eps exactly."""
+        epsilon = 1.0
+        mech = OsdpRR(ODD, epsilon)
+        databases = [(r,) for r in UNIVERSE]
+        result = verify_osdp(
+            mech.output_distribution, databases, ODD, epsilon, UNIVERSE
+        )
+        assert result.max_ratio == pytest.approx(math.exp(epsilon))
+
+    def test_fails_tighter_epsilon(self):
+        epsilon = 1.0
+        mech = OsdpRR(ODD, epsilon)
+        databases = [(r,) for r in UNIVERSE]
+        result = verify_osdp(
+            mech.output_distribution, databases, ODD, epsilon / 2, UNIVERSE
+        )
+        assert not result.satisfied
+
+    def test_osdp_rr_does_not_satisfy_dp(self):
+        """Releasing true records can never be DP: outputs disagree."""
+        epsilon = 1.0
+        mech = OsdpRR(ODD, epsilon)
+        result = verify_dp(
+            mech.output_distribution, [(0,), (2,)], 10.0, universe=(0, 2)
+        )
+        assert not result.satisfied
+        assert result.max_ratio == math.inf
+
+
+class TestRevealAllFailsOSDP:
+    """Suppress with tau = inf (reveal all non-sensitive) is not OSDP."""
+
+    def test_reveal_all_violates_osdp(self):
+        from repro.core.exclusion import reveal_non_sensitive_mechanism
+
+        mech = reveal_non_sensitive_mechanism(ODD)
+        databases = [(r,) for r in UNIVERSE]
+        result = verify_osdp(mech, databases, ODD, epsilon=100.0, universe=UNIVERSE)
+        assert not result.satisfied
+        assert result.max_ratio == math.inf
+
+    def test_all_sensitive_policy_makes_reveal_trivially_constant(self):
+        from repro.core.exclusion import reveal_non_sensitive_mechanism
+
+        mech = reveal_non_sensitive_mechanism(AllSensitivePolicy())
+        result = verify_osdp(
+            mech,
+            [(r,) for r in UNIVERSE],
+            AllSensitivePolicy(),
+            epsilon=0.01,
+            universe=UNIVERSE,
+        )
+        # Releasing nothing is perfectly private.
+        assert result.satisfied

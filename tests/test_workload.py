@@ -1,0 +1,59 @@
+"""Tests for workload matrices."""
+
+import numpy as np
+import pytest
+
+from repro.queries.workload import (
+    identity_workload,
+    prefix_workload,
+    random_range_workload,
+    range_workload,
+    workload_error,
+)
+
+
+class TestIdentity:
+    def test_shape(self):
+        assert identity_workload(4).shape == (4, 4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            identity_workload(0)
+
+
+class TestPrefix:
+    def test_lower_triangular(self):
+        w = prefix_workload(3)
+        assert np.array_equal(w, [[1, 0, 0], [1, 1, 0], [1, 1, 1]])
+
+    def test_answers_are_cumsum(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert np.array_equal(prefix_workload(3) @ x, np.cumsum(x))
+
+
+class TestRange:
+    def test_indicator_rows(self):
+        w = range_workload(5, [(1, 4)])
+        assert np.array_equal(w, [[0, 1, 1, 1, 0]])
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            range_workload(5, [(3, 3)])
+        with pytest.raises(ValueError):
+            range_workload(5, [(0, 6)])
+
+    def test_random_ranges_valid(self, rng):
+        w = random_range_workload(16, 10, rng)
+        assert w.shape == (10, 16)
+        assert np.all(w.sum(axis=1) >= 1)
+
+
+class TestWorkloadError:
+    def test_zero_for_exact_estimate(self):
+        x = np.array([1.0, 2.0])
+        assert workload_error(identity_workload(2), x, x) == 0.0
+
+    def test_mean_absolute(self):
+        x = np.array([1.0, 2.0])
+        est = np.array([2.0, 0.0])
+        assert workload_error(identity_workload(2), x, est) == pytest.approx(1.5)
