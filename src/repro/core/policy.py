@@ -16,12 +16,95 @@ constituent policy protected it.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
+
+import numpy as np
 
 Record = object
 
 SENSITIVE = 0
 NON_SENSITIVE = 1
+
+MASK_DTYPE = np.int8
+
+
+def _column(columns, attribute: str) -> np.ndarray:
+    """Fetch one attribute column from a column bundle or mapping."""
+    return columns[attribute]
+
+
+def _bundle_length(columns) -> int:
+    if isinstance(columns, Mapping):
+        for column in columns.values():
+            return len(column)
+        return 0
+    try:
+        return len(columns)  # ColumnarDatabase defines record count
+    except TypeError:
+        raise TypeError(
+            "column bundle must define len() as its record count"
+        ) from None
+
+
+def _iter_bundle_records(columns) -> Iterable[Record]:
+    """Reconstruct per-record views for the scalar fallback path."""
+    iter_records = getattr(columns, "iter_records", None)
+    if iter_records is not None:
+        return iter_records()
+    if isinstance(columns, Mapping):
+        names = list(columns)
+        arrays = [np.asarray(columns[name]) for name in names]
+        return (
+            {name: arr[i] for name, arr in zip(names, arrays)}
+            for i in range(len(arrays[0]) if arrays else 0)
+        )
+    raise TypeError(f"cannot iterate records of {type(columns).__name__}")
+
+
+def _mask_from_bool(sensitive: np.ndarray) -> np.ndarray:
+    """bool 'is sensitive' array -> {0, 1} mask (0 = sensitive)."""
+    return np.where(sensitive, SENSITIVE, NON_SENSITIVE).astype(MASK_DTYPE)
+
+
+class BatchUnsupported(Exception):
+    """A vectorized evaluation cannot honor Python scalar semantics.
+
+    Raised by :func:`members_isin` (and usable by custom batch
+    predicates) to force the exact per-record fallback.
+    """
+
+
+def members_isin(values: np.ndarray, members) -> np.ndarray:
+    """``np.isin`` matching Python set-membership semantics, or raise.
+
+    ``np.isin`` matches by ``==``, which disagrees with set membership
+    for NaN (hash-identity), and ``np.asarray`` coerces mixed-type
+    member lists to strings, silently un-matching numeric members.
+    Whenever vectorized membership could diverge from per-record
+    ``value in members``, :class:`BatchUnsupported` is raised so the
+    caller falls back to exact evaluation.
+    """
+    members = list(members)
+    if any(isinstance(v, float) and v != v for v in members):
+        raise BatchUnsupported("NaN member: isin diverges from set membership")
+    members_arr = np.asarray(members)
+    values = np.asarray(values)
+    numeric = "biufc"
+    kinds_ok = (
+        values.dtype.kind == "O"
+        or members_arr.dtype.kind == "O"
+        or (values.dtype.kind in numeric and members_arr.dtype.kind in numeric)
+        or (values.dtype.kind in "US" and members_arr.dtype.kind in "US")
+    )
+    if not kinds_ok:
+        raise BatchUnsupported(
+            f"member dtype {members_arr.dtype} incomparable with "
+            f"column dtype {values.dtype}"
+        )
+    try:
+        return np.isin(values, members_arr)
+    except TypeError as exc:  # e.g. unsortable mixed objects
+        raise BatchUnsupported(str(exc)) from exc
 
 
 class Policy(ABC):
@@ -32,6 +115,26 @@ class Policy(ABC):
     @abstractmethod
     def __call__(self, record: Record) -> int:
         """Return 0 if ``record`` is sensitive, 1 if non-sensitive."""
+
+    def evaluate_batch(self, columns) -> np.ndarray:
+        """Vectorized evaluation over a column bundle.
+
+        ``columns`` is anything indexable by attribute name that yields
+        per-record numpy arrays — a :class:`repro.data.columnar.ColumnarDatabase`
+        or a plain ``dict`` of arrays.  Returns an int8 array of
+        ``SENSITIVE``/``NON_SENSITIVE`` labels, one per record,
+        bit-identical to calling the policy on each record.
+
+        Subclasses with a natural numpy formulation override this; the
+        base implementation is the per-record fallback, so every policy
+        works on the columnar path.
+        """
+        n = _bundle_length(columns)
+        return np.fromiter(
+            (self(r) for r in _iter_bundle_records(columns)),
+            dtype=MASK_DTYPE,
+            count=n,
+        )
 
     def is_sensitive(self, record: Record) -> bool:
         return self(record) == SENSITIVE
@@ -73,15 +176,34 @@ class LambdaPolicy(Policy):
 
     ``sensitive_when`` receives a record and returns True when the record
     is *sensitive* (the predicate convention is usually easier to read
-    than the paper's 0/1 encoding).
+    than the paper's 0/1 encoding).  ``sensitive_when_batch``, when
+    given, receives a column bundle and returns a boolean per-record
+    array — the vectorized form used by ``evaluate_batch`` (with a
+    per-record fallback if it raises).
     """
 
-    def __init__(self, sensitive_when: Callable[[Record], bool], name: str = "lambda"):
+    def __init__(
+        self,
+        sensitive_when: Callable[[Record], bool],
+        name: str = "lambda",
+        sensitive_when_batch: Callable[[object], np.ndarray] | None = None,
+    ):
         self._sensitive_when = sensitive_when
+        self._sensitive_when_batch = sensitive_when_batch
         self.name = name
 
     def __call__(self, record: Record) -> int:
         return SENSITIVE if self._sensitive_when(record) else NON_SENSITIVE
+
+    def evaluate_batch(self, columns) -> np.ndarray:
+        if self._sensitive_when_batch is not None:
+            try:
+                sensitive = np.asarray(self._sensitive_when_batch(columns))
+            except Exception:
+                return super().evaluate_batch(columns)
+            if sensitive.shape == (_bundle_length(columns),):
+                return _mask_from_bool(sensitive.astype(bool))
+        return super().evaluate_batch(columns)
 
 
 class AttributePolicy(Policy):
@@ -105,6 +227,41 @@ class AttributePolicy(Policy):
         value = record[self.attribute]  # type: ignore[index]
         return SENSITIVE if self._predicate(value) else NON_SENSITIVE
 
+    def evaluate_batch(self, columns) -> np.ndarray:
+        """Vectorized when the predicate broadcasts **elementwise**.
+
+        Elementwise predicates (comparisons, arithmetic tests) evaluate
+        on the whole column at once; predicates that cannot broadcast
+        (e.g. ones using ``in`` or branching on the value) fall back to
+        the exact per-record loop.  A predicate that broadcasts but is
+        not elementwise (e.g. one comparing against an aggregate of its
+        input like ``v > v.mean()``) cannot be detected in general; the
+        spot check below catches the common cases, but such predicates
+        are outside the vectorization contract — use the per-record
+        path (or an explicit elementwise formulation) for them.
+        """
+        values = np.asarray(_column(columns, self.attribute))
+        try:
+            result = np.asarray(self._predicate(values))
+        except Exception:
+            result = None
+        if result is not None and result.shape == values.shape:
+            # Spot-check a few positions against scalar evaluation to
+            # catch broadcastable-but-not-elementwise predicates.
+            n = len(values)
+            probes = {0, n // 2, n - 1} if n else set()
+            if all(
+                bool(self._predicate(values[i])) == bool(result[i])
+                for i in probes
+            ):
+                return _mask_from_bool(result.astype(bool))
+        sensitive = np.fromiter(
+            (bool(self._predicate(v)) for v in values),
+            dtype=bool,
+            count=len(values),
+        )
+        return _mask_from_bool(sensitive)
+
 
 class SensitiveValuePolicy(Policy):
     """Record is sensitive when ``record[attribute]`` is in a fixed set.
@@ -122,6 +279,14 @@ class SensitiveValuePolicy(Policy):
         value = record[self.attribute]  # type: ignore[index]
         return SENSITIVE if value in self.sensitive_values else NON_SENSITIVE
 
+    def evaluate_batch(self, columns) -> np.ndarray:
+        values = np.asarray(_column(columns, self.attribute))
+        try:
+            hit = members_isin(values, self.sensitive_values)
+        except BatchUnsupported:
+            return super().evaluate_batch(columns)
+        return _mask_from_bool(hit)
+
 
 class OptInPolicy(Policy):
     """Record is non-sensitive only when the user opted in to sharing.
@@ -137,6 +302,10 @@ class OptInPolicy(Policy):
     def __call__(self, record: Record) -> int:
         return NON_SENSITIVE if record[self.attribute] else SENSITIVE  # type: ignore[index]
 
+    def evaluate_batch(self, columns) -> np.ndarray:
+        values = np.asarray(_column(columns, self.attribute))
+        return _mask_from_bool(~values.astype(bool))
+
 
 class AllSensitivePolicy(Policy):
     """``P_all`` (Definition 3.7): every record is sensitive.
@@ -149,6 +318,9 @@ class AllSensitivePolicy(Policy):
 
     def __call__(self, record: Record) -> int:
         return SENSITIVE
+
+    def evaluate_batch(self, columns) -> np.ndarray:
+        return np.full(_bundle_length(columns), SENSITIVE, dtype=MASK_DTYPE)
 
 
 class AllNonSensitivePolicy(Policy):
@@ -164,6 +336,9 @@ class AllNonSensitivePolicy(Policy):
 
     def __call__(self, record: Record) -> int:
         return NON_SENSITIVE
+
+    def evaluate_batch(self, columns) -> np.ndarray:
+        return np.full(_bundle_length(columns), NON_SENSITIVE, dtype=MASK_DTYPE)
 
 
 class MinimumRelaxationPolicy(Policy):
@@ -183,6 +358,11 @@ class MinimumRelaxationPolicy(Policy):
     def __call__(self, record: Record) -> int:
         return max(p(record) for p in self.policies)
 
+    def evaluate_batch(self, columns) -> np.ndarray:
+        return np.maximum.reduce(
+            [p.evaluate_batch(columns) for p in self.policies]
+        )
+
 
 class IntersectionPolicy(Policy):
     """``P(r) = min_i P_i(r)``: sensitive under *any* constituent policy.
@@ -200,6 +380,11 @@ class IntersectionPolicy(Policy):
 
     def __call__(self, record: Record) -> int:
         return min(p(record) for p in self.policies)
+
+    def evaluate_batch(self, columns) -> np.ndarray:
+        return np.minimum.reduce(
+            [p.evaluate_batch(columns) for p in self.policies]
+        )
 
 
 def minimum_relaxation(*policies: Policy) -> Policy:

@@ -32,7 +32,9 @@ import json
 import operator
 from typing import Callable, Mapping
 
-from repro.core.policy import LambdaPolicy, Policy
+import numpy as np
+
+from repro.core.policy import LambdaPolicy, Policy, members_isin
 
 _COMPARATORS: dict[str, Callable[[object, object], bool]] = {
     "==": operator.eq,
@@ -65,6 +67,29 @@ def _compile_leaf(spec: Mapping) -> Callable[[object], bool]:
     raise PolicySpecError(f"unknown operator {op!r}")
 
 
+def _compile_leaf_batch(spec: Mapping) -> Callable[[object], np.ndarray]:
+    """Columnar form of a leaf: one vectorized op over the attribute column.
+
+    The comparison operators broadcast over numpy columns directly;
+    ``in``/``not_in`` lower to the guarded ``members_isin`` (which
+    raises when vectorized membership would diverge from Python
+    semantics — NaN members, dtype-coerced mixed member lists).  Used
+    by the compiled policy's ``evaluate_batch``, which falls back to
+    the per-record predicate whenever the batch evaluation raises.
+    """
+    attr, op, value = spec["attr"], spec["op"], spec["value"]
+    if op in _COMPARATORS:
+        compare = _COMPARATORS[op]
+        return lambda columns: np.asarray(compare(np.asarray(columns[attr]), value))
+    if op == "in":
+        allowed = list(value)
+        return lambda columns: members_isin(np.asarray(columns[attr]), allowed)
+    if op == "not_in":
+        blocked = list(value)
+        return lambda columns: ~members_isin(np.asarray(columns[attr]), blocked)
+    raise PolicySpecError(f"unknown operator {op!r}")
+
+
 def _compile_predicate(spec) -> Callable[[object], bool]:
     if not isinstance(spec, Mapping):
         raise PolicySpecError(f"spec must be a mapping, got {type(spec).__name__}")
@@ -83,6 +108,33 @@ def _compile_predicate(spec) -> Callable[[object], bool]:
     return _compile_leaf(spec)
 
 
+def _compile_predicate_batch(spec) -> Callable[[object], np.ndarray]:
+    """Columnar mirror of ``_compile_predicate``: boolean-array algebra."""
+    if not isinstance(spec, Mapping):
+        raise PolicySpecError(f"spec must be a mapping, got {type(spec).__name__}")
+    combinators = {"any", "all", "not"} & set(spec)
+    if len(combinators) > 1:
+        raise PolicySpecError(f"ambiguous spec with {sorted(combinators)}")
+    if "any" in spec:
+        subs = [
+            _compile_predicate_batch(s) for s in _require_list(spec["any"], "any")
+        ]
+        return lambda columns: np.logical_or.reduce(
+            [sub(columns) for sub in subs]
+        )
+    if "all" in spec:
+        subs = [
+            _compile_predicate_batch(s) for s in _require_list(spec["all"], "all")
+        ]
+        return lambda columns: np.logical_and.reduce(
+            [sub(columns) for sub in subs]
+        )
+    if "not" in spec:
+        sub = _compile_predicate_batch(spec["not"])
+        return lambda columns: np.logical_not(sub(columns))
+    return _compile_leaf_batch(spec)
+
+
 def _require_list(value, keyword: str) -> list:
     if not isinstance(value, (list, tuple)) or not value:
         raise PolicySpecError(f"{keyword!r} requires a non-empty list")
@@ -94,9 +146,19 @@ def _canonical(spec) -> str:
 
 
 def compile_policy(spec: Mapping, name: str | None = None) -> Policy:
-    """Compile a declarative spec into a Policy (sensitive-when semantics)."""
+    """Compile a declarative spec into a Policy (sensitive-when semantics).
+
+    The compiled policy carries both the per-record predicate and its
+    vectorized columnar form, so it participates in the fast
+    ``evaluate_batch`` path of :class:`repro.data.columnar.ColumnarDatabase`.
+    """
     predicate = _compile_predicate(spec)
-    return LambdaPolicy(predicate, name=name or f"spec:{_canonical(spec)}")
+    batch = _compile_predicate_batch(spec)
+    return LambdaPolicy(
+        predicate,
+        name=name or f"spec:{_canonical(spec)}",
+        sensitive_when_batch=batch,
+    )
 
 
 def policy_spec_fingerprint(spec: Mapping) -> str:

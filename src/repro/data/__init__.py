@@ -2,6 +2,9 @@
 
 * :mod:`repro.data.database` — the record/database abstraction consumed
   by policies and mechanisms;
+* :mod:`repro.data.columnar` — the struct-of-arrays
+  :class:`ColumnarDatabase` behind the vectorized policy/histogram
+  fast paths;
 * :mod:`repro.data.dpbench` — synthetic stand-ins for the seven
   DPBench-1D histograms of Table 2 (domain 4096, matched scale/sparsity);
 * :mod:`repro.data.sampling` — the ``MSampling`` (Close) and
@@ -12,6 +15,7 @@
   Section 6.1.1, including the access-point-level ``P_rho`` policies.
 """
 
+from repro.data.columnar import ColumnarDatabase, RaggedColumn
 from repro.data.database import Database
 from repro.data.dpbench import DPBENCH_SPECS, DatasetSpec, generate_dpbench, load_all
 from repro.data.sampling import PolicySample, hilo_sampling, m_sampling
@@ -23,9 +27,11 @@ from repro.data.tippers import (
 )
 
 __all__ = [
+    "ColumnarDatabase",
     "DPBENCH_SPECS",
     "Database",
     "DatasetSpec",
+    "RaggedColumn",
     "PolicySample",
     "TippersConfig",
     "TippersDataset",

@@ -1,0 +1,291 @@
+"""Struct-of-arrays database for million-record OSDP workloads.
+
+:class:`repro.data.database.Database` stores records as Python objects
+and dispatches a Python call per record for policy evaluation and
+binning — fine at paper scale, dominant at production scale.
+:class:`ColumnarDatabase` stores one numpy array per attribute instead,
+so the hot operations become single vectorized calls:
+
+* sensitive/non-sensitive partitioning (Definition 3.1) runs through
+  ``Policy.evaluate_batch`` — one ufunc pipeline over the relevant
+  columns instead of ``O(n)`` ``Policy.__call__`` dispatches;
+* histogram construction is ``np.bincount`` over a vectorized
+  bin-index computation (see the ``bin_indices`` methods in
+  :mod:`repro.queries.histogram`).
+
+Variable-length attributes (a trajectory's AP sequence) are stored as a
+:class:`RaggedColumn` — one flat array plus offsets, the layout that
+lets set-membership policies run as ``np.isin`` + segmented reduction.
+
+The row-oriented ``Database`` remains the simple reference
+implementation; ``iter_records``/``to_database`` bridge the two, and
+every vectorized consumer falls back to per-record evaluation for
+column layouts it does not understand, so the columnar path is always
+an optimization, never a semantic fork.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.policy import NON_SENSITIVE, SENSITIVE, Policy
+from repro.data.database import Database
+
+
+@dataclass(frozen=True)
+class RaggedColumn:
+    """A variable-length-per-record column: flat values plus offsets.
+
+    Record ``i`` owns ``flat[offsets[i]:offsets[i + 1]]``; ``offsets``
+    has ``n_records + 1`` entries, starting at 0 and ending at
+    ``len(flat)``.
+    """
+
+    flat: np.ndarray
+    offsets: np.ndarray
+
+    def __post_init__(self) -> None:
+        offsets = np.asarray(self.offsets)
+        if offsets.ndim != 1 or len(offsets) < 1:
+            raise ValueError("offsets must be a non-empty 1-D array")
+        if offsets[0] != 0 or offsets[-1] != len(self.flat):
+            raise ValueError("offsets must start at 0 and end at len(flat)")
+        if np.any(np.diff(offsets) < 0):
+            raise ValueError("offsets must be non-decreasing")
+
+    def __len__(self) -> int:
+        return len(self.offsets) - 1
+
+    @property
+    def lengths(self) -> np.ndarray:
+        return np.diff(self.offsets)
+
+    def segment(self, i: int) -> np.ndarray:
+        return self.flat[self.offsets[i] : self.offsets[i + 1]]
+
+    def segment_any(self, flag_per_value: np.ndarray) -> np.ndarray:
+        """Per-record 'any value flagged' over a flat boolean array."""
+        flags = np.asarray(flag_per_value, dtype=bool)
+        if len(flags) != len(self.flat):
+            raise ValueError("flag array must match the flat values")
+        counts = np.zeros(len(self), dtype=np.int64)
+        starts = np.asarray(self.offsets[:-1], dtype=np.intp)
+        nonempty = self.lengths > 0
+        if flags.size:
+            # reduceat misbehaves on empty segments (it returns the
+            # element at the repeated offset); compute on the non-empty
+            # segments and leave empties at zero.
+            reduced = np.add.reduceat(flags.astype(np.int64), starts[nonempty])
+            counts[nonempty] = reduced
+        return counts > 0
+
+    def take(self, indices: np.ndarray) -> "RaggedColumn":
+        """A new ragged column with the selected records, in order."""
+        indices = np.asarray(indices)
+        starts = self.offsets[:-1][indices]
+        lengths = self.lengths[indices]
+        new_offsets = np.concatenate([[0], np.cumsum(lengths)])
+        gather = np.concatenate(
+            [np.arange(s, s + l) for s, l in zip(starts, lengths)]
+        ) if len(indices) else np.empty(0, dtype=np.intp)
+        return RaggedColumn(flat=self.flat[gather], offsets=new_offsets)
+
+
+Column = "np.ndarray | RaggedColumn"
+
+
+class ColumnarDatabase:
+    """An immutable multiset of records in struct-of-arrays layout."""
+
+    def __init__(
+        self,
+        columns: Mapping[str, np.ndarray | RaggedColumn],
+        records: Sequence[object] | None = None,
+    ):
+        if not columns:
+            raise ValueError("need at least one column")
+        normalized: dict[str, np.ndarray | RaggedColumn] = {}
+        n = None
+        for name, column in columns.items():
+            if not isinstance(column, RaggedColumn):
+                column = np.asarray(column)
+                if column.ndim != 1:
+                    raise ValueError(f"column {name!r} must be 1-D")
+            if n is None:
+                n = len(column)
+            elif len(column) != n:
+                raise ValueError(
+                    f"column {name!r} has {len(column)} records, expected {n}"
+                )
+            normalized[name] = column
+        self._columns = normalized
+        self._n = int(n or 0)
+        self._records = tuple(records) if records is not None else None
+        if self._records is not None and len(self._records) != self._n:
+            raise ValueError("records must match the column length")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_records(cls, records: Iterable[Mapping]) -> "ColumnarDatabase":
+        """Columnarize mapping-style (dict) records.
+
+        Attribute set is taken from the first record; all records must
+        share it.  Values become numpy columns with inferred dtypes
+        (falling back to object arrays for mixed types).
+        """
+        records = tuple(records)
+        if not records:
+            raise ValueError("cannot columnarize an empty record set")
+        names = list(records[0].keys())
+        columns = {}
+        for name in names:
+            try:
+                values = [r[name] for r in records]
+            except KeyError:
+                raise ValueError(
+                    f"record missing attribute {name!r}; records must share a schema"
+                ) from None
+            arr = np.asarray(values)
+            if arr.dtype.kind in "US" and not all(
+                isinstance(v, str) for v in values
+            ):
+                # np.asarray stringifies mixed-type columns (e.g.
+                # [5, "NA"] -> ["5", "NA"]), which would silently change
+                # values under vectorized comparisons; keep Python
+                # objects so == retains per-record semantics.
+                arr = np.asarray(values, dtype=object)
+            columns[name] = arr
+        return cls(columns, records=records)
+
+    @classmethod
+    def from_database(cls, db: Database) -> "ColumnarDatabase":
+        """Columnarize a row database of mapping records or trajectories."""
+        records = db.records
+        if records and hasattr(records[0], "slots"):
+            from repro.data.tippers import trajectory_columns
+
+            return cls(trajectory_columns(records), records=records)
+        return cls.from_records(records)  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    # Basic container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._n
+
+    def __getitem__(self, name: str) -> np.ndarray | RaggedColumn:
+        return self._columns[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(self._columns)
+
+    def iter_records(self) -> Iterator[object]:
+        """Per-record views (original records when available)."""
+        if self._records is not None:
+            return iter(self._records)
+        names = list(self._columns)
+        plain = {
+            name: col
+            for name, col in self._columns.items()
+            if not isinstance(col, RaggedColumn)
+        }
+        if len(plain) != len(names):
+            raise TypeError(
+                "cannot reconstruct records with ragged columns; "
+                "build the database with explicit records"
+            )
+        return (
+            {name: plain[name][i] for name in names} for i in range(self._n)
+        )
+
+    def to_database(self) -> Database:
+        return Database(self.iter_records())
+
+    # ------------------------------------------------------------------
+    # Policy operations (Definition 3.1, vectorized)
+    # ------------------------------------------------------------------
+    def mask(self, policy: Policy) -> np.ndarray:
+        """Per-record {0 (sensitive), 1 (non-sensitive)} labels."""
+        return policy.evaluate_batch(self)
+
+    def sensitive_indices(self, policy: Policy) -> np.ndarray:
+        return np.flatnonzero(self.mask(policy) == SENSITIVE)
+
+    def non_sensitive_indices(self, policy: Policy) -> np.ndarray:
+        return np.flatnonzero(self.mask(policy) == NON_SENSITIVE)
+
+    def select(self, indices: np.ndarray) -> "ColumnarDatabase":
+        """A new database with the given records (columns sliced)."""
+        indices = np.asarray(indices)
+        if indices.dtype == bool:
+            indices = np.flatnonzero(indices)
+        columns = {
+            name: col.take(indices)
+            if isinstance(col, RaggedColumn)
+            else col[indices]
+            for name, col in self._columns.items()
+        }
+        records = (
+            tuple(self._records[i] for i in indices.tolist())
+            if self._records is not None
+            else None
+        )
+        return ColumnarDatabase(columns, records=records)
+
+    def non_sensitive(self, policy: Policy) -> "ColumnarDatabase":
+        """``D_ns = {r in D | P(r) = 1}`` via one vectorized mask."""
+        return self.select(self.non_sensitive_indices(policy))
+
+    def sensitive(self, policy: Policy) -> "ColumnarDatabase":
+        return self.select(self.sensitive_indices(policy))
+
+    def partition(
+        self, policy: Policy
+    ) -> tuple["ColumnarDatabase", "ColumnarDatabase"]:
+        """(sensitive, non_sensitive) split under ``policy``."""
+        mask = self.mask(policy)
+        return (
+            self.select(np.flatnonzero(mask == SENSITIVE)),
+            self.select(np.flatnonzero(mask == NON_SENSITIVE)),
+        )
+
+    # ------------------------------------------------------------------
+    # Histograms
+    # ------------------------------------------------------------------
+    def histogram_from_indices(
+        self, bin_indices: np.ndarray, n_bins: int
+    ) -> np.ndarray:
+        """Counts per bin from a precomputed per-record index array."""
+        bin_indices = np.asarray(bin_indices)
+        if len(bin_indices) != self._n:
+            raise ValueError("bin indices must cover every record")
+        if len(bin_indices) and (
+            bin_indices.min() < 0 or bin_indices.max() >= n_bins
+        ):
+            offender = bin_indices[
+                (bin_indices < 0) | (bin_indices >= n_bins)
+            ][0]
+            raise ValueError(
+                f"record mapped to bin {int(offender)}, outside [0, {n_bins})"
+            )
+        return np.bincount(bin_indices, minlength=n_bins).astype(np.int64)
+
+    def histogram(self, binning, n_bins: int | None = None) -> np.ndarray:
+        """Counts per bin; one ``np.bincount`` over vectorized indices."""
+        n_bins = binning.n_bins if n_bins is None else n_bins
+        return self.histogram_from_indices(binning.bin_indices(self), n_bins)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ColumnarDatabase(n={self._n}, "
+            f"columns={list(self._columns)!r})"
+        )

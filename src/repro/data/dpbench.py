@@ -30,6 +30,7 @@ the reproduction needs to preserve.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -148,7 +149,10 @@ def generate_dpbench(name: str, seed: int = 0) -> np.ndarray:
             f"unknown dataset {name!r}; choose from {sorted(DPBENCH_SPECS)}"
         )
     spec = DPBENCH_SPECS[key]
-    rng = np.random.default_rng([seed, abs(hash(key)) % (2**31)])
+    # crc32, not hash(): str hashing is randomized per process
+    # (PYTHONHASHSEED), which made "deterministic in (name, seed)" only
+    # hold within one interpreter.
+    rng = np.random.default_rng([seed, zlib.crc32(key.encode())])
     support, weights = _SHAPE_BUILDERS[spec.shape](spec, rng)
     probabilities = weights / weights.sum()
     counts = rng.multinomial(spec.scale, probabilities)

@@ -108,6 +108,26 @@ class SensitiveAPPolicy(Policy):
     def __call__(self, record: Trajectory) -> int:
         return 0 if record.visits_any(self.sensitive_aps) else 1
 
+    def evaluate_batch(self, columns) -> np.ndarray:
+        """Vectorized over an ``aps`` ragged column (see
+        :func:`trajectory_columns`): one ``np.isin`` over the flattened
+        AP sequence plus a segmented any-reduction."""
+        try:
+            aps = columns["aps"]
+        except (KeyError, TypeError):
+            return super().evaluate_batch(columns)
+        segment_any = getattr(aps, "segment_any", None)
+        if segment_any is None:
+            return super().evaluate_batch(columns)
+        if not self.sensitive_aps:
+            hit = np.zeros(len(aps.flat), dtype=bool)
+        else:
+            hit = np.isin(
+                aps.flat, np.fromiter(self.sensitive_aps, dtype=np.int64)
+            )
+        sensitive = segment_any(hit)
+        return np.where(sensitive, 0, 1).astype(np.int8)
+
 
 @dataclass(frozen=True)
 class TippersConfig:
@@ -150,6 +170,14 @@ class TippersDataset:
 
     def __len__(self) -> int:
         return len(self.trajectories)
+
+    def columnar(self):
+        """The trace as a :class:`repro.data.columnar.ColumnarDatabase`."""
+        from repro.data.columnar import ColumnarDatabase
+
+        return ColumnarDatabase(
+            trajectory_columns(self.trajectories), records=self.trajectories
+        )
 
     # ------------------------------------------------------------------
     # Labelling (the paper's heuristic, §6.2 "Classification")
@@ -271,6 +299,48 @@ class TippersDataset:
         for (ap, hour), users in users_seen.items():
             hist[ap, hour] = len(users)
         return hist
+
+
+# ----------------------------------------------------------------------
+# Columnar layout
+# ----------------------------------------------------------------------
+
+
+def trajectory_columns(trajectories: Sequence[Trajectory]) -> dict:
+    """Struct-of-arrays layout for trajectory records.
+
+    Scalar attributes become plain columns; the per-slot AP sequence
+    becomes an ``aps`` ragged column (flat APs + offsets), which is the
+    layout :class:`SensitiveAPPolicy` evaluates with one ``np.isin``.
+    """
+    from repro.data.columnar import RaggedColumn
+
+    n = len(trajectories)
+    lengths = np.fromiter(
+        (t.duration_slots for t in trajectories), dtype=np.int64, count=n
+    )
+    offsets = np.concatenate([[0], np.cumsum(lengths)])
+    flat = np.fromiter(
+        (ap for t in trajectories for _, ap in t.slots),
+        dtype=np.int64,
+        count=int(offsets[-1]),
+    )
+    return {
+        "user_id": np.fromiter(
+            (t.user_id for t in trajectories), dtype=np.int64, count=n
+        ),
+        "day": np.fromiter(
+            (t.day for t in trajectories), dtype=np.int64, count=n
+        ),
+        "start_slot": np.fromiter(
+            (t.start_slot for t in trajectories), dtype=np.int64, count=n
+        ),
+        "end_slot": np.fromiter(
+            (t.end_slot for t in trajectories), dtype=np.int64, count=n
+        ),
+        "duration_slots": lengths,
+        "aps": RaggedColumn(flat=flat, offsets=offsets),
+    }
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,19 @@
+"""Shared helpers for the distribution implementations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def as_float_array(x) -> tuple[np.ndarray, bool]:
+    """Coerce to a float array and report whether the input was scalar.
+
+    ``np.isscalar`` misclassifies 0-d arrays (and, depending on numpy
+    version, numpy scalar types), which previously made the
+    distributions' ``pdf``/``cdf``/``ppf`` return 0-d arrays for some
+    scalar-like inputs and floats for others.  Scalar-ness is decided
+    by the coerced array's dimensionality — the one check that treats
+    Python numbers, numpy scalars and 0-d arrays identically.
+    """
+    arr = np.asarray(x, dtype=float)
+    return arr, arr.ndim == 0

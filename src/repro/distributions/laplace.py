@@ -16,6 +16,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.distributions.common import as_float_array as _as_float_array
+
 
 @dataclass(frozen=True)
 class LaplaceDistribution:
@@ -30,26 +32,28 @@ class LaplaceDistribution:
 
     def pdf(self, x: float | np.ndarray) -> float | np.ndarray:
         """Probability density at ``x``."""
-        z = np.abs(np.asarray(x, dtype=float) - self.loc) / self.scale
+        arr, scalar = _as_float_array(x)
+        z = np.abs(arr - self.loc) / self.scale
         out = np.exp(-z) / (2.0 * self.scale)
-        return float(out) if np.isscalar(x) else out
+        return float(out) if scalar else out
 
     def log_pdf(self, x: float | np.ndarray) -> float | np.ndarray:
         """Log-density at ``x`` (useful for likelihood-ratio checks)."""
-        z = np.abs(np.asarray(x, dtype=float) - self.loc) / self.scale
+        arr, scalar = _as_float_array(x)
+        z = np.abs(arr - self.loc) / self.scale
         out = -z - math.log(2.0 * self.scale)
-        return float(out) if np.isscalar(x) else out
+        return float(out) if scalar else out
 
     def cdf(self, x: float | np.ndarray) -> float | np.ndarray:
         """Cumulative distribution function at ``x``."""
-        arr = np.asarray(x, dtype=float)
+        arr, scalar = _as_float_array(x)
         z = (arr - self.loc) / self.scale
         out = np.where(z < 0, 0.5 * np.exp(z), 1.0 - 0.5 * np.exp(-z))
-        return float(out) if np.isscalar(x) else out
+        return float(out) if scalar else out
 
     def ppf(self, q: float | np.ndarray) -> float | np.ndarray:
         """Quantile function (inverse CDF) at probability ``q``."""
-        arr = np.asarray(q, dtype=float)
+        arr, scalar = _as_float_array(q)
         if np.any((arr < 0) | (arr > 1)):
             raise ValueError("quantile levels must lie in [0, 1]")
         out = np.where(
@@ -57,7 +61,7 @@ class LaplaceDistribution:
             self.loc + self.scale * np.log(2.0 * arr),
             self.loc - self.scale * np.log(2.0 * (1.0 - arr)),
         )
-        return float(out) if np.isscalar(q) else out
+        return float(out) if scalar else out
 
     @property
     def mean(self) -> float:

@@ -26,6 +26,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.distributions.common import as_float_array as _as_float_array
+
 
 @dataclass(frozen=True)
 class OneSidedLaplace:
@@ -39,32 +41,32 @@ class OneSidedLaplace:
 
     def pdf(self, x: float | np.ndarray) -> float | np.ndarray:
         """Density: ``exp(x/scale)/scale`` for x <= 0, else 0."""
-        arr = np.asarray(x, dtype=float)
+        arr, scalar = _as_float_array(x)
         out = np.where(arr <= 0, np.exp(arr / self.scale) / self.scale, 0.0)
-        return float(out) if np.isscalar(x) else out
+        return float(out) if scalar else out
 
     def log_pdf(self, x: float | np.ndarray) -> float | np.ndarray:
         """Log-density; ``-inf`` on the positive reals."""
-        arr = np.asarray(x, dtype=float)
+        arr, scalar = _as_float_array(x)
         with np.errstate(divide="ignore"):
             out = np.where(
                 arr <= 0, arr / self.scale - math.log(self.scale), -np.inf
             )
-        return float(out) if np.isscalar(x) else out
+        return float(out) if scalar else out
 
     def cdf(self, x: float | np.ndarray) -> float | np.ndarray:
         """CDF: ``exp(x/scale)`` for x <= 0, else 1."""
-        arr = np.asarray(x, dtype=float)
+        arr, scalar = _as_float_array(x)
         out = np.where(arr <= 0, np.exp(np.minimum(arr, 0.0) / self.scale), 1.0)
-        return float(out) if np.isscalar(x) else out
+        return float(out) if scalar else out
 
     def ppf(self, q: float | np.ndarray) -> float | np.ndarray:
         """Quantile function: ``scale * ln q`` for q in (0, 1]."""
-        arr = np.asarray(q, dtype=float)
+        arr, scalar = _as_float_array(q)
         if np.any((arr <= 0) | (arr > 1)):
             raise ValueError("quantile levels must lie in (0, 1]")
         out = self.scale * np.log(arr)
-        return float(out) if np.isscalar(q) else out
+        return float(out) if scalar else out
 
     @property
     def mean(self) -> float:

@@ -56,6 +56,44 @@ def rel_percentile(
     )
 
 
+def relative_error_rows(
+    x: np.ndarray, estimates: np.ndarray, delta: float = DEFAULT_DELTA
+) -> np.ndarray:
+    """Per-bin relative errors for a whole ``(n_trials, d)`` release matrix.
+
+    One broadcasted pass for all trials — the batched counterpart of
+    :func:`per_bin_relative_error` used by the multi-trial sweeps.
+    """
+    x = np.asarray(x, dtype=float)
+    estimates = np.asarray(estimates, dtype=float)
+    if estimates.ndim != 2 or estimates.shape[1] != x.shape[0]:
+        raise ValueError(
+            f"estimates must be (n_trials, {x.shape[0]}), got {estimates.shape}"
+        )
+    return np.abs(x[None, :] - estimates) / np.maximum(x, delta)[None, :]
+
+
+def mean_relative_error_rows(
+    x: np.ndarray, estimates: np.ndarray, delta: float = DEFAULT_DELTA
+) -> np.ndarray:
+    """MRE per trial row; ``result[i] == mean_relative_error(x, estimates[i])``."""
+    return relative_error_rows(x, estimates, delta).mean(axis=1)
+
+
+def rel_percentile_rows(
+    x: np.ndarray,
+    estimates: np.ndarray,
+    percentile: float,
+    delta: float = DEFAULT_DELTA,
+) -> np.ndarray:
+    """Rel percentile per trial row (vectorized ``rel_percentile``)."""
+    if not 0.0 <= percentile <= 100.0:
+        raise ValueError("percentile must lie in [0, 100]")
+    return np.percentile(
+        relative_error_rows(x, estimates, delta), percentile, axis=1
+    )
+
+
 def l1_error(x: np.ndarray, estimate: np.ndarray) -> float:
     """Total absolute error ``||x - xhat||_1``."""
     x, estimate = _as_pair(x, estimate)

@@ -4,6 +4,17 @@ The paper averages every loss over 10 independent executions; the
 helpers here keep that reproducible — a root seed spawns independent
 child generators per trial — and render results as aligned text tables
 for the benchmark harness output.
+
+Two trial protocols coexist:
+
+* :func:`average_over_trials` / :func:`spawn_rngs` — the original
+  per-trial loop: one spawned generator and one ``release`` call per
+  trial.  Bit-stable with the seed repository's recorded results.
+* :func:`release_trials` — the batched path: one generator, one
+  ``release_batch`` call producing the whole ``(n_trials, d)`` estimate
+  matrix (see :mod:`repro.mechanisms.batch_sampling`).  Same release
+  distribution, different streams, several times faster; the default
+  for the sweep experiments.
 """
 
 from __future__ import annotations
@@ -28,6 +39,28 @@ def average_over_trials(
     """Mean of ``fn(rng)`` over independent trials (the paper's protocol)."""
     rngs = spawn_rngs(seed, n_trials)
     return float(np.mean([fn(rng) for rng in rngs]))
+
+
+def release_trials(
+    mechanism,
+    hist,
+    n_trials: int = 10,
+    seed: int = 0,
+    batched: bool = True,
+) -> np.ndarray:
+    """``n_trials`` releases of ``mechanism`` as an ``(n_trials, d)`` matrix.
+
+    ``batched=True`` (default) runs the mechanism's vectorized
+    ``release_batch`` fast path from a single seeded generator;
+    ``batched=False`` reproduces the per-trial spawned-generator
+    protocol exactly (each row is ``release`` under its own spawned
+    stream).  Both are deterministic in ``seed``.
+    """
+    if batched:
+        return mechanism.release_batch(
+            hist, np.random.default_rng(seed), n_trials
+        )
+    return mechanism.release_batch(hist, spawn_rngs(seed, n_trials))
 
 
 def format_table(

@@ -12,7 +12,7 @@ same inputs.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Callable
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -36,6 +36,56 @@ class HistogramMechanism(ABC):
         self, hist: HistogramInput, rng: np.random.Generator
     ) -> np.ndarray:
         """Produce a private estimate of ``hist.x`` (full-domain vector)."""
+
+    def release_batch(
+        self,
+        hist: HistogramInput,
+        rng: np.random.Generator | Sequence[np.random.Generator],
+        n_trials: int | None = None,
+    ) -> np.ndarray:
+        """``n_trials`` independent releases as an ``(n_trials, d)`` matrix.
+
+        Two rng modes:
+
+        * a single :class:`numpy.random.Generator` — the *batch* mode.
+          Subclasses override this with a vectorized fast path that
+          samples the whole noise matrix in one shot (see
+          :mod:`repro.mechanisms.batch_sampling`); rows are iid draws of
+          the release distribution but not stream-identical to a
+          sequential ``release`` loop.  The base implementation loops
+          ``release`` on the shared stream.
+        * a *sequence* of generators (e.g. from
+          :func:`repro.evaluation.runner.spawn_rngs`) — the
+          compatibility mode: row ``i`` is exactly
+          ``release(hist, rng[i])``, bit-for-bit the paper's per-trial
+          protocol.  ``n_trials``, if given, must match the sequence
+          length.
+        """
+        return self._sequential_release_batch(hist, rng, n_trials)
+
+    def _sequential_release_batch(
+        self,
+        hist: HistogramInput,
+        rng: np.random.Generator | Sequence[np.random.Generator],
+        n_trials: int | None = None,
+    ) -> np.ndarray:
+        """The reference implementation both modes fall back to."""
+        if isinstance(rng, np.random.Generator):
+            if n_trials is None:
+                raise ValueError("n_trials is required with a single generator")
+            if n_trials < 1:
+                raise ValueError("need at least one trial")
+            rows = [self.release(hist, rng) for _ in range(n_trials)]
+        else:
+            rngs = list(rng)
+            if n_trials is not None and n_trials != len(rngs):
+                raise ValueError(
+                    f"n_trials={n_trials} does not match {len(rngs)} generators"
+                )
+            if not rngs:
+                raise ValueError("need at least one generator")
+            rows = [self.release(hist, r) for r in rngs]
+        return np.stack(rows)
 
     @property
     @abstractmethod

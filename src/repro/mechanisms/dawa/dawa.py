@@ -15,22 +15,32 @@ post-processing redistributes bucket mass and needs them.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from repro.core.guarantees import DPGuarantee
 from repro.mechanisms.base import HistogramMechanism
 from repro.mechanisms.dawa.estimate import uniform_bucket_estimate
-from repro.mechanisms.dawa.partition import Bucket, dyadic_partition
+from repro.mechanisms.dawa.partition import (
+    Bucket,
+    DyadicScaffold,
+    dyadic_partition_array,
+)
 from repro.queries.histogram import HistogramInput
 
 
 @dataclass(frozen=True)
 class DawaResult:
-    """A DAWA release together with the partition that produced it."""
+    """A DAWA release together with the partition that produced it.
+
+    ``buckets`` holds ``[start, end)`` rows — an ``(k, 2)`` int64 array
+    on the fast path, or an equivalent list of tuples; every consumer
+    accepts both.
+    """
 
     estimate: np.ndarray
-    buckets: list[Bucket]
+    buckets: "np.ndarray | list[Bucket]"
 
 
 class Dawa(HistogramMechanism):
@@ -64,14 +74,42 @@ class Dawa(HistogramMechanism):
         return self.penalty_factor * 2.0 / self.epsilon2
 
     def release_with_partition(
-        self, hist: HistogramInput, rng: np.random.Generator
+        self,
+        hist: HistogramInput,
+        rng: np.random.Generator,
+        scaffold: DyadicScaffold | None = None,
     ) -> DawaResult:
+        """One release; pass a scaffold to reuse stage 1's exact costs."""
         x = np.asarray(hist.x, dtype=float)
-        buckets = dyadic_partition(
-            x, self.epsilon1, rng, bucket_penalty=self.bucket_penalty
+        buckets = dyadic_partition_array(
+            x,
+            self.epsilon1,
+            rng,
+            bucket_penalty=self.bucket_penalty,
+            scaffold=scaffold,
         )
         estimate = uniform_bucket_estimate(x, buckets, self.epsilon2, rng)
         return DawaResult(estimate=estimate, buckets=buckets)
 
     def release(self, hist: HistogramInput, rng: np.random.Generator) -> np.ndarray:
         return self.release_with_partition(hist, rng).estimate
+
+    def release_batch(
+        self,
+        hist: HistogramInput,
+        rng: np.random.Generator | Sequence[np.random.Generator],
+        n_trials: int | None = None,
+    ) -> np.ndarray:
+        if not isinstance(rng, np.random.Generator):
+            return self._sequential_release_batch(hist, rng, n_trials)
+        if n_trials is None:
+            raise ValueError("n_trials is required with a single generator")
+        # The exact dyadic deviation costs are data-dependent but
+        # trial-independent: compute them once, add fresh noise per trial.
+        scaffold = DyadicScaffold(np.asarray(hist.x, dtype=float))
+        return np.stack(
+            [
+                self.release_with_partition(hist, rng, scaffold=scaffold).estimate
+                for _ in range(n_trials)
+            ]
+        )

@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.distributions.laplace import sample_laplace
+from repro.mechanisms.dawa.partition import buckets_tile_domain
 
 Bucket = tuple[int, int]
 
@@ -30,14 +31,35 @@ def uniform_bucket_estimate(
     rng: np.random.Generator,
     clip_negative_totals: bool = True,
 ) -> np.ndarray:
-    """Noisy bucket totals, uniformly expanded.  eps2-DP."""
+    """Noisy bucket totals, uniformly expanded.  eps2-DP.
+
+    Vectorized: bucket totals via ``np.add.reduceat`` over the bucket
+    starts (the partition tiles the domain), one Laplace draw per bucket
+    in a single call, and ``np.repeat`` for the uniform expansion —
+    no per-bucket Python loop.  ``buckets`` may be a list of tuples or
+    an ``(k, 2)`` array.
+    """
     if epsilon2 <= 0:
         raise ValueError("epsilon2 must be positive")
     x = np.asarray(x, dtype=float)
-    estimate = np.zeros_like(x)
+    if len(buckets) == 0:
+        return np.zeros_like(x)
     scale = BUCKET_TOTAL_SENSITIVITY / epsilon2
-    for start, end in buckets:
-        total = float(x[start:end].sum()) + float(sample_laplace(rng, scale))
+    arr = np.asarray(buckets, dtype=np.int64).reshape(-1, 2)
+    starts, ends = arr[:, 0], arr[:, 1]
+    widths = ends - starts
+    if buckets_tile_domain(starts, ends, len(x)):
+        totals = np.add.reduceat(x, starts)
+        totals += sample_laplace(rng, scale, size=len(totals))
+        if clip_negative_totals:
+            np.maximum(totals, 0.0, out=totals)
+        return np.repeat(totals / widths, widths)
+    # Gapped or overlapping buckets (not produced by stage 1, but the
+    # public API allows them): per-slice assignment as before.
+    estimate = np.zeros_like(x)
+    noise = sample_laplace(rng, scale, size=len(arr))
+    for (start, end), eps_noise in zip(buckets, noise):
+        total = float(x[start:end].sum()) + float(eps_noise)
         if clip_negative_totals and total < 0.0:
             total = 0.0
         estimate[start:end] = total / (end - start)

@@ -16,6 +16,15 @@ by one) perturbs the full cost vector by at most 2 per level.  Adding
 yields an ``eps1``-DP view of all costs, after which the partition
 choice is post-processing: an exact bottom-up dynamic program chooses
 split-vs-merge at every node.
+
+Performance notes.  The exact deviation costs are data-dependent but
+*trial-independent*, so :class:`DyadicScaffold` computes them once
+(shared zero-padding, prefix sums for interval totals, and
+``np.partition`` lower-half sums instead of per-row medians: for an
+even-width sorted interval, ``dev = total - 2 * sum(lower half)``) and
+multi-trial callers reuse the scaffold, paying only fresh noise per
+trial.  The partition walk is an iterative stack descent, and the
+bucket clipping/validation helpers are vectorized.
 """
 
 from __future__ import annotations
@@ -38,10 +47,8 @@ def interval_deviation_cost(values: np.ndarray) -> float:
 
 
 def _next_power_of_two(n: int) -> int:
-    power = 1
-    while power < n:
-        power *= 2
-    return power
+    """Smallest power of two >= n (bit arithmetic, no loop)."""
+    return 1 << max(0, n - 1).bit_length()
 
 
 @dataclass(frozen=True)
@@ -64,46 +71,81 @@ class DyadicCosts:
         return float(self.levels[level][index])
 
 
+class DyadicScaffold:
+    """Exact dyadic deviation costs, reusable across noise trials.
+
+    For an interval of even width ``w`` with sorted values ``v``,
+    ``dev = sum_{i >= w/2} v_i - sum_{i < w/2} v_i = total - 2 * lower``
+    where ``lower`` is the sum of the smallest ``w/2`` values (any value
+    between the two central order statistics is an L1 median).
+    ``np.partition`` delivers the lower half without a full sort, and
+    the interval totals at every level come from one shared prefix-sum
+    array over the padded domain.
+    """
+
+    def __init__(self, x: np.ndarray):
+        x = np.asarray(x, dtype=float).reshape(-1)
+        self.n_original = len(x)
+        n = _next_power_of_two(self.n_original)
+        padded = np.zeros(n)
+        padded[: self.n_original] = x
+        self.n_padded = n
+        self.n_levels = int(np.log2(n)) + 1
+
+        prefix = np.concatenate([[0.0], np.cumsum(padded)])
+        levels: list[np.ndarray] = [np.zeros(n)]
+        for level in range(1, self.n_levels):
+            width = 1 << level
+            half = width >> 1
+            rows = padded.reshape(-1, width)
+            part = np.partition(rows, half - 1, axis=1)
+            lower = part[:, :half].sum(axis=1)
+            totals = np.diff(prefix[::width])
+            levels.append(totals - 2.0 * lower)
+        self.exact_levels: tuple[np.ndarray, ...] = tuple(levels)
+
+    def noisy_costs(
+        self, epsilon1: float, rng: np.random.Generator
+    ) -> DyadicCosts:
+        """Fresh ``eps1``-DP noisy costs over the precomputed exact ones."""
+        if epsilon1 <= 0:
+            raise ValueError("epsilon1 must be positive")
+        noisy_levels = self.n_levels - 1  # level 0 is data-independent
+        scale = 2.0 * max(noisy_levels, 1) / epsilon1
+        levels: list[np.ndarray] = [self.exact_levels[0]]
+        for exact in self.exact_levels[1:]:
+            costs = exact + sample_laplace(rng, scale, size=len(exact))
+            # True deviation costs are non-negative; clipping is
+            # post-processing and prevents the partition DP's
+            # min-selection from accumulating spuriously negative noise
+            # down the tree (which would shatter smooth regions into
+            # singleton buckets).
+            np.maximum(costs, 0.0, out=costs)
+            levels.append(costs)
+        return DyadicCosts(levels=tuple(levels))
+
+
 def noisy_dyadic_costs(
     x: np.ndarray, epsilon1: float, rng: np.random.Generator
 ) -> DyadicCosts:
     """eps1-DP noisy L1-deviation costs for all aligned dyadic intervals."""
-    if epsilon1 <= 0:
-        raise ValueError("epsilon1 must be positive")
-    x = np.asarray(x, dtype=float)
-    n = _next_power_of_two(len(x))
-    padded = np.zeros(n)
-    padded[: len(x)] = x
-
-    n_levels = int(np.log2(n)) + 1
-    noisy_levels = n_levels - 1  # level 0 is data-independent
-    scale = 2.0 * max(noisy_levels, 1) / epsilon1
-
-    levels: list[np.ndarray] = [np.zeros(n)]
-    for level in range(1, n_levels):
-        width = 2**level
-        rows = padded.reshape(-1, width)
-        medians = np.median(rows, axis=1, keepdims=True)
-        costs = np.abs(rows - medians).sum(axis=1)
-        costs += sample_laplace(rng, scale, size=len(costs))
-        # True deviation costs are non-negative; clipping is
-        # post-processing and prevents the partition DP's min-selection
-        # from accumulating spuriously negative noise down the tree
-        # (which would shatter smooth regions into singleton buckets).
-        np.maximum(costs, 0.0, out=costs)
-        levels.append(costs)
-    return DyadicCosts(levels=tuple(levels))
+    return DyadicScaffold(x).noisy_costs(epsilon1, rng)
 
 
-def optimal_dyadic_partition(
+def optimal_partition_array(
     costs: DyadicCosts, bucket_penalty: float
-) -> list[Bucket]:
+) -> np.ndarray:
     """Exact DP over the dyadic tree: minimize sum of cost + penalty.
 
     Post-processing of the noisy costs.  For each node, keeping it as a
     single bucket costs ``noisy_dev + penalty``; splitting costs the sum
-    of the children's optima.  Returns the chosen buckets left to right
-    over the padded domain.
+    of the children's optima.  Returns the chosen buckets as an
+    ``(k, 2)`` int64 array of ``[start, end)`` rows, left to right over
+    the padded domain.
+
+    Both the bottom-up DP and the top-down selection walk are level
+    sweeps over whole index arrays — no per-node Python dispatch, which
+    is what makes thousand-bucket partitions cheap.
     """
     if bucket_penalty < 0:
         raise ValueError("bucket_penalty must be non-negative")
@@ -124,29 +166,73 @@ def optimal_dyadic_partition(
         best.append(level_best)
         keep.append(level_keep)
 
-    buckets: list[Bucket] = []
+    # Top-down selection, one vectorized pass per level: nodes whose
+    # subtree optimum keeps them whole emit buckets, the rest expand
+    # into their children for the next level down.
+    pieces: list[np.ndarray] = []
+    active = np.zeros(1, dtype=np.int64)
+    for level in range(n_levels - 1, -1, -1):
+        if active.size == 0:
+            break
+        kept_mask = keep[level][active]
+        kept = active[kept_mask]
+        if kept.size:
+            width = 1 << level
+            pieces.append(
+                np.stack([kept * width, (kept + 1) * width], axis=1)
+            )
+        children = active[~kept_mask]
+        active = np.repeat(children * 2, 2)
+        active[1::2] += 1
+    arr = np.concatenate(pieces) if pieces else np.empty((0, 2), dtype=np.int64)
+    return arr[np.argsort(arr[:, 0], kind="stable")]
 
-    def descend(level: int, index: int) -> None:
-        if keep[level][index]:
-            width = 2**level
-            buckets.append((index * width, (index + 1) * width))
-        else:
-            descend(level - 1, 2 * index)
-            descend(level - 1, 2 * index + 1)
 
-    descend(n_levels - 1, 0)
-    buckets.sort()
-    return buckets
+def optimal_dyadic_partition(
+    costs: DyadicCosts, bucket_penalty: float
+) -> list[Bucket]:
+    """List-of-tuples form of :func:`optimal_partition_array`."""
+    return [
+        tuple(pair)
+        for pair in optimal_partition_array(costs, bucket_penalty).tolist()
+    ]
+
+
+def _clip_buckets_array(arr: np.ndarray, n: int) -> np.ndarray:
+    """Restrict buckets of the padded domain to the original length."""
+    arr = np.asarray(arr, dtype=np.int64).reshape(-1, 2)
+    kept = arr[arr[:, 0] < n]
+    np.minimum(kept[:, 1], n, out=kept[:, 1])
+    return kept
 
 
 def _clip_buckets(buckets: list[Bucket], n: int) -> list[Bucket]:
-    """Restrict buckets of the padded domain to the original length."""
-    clipped = []
-    for start, end in buckets:
-        if start >= n:
-            continue
-        clipped.append((start, min(end, n)))
-    return clipped
+    """List-of-tuples form of :func:`_clip_buckets_array`."""
+    if not buckets:
+        return []
+    return [
+        tuple(pair)
+        for pair in _clip_buckets_array(np.asarray(buckets), n).tolist()
+    ]
+
+
+def dyadic_partition_array(
+    x: np.ndarray,
+    epsilon1: float,
+    rng: np.random.Generator,
+    bucket_penalty: float,
+    scaffold: DyadicScaffold | None = None,
+) -> np.ndarray:
+    """Full stage 1 as an ``(k, 2)`` bucket array, clipped to len(x).
+
+    Pass a :class:`DyadicScaffold` built from the same ``x`` to reuse
+    the exact-cost computation across trials.
+    """
+    if scaffold is None:
+        scaffold = DyadicScaffold(x)
+    costs = scaffold.noisy_costs(epsilon1, rng)
+    buckets = optimal_partition_array(costs, bucket_penalty)
+    return _clip_buckets_array(buckets, scaffold.n_original)
 
 
 def dyadic_partition(
@@ -154,19 +240,52 @@ def dyadic_partition(
     epsilon1: float,
     rng: np.random.Generator,
     bucket_penalty: float,
+    scaffold: DyadicScaffold | None = None,
 ) -> list[Bucket]:
-    """Full stage 1: noisy costs + exact partition DP, clipped to len(x)."""
-    costs = noisy_dyadic_costs(x, epsilon1, rng)
-    buckets = optimal_dyadic_partition(costs, bucket_penalty)
-    return _clip_buckets(buckets, len(np.asarray(x)))
+    """List-of-tuples form of :func:`dyadic_partition_array`."""
+    return [
+        tuple(pair)
+        for pair in dyadic_partition_array(
+            x, epsilon1, rng, bucket_penalty, scaffold=scaffold
+        ).tolist()
+    ]
 
 
-def validate_partition(buckets: list[Bucket], n: int) -> None:
-    """Raise unless buckets exactly tile ``[0, n)`` in order."""
-    cursor = 0
-    for start, end in buckets:
-        if start != cursor or end <= start:
-            raise ValueError(f"buckets do not tile the domain at {start}")
-        cursor = end
-    if cursor != n:
-        raise ValueError(f"buckets cover [0, {cursor}), expected [0, {n})")
+def buckets_tile_domain(
+    starts: np.ndarray, ends: np.ndarray, n: int
+) -> bool:
+    """True when ``[start, end)`` rows exactly tile ``[0, n)`` in order.
+
+    The contiguity predicate shared by the reduceat-based fast paths
+    (stage 2's estimate, DAWAz's zero postprocessing).
+    """
+    return bool(
+        len(starts)
+        and starts[0] == 0
+        and ends[-1] == n
+        and np.array_equal(starts[1:], ends[:-1])
+    )
+
+
+def validate_partition(buckets, n: int) -> None:
+    """Raise unless buckets exactly tile ``[0, n)`` in order.
+
+    Accepts a list of ``(start, end)`` tuples or an ``(k, 2)`` array.
+    """
+    if len(buckets) == 0:
+        if n != 0:
+            raise ValueError(f"buckets cover [0, 0), expected [0, {n})")
+        return
+    arr = np.asarray(buckets, dtype=np.int64).reshape(-1, 2)
+    starts, ends = arr[:, 0], arr[:, 1]
+    expected = np.concatenate([[0], ends[:-1]])
+    bad = (starts != expected) | (ends <= starts)
+    if bad.any():
+        first = int(np.argmax(bad))
+        raise ValueError(
+            f"buckets do not tile the domain at {int(starts[first])}"
+        )
+    if ends[-1] != n:
+        raise ValueError(
+            f"buckets cover [0, {int(ends[-1])}), expected [0, {n})"
+        )

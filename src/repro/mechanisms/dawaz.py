@@ -22,8 +22,7 @@ its surviving bins (see EXPERIMENTS.md, deviations).
 
 from __future__ import annotations
 
-import math
-from typing import Callable, Literal
+from typing import Callable, Literal, Sequence
 
 import numpy as np
 
@@ -31,8 +30,14 @@ from repro.core.guarantees import OSDPGuarantee
 from repro.core.policy import AllSensitivePolicy, Policy
 from repro.distributions.one_sided_laplace import OneSidedLaplace
 from repro.mechanisms.base import HistogramMechanism
+from repro.mechanisms.batch_sampling import (
+    binomial_support_rows,
+    one_sided_rows,
+)
 from repro.mechanisms.dawa.dawa import Dawa, DawaResult
-from repro.queries.histogram import HistogramInput
+from repro.mechanisms.dawa.partition import DyadicScaffold, buckets_tile_domain
+from repro.mechanisms.osdp_rr import release_probability
+from repro.queries.histogram import HistogramInput, ns_support_sorted
 
 ZeroDetector = Literal["osdp_rr", "osdp_laplace_l1"]
 
@@ -51,7 +56,7 @@ def detect_zero_bins(
     """
     x_ns = np.asarray(hist.x_ns)
     if detector == "osdp_rr":
-        retention = 1.0 - math.exp(-epsilon)
+        retention = release_probability(epsilon)
         sampled = rng.binomial(x_ns.astype(np.int64), retention)
         return sampled == 0
     if detector == "osdp_laplace_l1":
@@ -61,15 +66,80 @@ def detect_zero_bins(
     raise ValueError(f"unknown zero detector {detector!r}")
 
 
+def detect_zero_bins_batch(
+    hist: HistogramInput,
+    epsilon: float,
+    rng: np.random.Generator,
+    n_trials: int,
+    detector: ZeroDetector = "osdp_rr",
+) -> np.ndarray:
+    """``n_trials`` independent zero sets as an ``(n_trials, d)`` bool mask.
+
+    Distribution-identical to ``n_trials`` :func:`detect_zero_bins`
+    calls; bins with ``x_ns = 0`` are deterministically in every trial's
+    zero set, so only the support is sampled.
+    """
+    x_ns = np.asarray(hist.x_ns)
+    d = len(x_ns)
+    masks = np.ones((n_trials, d), dtype=bool)
+    cols, sorted_counts = ns_support_sorted(hist)
+    if len(cols) == 0:
+        return masks
+    if detector == "osdp_rr":
+        retention = release_probability(epsilon)
+        sampled = binomial_support_rows(rng, sorted_counts, retention, n_trials)
+        masks[:, cols] = sampled == 0
+        return masks
+    if detector == "osdp_laplace_l1":
+        vals = np.asarray(x_ns, dtype=float)[cols]
+        noisy = one_sided_rows(rng, 1.0 / epsilon, vals, n_trials)
+        masks[:, cols] = noisy <= 0.0
+        return masks
+    raise ValueError(f"unknown zero detector {detector!r}")
+
+
 def apply_zero_postprocessing(
     result: DawaResult, zero_mask: np.ndarray
 ) -> np.ndarray:
-    """Algorithm 3 lines 5-11: zero out Z and rescale within partitions."""
-    estimate = np.asarray(result.estimate, dtype=float).copy()
+    """Algorithm 3 lines 5-11: zero out Z and rescale within partitions.
+
+    Vectorized over buckets: per-bucket zeroed counts and removed mass
+    come from ``np.add.reduceat`` over the bucket starts (stage 1's
+    partition tiles the domain), and the redistribution is one
+    ``np.repeat`` + ``np.where`` pass.  Redistributing the removed mass
+    uniformly over the surviving bins keeps each bucket total invariant
+    (the ``|B| / (|B| - |Z∩B|)`` rescaling of the uniform expansion).
+    """
+    estimate = np.asarray(result.estimate, dtype=float)
     zero_mask = np.asarray(zero_mask, dtype=bool)
     if zero_mask.shape != estimate.shape:
         raise ValueError("zero mask must match the estimate's shape")
-    for start, end in result.buckets:
+    if len(result.buckets) == 0:
+        return estimate.copy()
+    arr = np.asarray(result.buckets, dtype=np.int64).reshape(-1, 2)
+    starts, ends = arr[:, 0], arr[:, 1]
+    widths = ends - starts
+    if not buckets_tile_domain(starts, ends, len(estimate)):
+        return _apply_zero_postprocessing_slices(
+            estimate.copy(), zero_mask, result.buckets
+        )
+    n_zeroed = np.add.reduceat(zero_mask.astype(np.int64), starts)
+    removed = np.add.reduceat(np.where(zero_mask, estimate, 0.0), starts)
+    survivors = widths - n_zeroed
+    per_survivor = np.divide(
+        removed,
+        survivors,
+        out=np.zeros(len(arr)),
+        where=survivors > 0,
+    )
+    return np.where(zero_mask, 0.0, estimate + np.repeat(per_survivor, widths))
+
+
+def _apply_zero_postprocessing_slices(
+    estimate: np.ndarray, zero_mask: np.ndarray, buckets
+) -> np.ndarray:
+    """Per-slice fallback for bucket lists that do not tile the domain."""
+    for start, end in buckets:
         in_bucket = zero_mask[start:end]
         n_zeroed = int(in_bucket.sum())
         width = end - start
@@ -80,11 +150,7 @@ def apply_zero_postprocessing(
             continue
         removed_mass = float(estimate[start:end][in_bucket].sum())
         estimate[start:end][in_bucket] = 0.0
-        survivors = ~in_bucket
-        # Redistribute the removed mass uniformly over the surviving
-        # bins: keeps the bucket total invariant (|B| / (|B| - |Z∩B|)
-        # rescaling of the uniform expansion).
-        estimate[start:end][survivors] += removed_mass / (width - n_zeroed)
+        estimate[start:end][~in_bucket] += removed_mass / (width - n_zeroed)
     return estimate
 
 
@@ -129,6 +195,36 @@ class TwoPhaseOsdpRecipe(HistogramMechanism):
         )
         result = self.dp_algorithm.release_with_partition(hist, rng)
         return apply_zero_postprocessing(result, zero_mask)
+
+    def release_batch(
+        self,
+        hist: HistogramInput,
+        rng: np.random.Generator | Sequence[np.random.Generator],
+        n_trials: int | None = None,
+    ) -> np.ndarray:
+        if not isinstance(rng, np.random.Generator):
+            return self._sequential_release_batch(hist, rng, n_trials)
+        if n_trials is None:
+            raise ValueError("n_trials is required with a single generator")
+        # All trials' zero sets in one support-restricted sampling pass,
+        # and one shared stage-1 scaffold for the DP algorithm.
+        masks = detect_zero_bins_batch(
+            hist, self.epsilon_zero, rng, n_trials, detector=self.zero_detector
+        )
+        if isinstance(self.dp_algorithm, Dawa):
+            scaffold = DyadicScaffold(np.asarray(hist.x, dtype=float))
+            release_dp = lambda: self.dp_algorithm.release_with_partition(  # noqa: E731
+                hist, rng, scaffold=scaffold
+            )
+        else:
+            release_dp = lambda: self.dp_algorithm.release_with_partition(  # noqa: E731
+                hist, rng
+            )
+        rows = [
+            apply_zero_postprocessing(release_dp(), masks[trial])
+            for trial in range(n_trials)
+        ]
+        return np.stack(rows)
 
 
 class DawaZ(TwoPhaseOsdpRecipe):

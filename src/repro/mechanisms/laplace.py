@@ -9,11 +9,14 @@ matching the paper's expected L1 error of ``2d/eps`` (Theorem 5.1).
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.core.guarantees import DPGuarantee
 from repro.distributions.laplace import sample_laplace
 from repro.mechanisms.base import HistogramMechanism
+from repro.mechanisms.batch_sampling import laplace_rows
 from repro.queries.histogram import HISTOGRAM_L1_SENSITIVITY, HistogramInput
 
 
@@ -39,10 +42,15 @@ class LaplaceMechanism:
     def release(
         self, value: float | np.ndarray, rng: np.random.Generator
     ) -> float | np.ndarray:
-        """Add calibrated Laplace noise to a scalar or vector answer."""
-        if np.isscalar(value):
-            return float(value) + float(sample_laplace(rng, self.scale))
+        """Add calibrated Laplace noise to a scalar or vector answer.
+
+        Scalar-ness follows the coerced array's dimensionality, so
+        numpy scalars and 0-d arrays release floats like Python numbers
+        do (``np.isscalar`` misses those forms).
+        """
         arr = np.asarray(value, dtype=float)
+        if arr.ndim == 0:
+            return float(arr) + float(sample_laplace(rng, self.scale))
         return arr + sample_laplace(rng, self.scale, size=arr.shape)
 
 
@@ -76,3 +84,20 @@ class LaplaceHistogram(HistogramMechanism):
         if self.clip_negative:
             noisy = np.maximum(noisy, 0.0)
         return noisy
+
+    def release_batch(
+        self,
+        hist: HistogramInput,
+        rng: np.random.Generator | Sequence[np.random.Generator],
+        n_trials: int | None = None,
+    ) -> np.ndarray:
+        if not isinstance(rng, np.random.Generator):
+            return self._sequential_release_batch(hist, rng, n_trials)
+        if n_trials is None:
+            raise ValueError("n_trials is required with a single generator")
+        out = laplace_rows(
+            rng, self._inner.scale, np.asarray(hist.x, dtype=float), n_trials
+        )
+        if self.clip_negative:
+            np.maximum(out, 0.0, out=out)
+        return out

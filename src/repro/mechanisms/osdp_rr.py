@@ -29,7 +29,8 @@ from repro.core.accountant import PrivacyAccountant
 from repro.core.guarantees import OSDPGuarantee
 from repro.core.policy import Policy
 from repro.mechanisms.base import HistogramMechanism
-from repro.queries.histogram import HistogramInput
+from repro.mechanisms.batch_sampling import binomial_support_rows, scatter_rows
+from repro.queries.histogram import HistogramInput, ns_support_sorted
 
 
 def release_probability(epsilon: float) -> float:
@@ -153,3 +154,26 @@ class OsdpRRHistogram(HistogramMechanism):
         if self.ns_ratio is not None:
             counts = counts / self.ns_ratio
         return counts
+
+    def release_batch(
+        self,
+        hist: HistogramInput,
+        rng: np.random.Generator | Sequence[np.random.Generator],
+        n_trials: int | None = None,
+    ) -> np.ndarray:
+        if not isinstance(rng, np.random.Generator):
+            return self._sequential_release_batch(hist, rng, n_trials)
+        if n_trials is None:
+            raise ValueError("n_trials is required with a single generator")
+        # Binomial thinning of an empty bin is deterministically 0, so
+        # only the nonzero x_ns bins are sampled; sorting the counts
+        # lets numpy reuse its per-count sampler setup.
+        cols, sorted_counts = ns_support_sorted(hist)
+        vals = binomial_support_rows(
+            rng, sorted_counts, self.retention_probability, n_trials
+        )
+        if self.scaled:
+            vals /= self.retention_probability
+        if self.ns_ratio is not None:
+            vals /= self.ns_ratio
+        return scatter_rows(vals, cols, len(np.asarray(hist.x_ns)))

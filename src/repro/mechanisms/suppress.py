@@ -18,7 +18,7 @@ computation on the remainder.  It satisfies PDP, but:
 from __future__ import annotations
 
 import math
-from typing import Iterable
+from typing import Iterable, Sequence
 
 import numpy as np
 
@@ -26,6 +26,7 @@ from repro.core.guarantees import PDPGuarantee
 from repro.core.policy import Policy
 from repro.distributions.laplace import sample_laplace
 from repro.mechanisms.base import HistogramMechanism
+from repro.mechanisms.batch_sampling import laplace_rows
 from repro.queries.histogram import HISTOGRAM_L1_SENSITIVITY, HistogramInput
 
 
@@ -117,3 +118,20 @@ class SuppressHistogram(HistogramMechanism):
         if self.ns_ratio is not None:
             noisy = noisy / self.ns_ratio
         return noisy
+
+    def release_batch(
+        self,
+        hist: HistogramInput,
+        rng: np.random.Generator | Sequence[np.random.Generator],
+        n_trials: int | None = None,
+    ) -> np.ndarray:
+        if not isinstance(rng, np.random.Generator):
+            return self._sequential_release_batch(hist, rng, n_trials)
+        if n_trials is None:
+            raise ValueError("n_trials is required with a single generator")
+        scale = HISTOGRAM_L1_SENSITIVITY / self.tau
+        out = laplace_rows(rng, scale, np.asarray(hist.x_ns, dtype=float), n_trials)
+        np.maximum(out, 0.0, out=out)
+        if self.ns_ratio is not None:
+            out /= self.ns_ratio
+        return out

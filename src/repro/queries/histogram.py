@@ -20,6 +20,7 @@ DP mechanisms read only ``x``; OSDP mechanisms use ``x_ns`` and the mask.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Callable, Sequence
 
 import numpy as np
@@ -46,7 +47,35 @@ class CategoricalBinning:
         return len(self.domain)
 
     def bin_of(self, record: object) -> int:
-        value = record[self.attribute]  # type: ignore[index]
+        return self._lookup(record[self.attribute])  # type: ignore[index]
+
+    def bin_indices(self, columns) -> np.ndarray:
+        """Vectorized ``bin_of`` over a column bundle.
+
+        Sortable domains resolve via one ``np.searchsorted``; object
+        domains fall back to the per-value dictionary lookup.
+        """
+        values = np.asarray(columns[self.attribute])
+        domain = np.asarray(self.domain)
+        if domain.dtype == object or values.dtype == object:
+            return np.fromiter(
+                (self._lookup(v) for v in values),
+                dtype=np.int64,
+                count=len(values),
+            )
+        order = np.argsort(domain, kind="stable")
+        pos = np.searchsorted(domain[order], values)
+        pos_clipped = np.minimum(pos, len(domain) - 1)
+        matched = domain[order][pos_clipped] == values
+        if not np.all(matched):
+            offender = values[~matched][0].item()
+            raise ValueError(
+                f"value {offender!r} of attribute {self.attribute!r} "
+                "is outside the declared domain"
+            )
+        return order[pos_clipped].astype(np.int64)
+
+    def _lookup(self, value) -> int:
         try:
             return self._index[value]
         except KeyError:
@@ -85,6 +114,18 @@ class IntegerBinning:
             )
         return (value - self.low) // self.width
 
+    def bin_indices(self, columns) -> np.ndarray:
+        """Vectorized ``bin_of``: range check + integer division."""
+        values = np.asarray(columns[self.attribute])
+        in_range = (values >= self.low) & (values < self.high)
+        if not np.all(in_range):
+            offender = values[~in_range][0]
+            offender = offender.item() if hasattr(offender, "item") else offender
+            raise ValueError(
+                f"value {offender!r} outside [{self.low}, {self.high})"
+            )
+        return ((values - self.low) // self.width).astype(np.int64)
+
 
 class Product2DBinning:
     """Row-major product of two binnings (2-D histograms, e.g. AP x hour)."""
@@ -106,6 +147,12 @@ class Product2DBinning:
             record
         )
 
+    def bin_indices(self, columns) -> np.ndarray:
+        return (
+            self.first.bin_indices(columns) * self.second.n_bins
+            + self.second.bin_indices(columns)
+        )
+
 
 class HistogramQuery:
     """A histogram query over a database with a fixed binning."""
@@ -122,7 +169,14 @@ class HistogramQuery:
         """L1-sensitivity of the full histogram under bounded DP."""
         return HISTOGRAM_L1_SENSITIVITY
 
-    def evaluate(self, db: Database) -> np.ndarray:
+    def evaluate(self, db) -> np.ndarray:
+        """Counts over a row :class:`Database` or a columnar database.
+
+        Columnar databases evaluate through the binning's vectorized
+        ``bin_indices`` and one ``np.bincount``.
+        """
+        if hasattr(db, "histogram_from_indices"):
+            return db.histogram(self.binning, self.n_bins)
         return db.histogram(self.binning.bin_of, self.n_bins)
 
 
@@ -167,6 +221,37 @@ class HistogramInput:
         """Histogram of the sensitive records (``x - x_ns``)."""
         return self.x - self.x_ns
 
+    # Cached views for the batched release fast paths.  The instance is
+    # frozen, so these are computed once per input and shared across the
+    # mechanisms and trials of a sweep (cached_property writes straight
+    # to __dict__, which a frozen dataclass permits).
+
+    @cached_property
+    def x_ns_int(self) -> np.ndarray:
+        """``x_ns`` as int64 counts (binomial thinning needs integers)."""
+        return np.asarray(self.x_ns).astype(np.int64)
+
+    @cached_property
+    def ns_support(self) -> np.ndarray:
+        """Indices of bins with a nonzero non-sensitive count.
+
+        Support-restricted mechanisms (binomial thinning, the clipped
+        one-sided Laplace) release exact zeros off the support, so only
+        these bins ever need noise.
+        """
+        return np.flatnonzero(np.asarray(self.x_ns))
+
+    @cached_property
+    def ns_support_sorted(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(bin_indices, counts)`` of the support, sorted by count.
+
+        Sorted order lets numpy's binomial sampler reuse its per-count
+        setup across equal consecutive counts.
+        """
+        counts = self.x_ns_int[self.ns_support]
+        order = np.argsort(counts, kind="stable")
+        return self.ns_support[order], counts[order]
+
     @property
     def non_sensitive_ratio(self) -> float:
         total = float(self.x.sum())
@@ -188,10 +273,57 @@ class HistogramInput:
         return cls(x=x, x_ns=x_ns, sensitive_bin_mask=mask)
 
     @classmethod
+    def from_columnar(
+        cls, db, query: HistogramQuery, policy: Policy
+    ) -> "HistogramInput":
+        """Vectorized ``from_database`` for a columnar database.
+
+        Bin indices are computed once for the full database; ``x`` and
+        ``x_ns`` are two ``np.bincount`` calls (the non-sensitive one
+        over the policy's vectorized mask), so the whole construction is
+        free of per-record Python dispatch.
+        """
+        from repro.core.policy import NON_SENSITIVE
+
+        indices = query.binning.bin_indices(db)
+        x = db.histogram_from_indices(indices, query.n_bins)
+        ns = policy.evaluate_batch(db) == NON_SENSITIVE
+        x_ns = np.bincount(
+            indices[ns], minlength=query.n_bins
+        ).astype(np.int64)
+        mask = (x > 0) & (x_ns == 0)
+        return cls(x=x, x_ns=x_ns, sensitive_bin_mask=mask)
+
+    @classmethod
     def from_arrays(
         cls, x: np.ndarray, x_ns: np.ndarray
     ) -> "HistogramInput":
         return cls(x=np.asarray(x, dtype=float), x_ns=np.asarray(x_ns, dtype=float))
+
+
+def ns_support(hist) -> np.ndarray:
+    """Indices of nonzero non-sensitive bins for any histogram input.
+
+    Uses the cached :class:`HistogramInput` view when available; the
+    duck-typed fallback serves ad-hoc inputs that only expose ``x_ns``.
+    """
+    if isinstance(hist, HistogramInput):
+        return hist.ns_support
+    return np.flatnonzero(np.asarray(hist.x_ns))
+
+
+def ns_support_sorted(hist) -> tuple[np.ndarray, np.ndarray]:
+    """``(bin_indices, counts)`` of the nonzero ``x_ns`` bins, count-sorted.
+
+    The single home of the support/sort logic the batched samplers rely
+    on (see :attr:`HistogramInput.ns_support_sorted`).
+    """
+    if isinstance(hist, HistogramInput):
+        return hist.ns_support_sorted
+    counts = np.asarray(hist.x_ns).astype(np.int64)
+    support = np.flatnonzero(counts)
+    order = np.argsort(counts[support], kind="stable")
+    return support[order], counts[support][order]
 
 
 def flatten_2d(hist2d: np.ndarray) -> np.ndarray:

@@ -102,3 +102,33 @@ class TestSampling:
         a = sample_laplace(np.random.default_rng(7), 1.0, size=5)
         b = sample_laplace(np.random.default_rng(7), 1.0, size=5)
         assert np.array_equal(a, b)
+
+
+class TestScalarReturnNormalization:
+    """Regression: 0-d arrays and numpy scalars return Python floats."""
+
+    @pytest.mark.parametrize(
+        "value",
+        [0.5, np.float64(0.5), np.array(0.5)],
+        ids=["python-float", "np-float64", "zero-d-array"],
+    )
+    def test_scalar_like_inputs_return_floats(self, value):
+        dist = LaplaceDistribution(scale=2.0)
+        for method in (dist.pdf, dist.log_pdf, dist.cdf, dist.ppf):
+            assert type(method(value)) is float, method.__name__
+
+    def test_array_inputs_stay_arrays(self):
+        dist = LaplaceDistribution(scale=2.0)
+        for method in (dist.pdf, dist.log_pdf, dist.cdf, dist.ppf):
+            out = method(np.array([0.5]))
+            assert isinstance(out, np.ndarray) and out.shape == (1,)
+
+    def test_mechanism_release_scalar_normalization(self):
+        from repro.mechanisms.laplace import LaplaceMechanism
+
+        mech = LaplaceMechanism(epsilon=1.0, sensitivity=1.0)
+        for value in (3.0, np.float64(3.0), np.array(3.0)):
+            out = mech.release(value, np.random.default_rng(0))
+            assert type(out) is float
+        out = mech.release(np.array([3.0, 4.0]), np.random.default_rng(0))
+        assert isinstance(out, np.ndarray)

@@ -97,3 +97,49 @@ class TestSampling:
         b = sample_one_sided_laplace(np.random.default_rng(3), 1.5, size=8)
         assert np.array_equal(a, b)
         assert np.all(a <= 0)
+
+
+class TestScalarReturnNormalization:
+    """Regression: scalar-like inputs must yield Python floats.
+
+    ``np.isscalar`` misses 0-d arrays (and numpy scalar types on some
+    numpy versions), which used to make ``pdf``/``log_pdf``/``cdf``/
+    ``ppf`` return inconsistent types depending on how the scalar was
+    spelled.
+    """
+
+    @pytest.mark.parametrize(
+        "value",
+        [-1.0, np.float64(-1.0), np.array(-1.0), np.int64(-1)],
+        ids=["python-float", "np-float64", "zero-d-array", "np-int64"],
+    )
+    def test_scalar_like_inputs_return_floats(self, value):
+        dist = OneSidedLaplace(scale=2.0)
+        for method in (dist.pdf, dist.log_pdf, dist.cdf):
+            out = method(value)
+            assert type(out) is float, method.__name__
+
+    @pytest.mark.parametrize(
+        "q", [0.25, np.float64(0.25), np.array(0.25)],
+        ids=["python-float", "np-float64", "zero-d-array"],
+    )
+    def test_ppf_scalar_like_inputs_return_floats(self, q):
+        out = OneSidedLaplace(scale=2.0).ppf(q)
+        assert type(out) is float
+
+    def test_scalar_and_array_paths_agree(self):
+        dist = OneSidedLaplace(scale=1.7)
+        xs = np.array([-3.0, -0.5, 0.0, 1.2])
+        for method in (dist.pdf, dist.log_pdf, dist.cdf):
+            vector = method(xs)
+            assert isinstance(vector, np.ndarray)
+            for i, x in enumerate(xs):
+                assert method(np.array(x)) == pytest.approx(
+                    vector[i], nan_ok=True, abs=0.0
+                ) or (np.isinf(vector[i]) and np.isinf(method(np.array(x))))
+
+    def test_array_inputs_stay_arrays(self):
+        dist = OneSidedLaplace(scale=1.0)
+        for method in (dist.pdf, dist.log_pdf, dist.cdf):
+            out = method(np.array([-1.0]))
+            assert isinstance(out, np.ndarray) and out.shape == (1,)
