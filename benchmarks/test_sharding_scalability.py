@@ -1,0 +1,176 @@
+"""Sharded policy evaluation at million-record scale.
+
+Measures the three evaluation paths on a 1M-record columnar database
+under a composite algebra policy (the service's hot loop):
+
+* per-record ``policy(record)`` — paper semantics, the pre-columnar
+  baseline (timed on a slice and scaled; running 1M Python dispatches
+  per round would dominate the whole benchmark session);
+* single-node ``evaluate_batch``;
+* sharded ``evaluate_batch`` — serially per shard, and on a thread
+  pool sized to the shard count.
+
+The table lands in ``benchmarks/results/sharding_scalability.txt`` and
+feeds the shard-count scaling section of ``docs/PERFORMANCE.md``.
+
+Assertions are split by fragility.  The tier-1 test asserts only what
+holds on any hardware under any load: bit-identical masks and sane
+relative magnitudes with generous slack.  The wall-clock *bars* — the
+>= 2x parallel speedup with 4+ shards on a >= 4-CPU host — live in the
+``bench_regression`` lane alongside the kernel-regression gate, where
+timing comparisons belong (quiet, comparable machines only).  Thread
+pools are the right executor for this workload: the mask kernels are
+numpy ufunc pipelines that release the GIL.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+from conftest import write_result
+
+from repro.core.policy import (
+    AttributePolicy,
+    MinimumRelaxationPolicy,
+    OptInPolicy,
+    SensitiveValuePolicy,
+)
+from repro.data.columnar import ColumnarDatabase
+from repro.evaluation.runner import format_table
+
+N_RECORDS = 1_000_000
+PER_RECORD_SAMPLE = 20_000  # per-record baseline slice (scaled up)
+SHARD_COUNTS = (1, 2, 4, 8, 16)
+ROUNDS = 3
+
+
+def _database(n: int) -> ColumnarDatabase:
+    rng = np.random.default_rng(7)
+    return ColumnarDatabase(
+        {
+            "age": rng.integers(0, 100, n),
+            "city": rng.integers(0, 64, n),
+            "opt_in": rng.integers(0, 2, n).astype(bool),
+        }
+    )
+
+
+def _policy():
+    """A 3-leaf algebra policy — several vectorized passes per record."""
+    return MinimumRelaxationPolicy(
+        [
+            AttributePolicy("age", lambda v: v <= 25, name="minors"),
+            SensitiveValuePolicy("city", set(range(8))),
+            OptInPolicy(),
+        ]
+    )
+
+
+def _best_of(fn, rounds: int = ROUNDS) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+_RESULT: dict | None = None
+
+
+def run_sharding_benchmark():
+    db = _database(N_RECORDS)
+    policy = _policy()
+    reference = policy.evaluate_batch(db)
+
+    # Per-record baseline, measured on a slice and scaled to N_RECORDS.
+    sample = db.slice_records(0, PER_RECORD_SAMPLE)
+    records = list(sample.iter_records())
+    per_record_s = _best_of(
+        lambda: [policy(r) for r in records], rounds=1
+    ) * (N_RECORDS / PER_RECORD_SAMPLE)
+
+    single_s = _best_of(lambda: policy.evaluate_batch(db))
+
+    rows = []
+    threaded_speedups = {}
+    for k in SHARD_COUNTS:
+        sharded = db.shard(k)
+        assert np.array_equal(sharded.mask(policy), reference)
+        serial_s = _best_of(lambda: sharded.mask(policy))
+        with ThreadPoolExecutor(max_workers=k) as pool:
+            pooled = sharded.with_executor(pool)
+            assert np.array_equal(pooled.mask(policy), reference)
+            threaded_s = _best_of(lambda: pooled.mask(policy))
+        threaded_speedups[k] = single_s / threaded_s
+        rows.append(
+            [
+                k,
+                serial_s * 1e3,
+                threaded_s * 1e3,
+                single_s / serial_s,
+                single_s / threaded_s,
+            ]
+        )
+    return {
+        "per_record_s": per_record_s,
+        "single_s": single_s,
+        "rows": rows,
+        "threaded_speedups": threaded_speedups,
+    }
+
+
+def _measured() -> dict:
+    """Run the measurement once per session, shared by both tests."""
+    global _RESULT
+    if _RESULT is None:
+        _RESULT = run_sharding_benchmark()
+    return _RESULT
+
+
+def test_sharded_policy_evaluation_scaling(benchmark):
+    result = benchmark.pedantic(_measured, rounds=1, iterations=1)
+    table = format_table(
+        ["shards", "serial ms", "threads ms", "serial x", "threads x"],
+        result["rows"],
+        float_format="{:.2f}",
+    )
+    header = (
+        f"policy evaluation over {N_RECORDS:,} records "
+        f"(cpus={os.cpu_count()})\n"
+        f"per-record baseline (scaled): {result['per_record_s']:.2f} s\n"
+        f"single-node evaluate_batch:   {result['single_s'] * 1e3:.2f} ms\n"
+    )
+    write_result("sharding_scalability", header + "\n" + table)
+
+    # Load-insensitive sanity only (the hard wall-clock bars live in
+    # the bench_regression lane): the columnar engine beats per-record
+    # dispatch by well over an order of magnitude (~50x measured), and
+    # sharding is never a pathological cost.
+    assert result["per_record_s"] > 20 * result["single_s"]
+    for row in result["rows"]:
+        assert row[1] / 1e3 < 5.0 * result["single_s"] + 0.5
+
+
+@pytest.mark.bench_regression
+def test_parallel_speedup_bar():
+    """>= 2x policy-evaluation speedup at 1M records with 4+ shards.
+
+    Meaningful only with real cores on a quiet machine, hence the
+    bench_regression lane; on hosts with fewer than 4 CPUs the bar is
+    reported as a skip, not a pass.
+    """
+    cpus = os.cpu_count() or 1
+    if cpus < 4:
+        pytest.skip(f"needs >= 4 CPUs for a parallel bar (host has {cpus})")
+    result = _measured()
+    parallelizable = [
+        speedup
+        for k, speedup in result["threaded_speedups"].items()
+        if 4 <= k <= cpus
+    ]
+    assert max(parallelizable) >= 2.0, result["threaded_speedups"]

@@ -15,6 +15,7 @@ constituent policy protected it.
 
 from __future__ import annotations
 
+import functools
 from abc import ABC, abstractmethod
 from typing import Callable, Iterable, Mapping, Sequence
 
@@ -66,6 +67,29 @@ def _mask_from_bool(sensitive: np.ndarray) -> np.ndarray:
     return np.where(sensitive, SENSITIVE, NON_SENSITIVE).astype(MASK_DTYPE)
 
 
+def _shard_aware(impl: Callable) -> Callable:
+    """Wrap an ``evaluate_batch`` implementation with sharded dispatch.
+
+    A sharded column bundle (anything exposing ``map_shards``, i.e.
+    :class:`repro.data.sharding.ShardedColumnarDatabase`) is evaluated
+    shard by shard — serially or on the bundle's executor — and the
+    per-shard masks are concatenated in record order, which is
+    bit-identical to single-node evaluation.  Non-sharded bundles fall
+    straight through to the wrapped implementation, so the dispatch
+    costs one attribute lookup on the hot path.
+    """
+
+    @functools.wraps(impl)
+    def evaluate_batch(self, columns) -> np.ndarray:
+        map_shards = getattr(columns, "map_shards", None)
+        if map_shards is not None:
+            return np.concatenate(map_shards(self.evaluate_batch))
+        return impl(self, columns)
+
+    evaluate_batch._shard_aware = True  # type: ignore[attr-defined]
+    return evaluate_batch
+
+
 class BatchUnsupported(Exception):
     """A vectorized evaluation cannot honor Python scalar semantics.
 
@@ -112,16 +136,45 @@ class Policy(ABC):
 
     name: str = "policy"
 
+    def __init_subclass__(cls, **kwargs) -> None:
+        """Make every ``evaluate_batch`` override shard-aware.
+
+        Subclasses override ``evaluate_batch`` freely with single-node
+        numpy formulations; the wrapper added here routes sharded column
+        bundles through per-shard evaluation first, so the whole policy
+        algebra (and any user subclass) works on
+        :class:`repro.data.sharding.ShardedColumnarDatabase` without
+        each implementation knowing sharding exists.
+        """
+        super().__init_subclass__(**kwargs)
+        impl = cls.__dict__.get("evaluate_batch")
+        if impl is not None and not getattr(impl, "_shard_aware", False):
+            cls.evaluate_batch = _shard_aware(impl)
+
     @abstractmethod
     def __call__(self, record: Record) -> int:
         """Return 0 if ``record`` is sensitive, 1 if non-sensitive."""
 
+    def cache_key(self) -> tuple | None:
+        """A hashable value identity, or ``None`` for opaque policies.
+
+        Equal keys must imply identical labelling of every record —
+        this is what lets a cache (e.g. the release server's mask
+        cache) treat two policy *objects* as the same policy.
+        Predicate-based policies (``AttributePolicy``, ``LambdaPolicy``)
+        cannot derive one from an opaque callable and return ``None``,
+        falling back to object-identity caching.
+        """
+        return None
+
+    @_shard_aware
     def evaluate_batch(self, columns) -> np.ndarray:
         """Vectorized evaluation over a column bundle.
 
         ``columns`` is anything indexable by attribute name that yields
         per-record numpy arrays — a :class:`repro.data.columnar.ColumnarDatabase`
-        or a plain ``dict`` of arrays.  Returns an int8 array of
+        or a plain ``dict`` of arrays — or a sharded database, which is
+        evaluated per shard and concatenated.  Returns an int8 array of
         ``SENSITIVE``/``NON_SENSITIVE`` labels, one per record,
         bit-identical to calling the policy on each record.
 
@@ -279,6 +332,9 @@ class SensitiveValuePolicy(Policy):
         value = record[self.attribute]  # type: ignore[index]
         return SENSITIVE if value in self.sensitive_values else NON_SENSITIVE
 
+    def cache_key(self) -> tuple:
+        return ("values", self.attribute, self.sensitive_values)
+
     def evaluate_batch(self, columns) -> np.ndarray:
         values = np.asarray(_column(columns, self.attribute))
         try:
@@ -302,6 +358,9 @@ class OptInPolicy(Policy):
     def __call__(self, record: Record) -> int:
         return NON_SENSITIVE if record[self.attribute] else SENSITIVE  # type: ignore[index]
 
+    def cache_key(self) -> tuple:
+        return ("opt_in", self.attribute)
+
     def evaluate_batch(self, columns) -> np.ndarray:
         values = np.asarray(_column(columns, self.attribute))
         return _mask_from_bool(~values.astype(bool))
@@ -318,6 +377,9 @@ class AllSensitivePolicy(Policy):
 
     def __call__(self, record: Record) -> int:
         return SENSITIVE
+
+    def cache_key(self) -> tuple:
+        return ("all_sensitive",)
 
     def evaluate_batch(self, columns) -> np.ndarray:
         return np.full(_bundle_length(columns), SENSITIVE, dtype=MASK_DTYPE)
@@ -336,6 +398,9 @@ class AllNonSensitivePolicy(Policy):
 
     def __call__(self, record: Record) -> int:
         return NON_SENSITIVE
+
+    def cache_key(self) -> tuple:
+        return ("all_non_sensitive",)
 
     def evaluate_batch(self, columns) -> np.ndarray:
         return np.full(_bundle_length(columns), NON_SENSITIVE, dtype=MASK_DTYPE)
@@ -357,6 +422,9 @@ class MinimumRelaxationPolicy(Policy):
 
     def __call__(self, record: Record) -> int:
         return max(p(record) for p in self.policies)
+
+    def cache_key(self) -> tuple | None:
+        return _combined_cache_key("mr", self.policies)
 
     def evaluate_batch(self, columns) -> np.ndarray:
         return np.maximum.reduce(
@@ -381,10 +449,21 @@ class IntersectionPolicy(Policy):
     def __call__(self, record: Record) -> int:
         return min(p(record) for p in self.policies)
 
+    def cache_key(self) -> tuple | None:
+        return _combined_cache_key("and", self.policies)
+
     def evaluate_batch(self, columns) -> np.ndarray:
         return np.minimum.reduce(
             [p.evaluate_batch(columns) for p in self.policies]
         )
+
+
+def _combined_cache_key(tag: str, policies: Sequence[Policy]) -> tuple | None:
+    """Value key for a policy combination; None if any child is opaque."""
+    keys = tuple(p.cache_key() for p in policies)
+    if any(k is None for k in keys):
+        return None
+    return (tag, keys)
 
 
 def minimum_relaxation(*policies: Policy) -> Policy:

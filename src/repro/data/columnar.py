@@ -93,6 +93,23 @@ class RaggedColumn:
         ) if len(indices) else np.empty(0, dtype=np.intp)
         return RaggedColumn(flat=self.flat[gather], offsets=new_offsets)
 
+    def slice_segments(self, start: int, stop: int) -> "RaggedColumn":
+        """Records ``[start, stop)`` as a new ragged column.
+
+        Contiguous slices need no gather: the flat values are one slice
+        and the offsets rebase by subtraction, which is what makes
+        sharding a ragged column O(shard size).
+        """
+        offsets = np.asarray(self.offsets)
+        if not 0 <= start <= stop <= len(self):
+            raise ValueError(
+                f"slice [{start}, {stop}) outside [0, {len(self)}]"
+            )
+        offs = offsets[start : stop + 1]
+        return RaggedColumn(
+            flat=self.flat[offs[0] : offs[-1]], offsets=offs - offs[0]
+        )
+
 
 Column = "np.ndarray | RaggedColumn"
 
@@ -240,6 +257,34 @@ class ColumnarDatabase:
             else None
         )
         return ColumnarDatabase(columns, records=records)
+
+    def slice_records(self, start: int, stop: int) -> "ColumnarDatabase":
+        """Records ``[start, stop)`` with every column sliced, not copied.
+
+        Plain columns become numpy views and ragged columns rebase their
+        offsets (:meth:`RaggedColumn.slice_segments`), so slicing is the
+        cheap primitive sharding is built on.
+        """
+        if not 0 <= start <= stop <= self._n:
+            raise ValueError(f"slice [{start}, {stop}) outside [0, {self._n}]")
+        columns = {
+            name: col.slice_segments(start, stop)
+            if isinstance(col, RaggedColumn)
+            else col[start:stop]
+            for name, col in self._columns.items()
+        }
+        records = (
+            self._records[start:stop] if self._records is not None else None
+        )
+        return ColumnarDatabase(columns, records=records)
+
+    def shard(self, n_shards: int, executor=None):
+        """Split into a :class:`repro.data.sharding.ShardedColumnarDatabase`."""
+        from repro.data.sharding import ShardedColumnarDatabase
+
+        return ShardedColumnarDatabase.from_columnar(
+            self, n_shards, executor=executor
+        )
 
     def non_sensitive(self, policy: Policy) -> "ColumnarDatabase":
         """``D_ns = {r in D | P(r) = 1}`` via one vectorized mask."""

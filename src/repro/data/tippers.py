@@ -108,6 +108,9 @@ class SensitiveAPPolicy(Policy):
     def __call__(self, record: Trajectory) -> int:
         return 0 if record.visits_any(self.sensitive_aps) else 1
 
+    def cache_key(self) -> tuple:
+        return ("sensitive_aps", self.sensitive_aps)
+
     def evaluate_batch(self, columns) -> np.ndarray:
         """Vectorized over an ``aps`` ragged column (see
         :func:`trajectory_columns`): one ``np.isin`` over the flattened
@@ -395,9 +398,15 @@ class _ResidentProfile:
         self.meeting_ap = int(rng.choice(roles["meeting"]))
         self.entry_ap = int(rng.choice(roles["common"]))
 
-    def day_trajectory(
-        self, user_id: int, day: int, rng: np.random.Generator
-    ) -> Trajectory | None:
+    def day_segments(
+        self, day: int, rng: np.random.Generator
+    ) -> tuple[int, list[tuple[int, int]]] | None:
+        """``(arrival_slot, [(ap, n_slots), ...])`` for one day, or None.
+
+        The rng consumption order is the generator's contract: the row
+        and columnar generators replay identical streams through this
+        method, so both produce the same trace from the same seed.
+        """
         weekend = day % 7 >= 5
         attend = self.attend_prob * (0.12 if weekend else 1.0)
         if rng.random() > attend:
@@ -437,7 +446,18 @@ class _ResidentProfile:
             length = min(length, remaining)
             segments.append((ap, length))
             remaining -= length
-        return Trajectory(user_id=user_id, day=day, slots=_segments_to_slots(segments, arrival))
+        return arrival, segments
+
+    def day_trajectory(
+        self, user_id: int, day: int, rng: np.random.Generator
+    ) -> Trajectory | None:
+        plan = self.day_segments(day, rng)
+        if plan is None:
+            return None
+        arrival, segments = plan
+        return Trajectory(
+            user_id=user_id, day=day, slots=_segments_to_slots(segments, arrival)
+        )
 
 
 class _VisitorProfile:
@@ -454,9 +474,10 @@ class _VisitorProfile:
         self.rare_visit_prob = float(rng.uniform(0.0, 0.12))
         self.entry_ap = int(rng.choice(roles["common"]))
 
-    def day_trajectory(
-        self, user_id: int, day: int, rng: np.random.Generator
-    ) -> Trajectory | None:
+    def day_segments(
+        self, day: int, rng: np.random.Generator
+    ) -> tuple[int, list[tuple[int, int]]] | None:
+        """``(arrival_slot, [(ap, n_slots), ...])`` for one day, or None."""
         weekend = day % 7 >= 5
         attend = self.attend_prob * (0.3 if weekend else 1.0)
         if rng.random() > attend:
@@ -482,19 +503,37 @@ class _VisitorProfile:
             length = min(length, remaining)
             segments.append((ap, length))
             remaining -= length
-        return Trajectory(user_id=user_id, day=day, slots=_segments_to_slots(segments, arrival))
+        return arrival, segments
+
+    def day_trajectory(
+        self, user_id: int, day: int, rng: np.random.Generator
+    ) -> Trajectory | None:
+        plan = self.day_segments(day, rng)
+        if plan is None:
+            return None
+        arrival, segments = plan
+        return Trajectory(
+            user_id=user_id, day=day, slots=_segments_to_slots(segments, arrival)
+        )
 
 
-def generate_tippers(config: TippersConfig | None = None) -> TippersDataset:
-    """Generate a synthetic TIPPERS-like trace (deterministic in the seed)."""
-    config = config or TippersConfig()
-    rng = np.random.default_rng(config.seed)
+def _resident_ids(config: TippersConfig) -> frozenset[int]:
+    return frozenset(
+        range(max(1, round(config.n_users * config.resident_fraction)))
+    )
+
+
+def _iter_day_plans(config: TippersConfig, rng: np.random.Generator):
+    """Yield ``(user_id, day, arrival, segments)`` in canonical rng order.
+
+    The single trace driver both generators consume: profile
+    construction and per-day draws happen here and nowhere else, so the
+    row and columnar generators *cannot* diverge in stream consumption
+    — their "same seed, same data" contract is structural, not merely
+    test-enforced.
+    """
     roles = _assign_ap_roles(config)
-
-    n_residents = max(1, round(config.n_users * config.resident_fraction))
-    resident_ids = frozenset(range(n_residents))
-
-    trajectories: list[Trajectory] = []
+    resident_ids = _resident_ids(config)
     for user_id in range(config.n_users):
         if user_id in resident_ids:
             profile: _ResidentProfile | _VisitorProfile = _ResidentProfile(
@@ -503,13 +542,96 @@ def generate_tippers(config: TippersConfig | None = None) -> TippersDataset:
         else:
             profile = _VisitorProfile(config, roles, rng)
         for day in range(config.n_days):
-            trajectory = profile.day_trajectory(user_id, day, rng)
-            if trajectory is not None:
-                trajectories.append(trajectory)
+            plan = profile.day_segments(day, rng)
+            if plan is not None:
+                arrival, segments = plan
+                yield user_id, day, arrival, segments
+
+
+def generate_tippers(config: TippersConfig | None = None) -> TippersDataset:
+    """Generate a synthetic TIPPERS-like trace (deterministic in the seed)."""
+    config = config or TippersConfig()
+    rng = np.random.default_rng(config.seed)
+
+    trajectories = [
+        Trajectory(
+            user_id=user_id,
+            day=day,
+            slots=_segments_to_slots(segments, arrival),
+        )
+        for user_id, day, arrival, segments in _iter_day_plans(config, rng)
+    ]
 
     return TippersDataset(
         config=config,
         trajectories=trajectories,
-        resident_user_ids=resident_ids,
-        ap_roles=roles,
+        resident_user_ids=_resident_ids(config),
+        ap_roles=_assign_ap_roles(config),
+    )
+
+
+def generate_tippers_columnar(config: TippersConfig | None = None):
+    """Generate the trace straight into columnar arrays.
+
+    Stream-identical to :func:`generate_tippers` — both consume the
+    shared :func:`_iter_day_plans` driver, so identical draws in
+    identical order are structural — but the per-record ``Trajectory``
+    objects (and their tuple-of-tuples slot storage) are never
+    constructed: each day's ``(ap, n_slots)`` segments expand directly
+    into the flat AP array of the ``aps`` ragged column.  Same seed,
+    same arrays as ``generate_tippers(config).columnar()``; the scalar
+    attributes fall out of the expansion (``start_slot`` is the
+    arrival, ``end_slot`` is ``arrival + duration - 1`` by slot
+    contiguity).
+
+    Returns a :class:`repro.data.columnar.ColumnarDatabase` with the
+    :func:`trajectory_columns` schema (no row records attached).
+    """
+    from repro.data.columnar import ColumnarDatabase, RaggedColumn
+
+    config = config or TippersConfig()
+    rng = np.random.default_rng(config.seed)
+
+    user_ids: list[int] = []
+    days: list[int] = []
+    starts: list[int] = []
+    lengths: list[int] = []
+    flat_aps: list[np.ndarray] = []
+    for user_id, day, arrival, segments in _iter_day_plans(config, rng):
+        seg_aps = np.fromiter(
+            (ap for ap, _ in segments), dtype=np.int64, count=len(segments)
+        )
+        seg_lens = np.fromiter(
+            (length for _, length in segments),
+            dtype=np.int64,
+            count=len(segments),
+        )
+        # _segments_to_slots truncates at the end of the day; the
+        # columnar equivalent is clipping the expansion.
+        aps = np.repeat(seg_aps, seg_lens)[: SLOTS_PER_DAY - arrival]
+        if not len(aps):
+            continue
+        user_ids.append(user_id)
+        days.append(day)
+        starts.append(arrival)
+        lengths.append(len(aps))
+        flat_aps.append(aps)
+
+    length_arr = np.asarray(lengths, dtype=np.int64)
+    start_arr = np.asarray(starts, dtype=np.int64)
+    offsets = np.concatenate([[0], np.cumsum(length_arr)]).astype(np.int64)
+    flat = (
+        np.concatenate(flat_aps)
+        if flat_aps
+        else np.empty(0, dtype=np.int64)
+    )
+    return ColumnarDatabase(
+        {
+            "user_id": np.asarray(user_ids, dtype=np.int64),
+            "day": np.asarray(days, dtype=np.int64),
+            "start_slot": start_arr,
+            "end_slot": start_arr + length_arr - 1,
+            "duration_slots": length_arr,
+            "aps": RaggedColumn(flat=flat, offsets=offsets),
+        }
     )

@@ -63,6 +63,35 @@ def release_trials(
     return mechanism.release_batch(hist, spawn_rngs(seed, n_trials))
 
 
+def release_trials_from_database(
+    mechanism,
+    db,
+    query,
+    policy,
+    n_trials: int = 10,
+    seed: int = 0,
+    batched: bool = True,
+    accountant=None,
+) -> np.ndarray:
+    """:func:`release_trials` fed straight from any database flavor.
+
+    A seeded convenience wrapper over
+    :meth:`repro.mechanisms.base.HistogramMechanism.release_batch_from_database`
+    (the single front door for build-histogram + charge + release): row,
+    columnar and sharded databases all work, the latter evaluating
+    policy masks and bincounts per shard (on the database's executor
+    when it has one).  One accountant charge covers the trial matrix.
+    """
+    rng = (
+        np.random.default_rng(seed)
+        if batched
+        else spawn_rngs(seed, n_trials)
+    )
+    return mechanism.release_batch_from_database(
+        db, query, policy, rng, n_trials, accountant=accountant
+    )
+
+
 def format_table(
     headers: Sequence[str],
     rows: Sequence[Sequence[object]],

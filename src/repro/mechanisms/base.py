@@ -87,6 +87,53 @@ class HistogramMechanism(ABC):
             rows = [self.release(hist, r) for r in rngs]
         return np.stack(rows)
 
+    # ------------------------------------------------------------------
+    # Shard-aware end-to-end entry points
+    # ------------------------------------------------------------------
+    def release_from_database(
+        self,
+        db,
+        query,
+        policy,
+        rng: np.random.Generator,
+        accountant: PrivacyAccountant | None = None,
+    ) -> np.ndarray:
+        """Histogram construction + budget charge + one release.
+
+        ``db`` may be a row :class:`repro.data.database.Database`, a
+        :class:`repro.data.columnar.ColumnarDatabase`, or a
+        :class:`repro.data.sharding.ShardedColumnarDatabase` — the
+        histogram input is built through the matching (possibly
+        per-shard parallel) path, so every mechanism gets a sharded
+        front door without knowing about shards.
+        """
+        from repro.queries.histogram import histogram_input_for
+
+        hist = histogram_input_for(db, query, policy)
+        self.charge_for(accountant, policy)
+        return self.release(hist, rng)
+
+    def release_batch_from_database(
+        self,
+        db,
+        query,
+        policy,
+        rng: np.random.Generator | Sequence[np.random.Generator],
+        n_trials: int | None = None,
+        accountant: PrivacyAccountant | None = None,
+    ) -> np.ndarray:
+        """``release_batch`` behind the same any-database front door.
+
+        One accountant charge covers the whole trial matrix: the trials
+        are analyses of the same release distribution used jointly, and
+        the evaluation protocol treats them as one budget-ed query.
+        """
+        from repro.queries.histogram import histogram_input_for
+
+        hist = histogram_input_for(db, query, policy)
+        self.charge_for(accountant, policy)
+        return self.release_batch(hist, rng, n_trials)
+
     @property
     @abstractmethod
     def guarantee(self) -> DPGuarantee | OSDPGuarantee:
@@ -104,6 +151,31 @@ class HistogramMechanism(ABC):
             accountant.charge(AllSensitivePolicy(), guarantee.epsilon, label or self.name)
         else:
             accountant.charge(guarantee.policy, guarantee.epsilon, label or self.name)
+
+    def charge_for(
+        self,
+        accountant: PrivacyAccountant | None,
+        policy,
+        label: str = "",
+    ) -> None:
+        """Charge under the policy that actually built the input.
+
+        The ledger must record the policy whose ``x_ns`` the mechanism
+        consumed — an OSDP mechanism constructed without a policy (e.g.
+        by a registry factory) still only satisfies ``(P, eps)``-OSDP
+        for the ``P`` used to partition the data, so charging its
+        guarantee's ``P_all`` placeholder would overstate protection.
+        DP mechanisms ignore the input policy and charge under ``P_all``
+        (Lemma 3.1).
+        """
+        if accountant is None:
+            return
+        guarantee = self.guarantee
+        if isinstance(guarantee, DPGuarantee) or policy is None:
+            from repro.core.policy import AllSensitivePolicy
+
+            policy = AllSensitivePolicy()
+        accountant.charge(policy, guarantee.epsilon, label or self.name)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(epsilon={self.epsilon})"

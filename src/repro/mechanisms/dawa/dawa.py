@@ -25,7 +25,9 @@ from repro.mechanisms.dawa.estimate import uniform_bucket_estimate
 from repro.mechanisms.dawa.partition import (
     Bucket,
     DyadicScaffold,
+    clip_buckets_array,
     dyadic_partition_array,
+    optimal_partition_batch,
 )
 from repro.queries.histogram import HistogramInput
 
@@ -94,6 +96,36 @@ class Dawa(HistogramMechanism):
     def release(self, hist: HistogramInput, rng: np.random.Generator) -> np.ndarray:
         return self.release_with_partition(hist, rng).estimate
 
+    def release_with_partition_batch(
+        self,
+        hist: HistogramInput,
+        rng: np.random.Generator,
+        n_trials: int,
+        scaffold: DyadicScaffold | None = None,
+    ) -> list[DawaResult]:
+        """``n_trials`` independent releases with stage 1 fully batched.
+
+        The exact dyadic deviation costs are data-dependent but
+        trial-independent (one scaffold); all trials' noisy cost levels
+        are sampled as ``(n_trials, n_intervals)`` matrices and the
+        partition Bellman recursion runs once across trials
+        (:func:`repro.mechanisms.dawa.partition.optimal_partition_batch`).
+        Stage 2 stays per trial — each trial owns a different bucket
+        set — but its reduceat/repeat kernels are already vectorized
+        within a trial.
+        """
+        x = np.asarray(hist.x, dtype=float)
+        if scaffold is None:
+            scaffold = DyadicScaffold(x)
+        costs = scaffold.noisy_costs_batch(self.epsilon1, rng, n_trials)
+        partitions = optimal_partition_batch(costs, self.bucket_penalty)
+        results: list[DawaResult] = []
+        for padded_buckets in partitions:
+            buckets = clip_buckets_array(padded_buckets, scaffold.n_original)
+            estimate = uniform_bucket_estimate(x, buckets, self.epsilon2, rng)
+            results.append(DawaResult(estimate=estimate, buckets=buckets))
+        return results
+
     def release_batch(
         self,
         hist: HistogramInput,
@@ -104,12 +136,11 @@ class Dawa(HistogramMechanism):
             return self._sequential_release_batch(hist, rng, n_trials)
         if n_trials is None:
             raise ValueError("n_trials is required with a single generator")
-        # The exact dyadic deviation costs are data-dependent but
-        # trial-independent: compute them once, add fresh noise per trial.
-        scaffold = DyadicScaffold(np.asarray(hist.x, dtype=float))
         return np.stack(
             [
-                self.release_with_partition(hist, rng, scaffold=scaffold).estimate
-                for _ in range(n_trials)
+                result.estimate
+                for result in self.release_with_partition_batch(
+                    hist, rng, n_trials
+                )
             ]
         )

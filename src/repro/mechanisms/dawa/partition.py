@@ -30,6 +30,7 @@ bucket clipping/validation helpers are vectorized.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -69,6 +70,30 @@ class DyadicCosts:
 
     def cost(self, level: int, index: int) -> float:
         return float(self.levels[level][index])
+
+
+@dataclass(frozen=True)
+class BatchDyadicCosts:
+    """Noisy dyadic costs for many trials at once.
+
+    ``levels[k]`` is an ``(n_trials, n_intervals_k)`` matrix — trial
+    ``t``'s costs for level ``k`` in row ``t``.  :meth:`trial` views one
+    row set as an ordinary :class:`DyadicCosts`, which is how the exact
+    per-trial equivalence of the batched partition DP is tested.
+    """
+
+    levels: tuple[np.ndarray, ...]
+
+    @property
+    def n_trials(self) -> int:
+        return self.levels[0].shape[0]
+
+    @property
+    def n(self) -> int:
+        return self.levels[0].shape[1]
+
+    def trial(self, t: int) -> DyadicCosts:
+        return DyadicCosts(levels=tuple(level[t] for level in self.levels))
 
 
 class DyadicScaffold:
@@ -124,12 +149,67 @@ class DyadicScaffold:
             levels.append(costs)
         return DyadicCosts(levels=tuple(levels))
 
+    def noisy_costs_batch(
+        self, epsilon1: float, rng: np.random.Generator, n_trials: int
+    ) -> BatchDyadicCosts:
+        """``n_trials`` independent noisy cost sets in one sampling pass.
+
+        One ``(n_trials, n_intervals)`` Laplace matrix per level instead
+        of ``n_trials`` per-level sampler calls; each row is distributed
+        exactly as one :meth:`noisy_costs` draw (the streams differ —
+        batch mode's documented contract).
+        """
+        if epsilon1 <= 0:
+            raise ValueError("epsilon1 must be positive")
+        if n_trials < 1:
+            raise ValueError("need at least one trial")
+        noisy_levels = self.n_levels - 1
+        scale = 2.0 * max(noisy_levels, 1) / epsilon1
+        levels: list[np.ndarray] = [
+            np.broadcast_to(self.exact_levels[0], (n_trials, self.n_padded))
+        ]
+        for exact in self.exact_levels[1:]:
+            costs = exact + sample_laplace(
+                rng, scale, size=(n_trials, len(exact))
+            )
+            np.maximum(costs, 0.0, out=costs)
+            levels.append(costs)
+        return BatchDyadicCosts(levels=tuple(levels))
+
 
 def noisy_dyadic_costs(
     x: np.ndarray, epsilon1: float, rng: np.random.Generator
 ) -> DyadicCosts:
     """eps1-DP noisy L1-deviation costs for all aligned dyadic intervals."""
     return DyadicScaffold(x).noisy_costs(epsilon1, rng)
+
+
+def _select_buckets(keep: Sequence[np.ndarray]) -> np.ndarray:
+    """Top-down bucket selection from per-level keep/split decisions.
+
+    One vectorized pass per level: nodes whose subtree optimum keeps
+    them whole emit buckets, the rest expand into their children for
+    the next level down.  ``keep[level][i]`` is True when interval ``i``
+    of that level stays a single bucket.
+    """
+    n_levels = len(keep)
+    pieces: list[np.ndarray] = []
+    active = np.zeros(1, dtype=np.int64)
+    for level in range(n_levels - 1, -1, -1):
+        if active.size == 0:
+            break
+        kept_mask = keep[level][active]
+        kept = active[kept_mask]
+        if kept.size:
+            width = 1 << level
+            pieces.append(
+                np.stack([kept * width, (kept + 1) * width], axis=1)
+            )
+        children = active[~kept_mask]
+        active = np.repeat(children * 2, 2)
+        active[1::2] += 1
+    arr = np.concatenate(pieces) if pieces else np.empty((0, 2), dtype=np.int64)
+    return arr[np.argsort(arr[:, 0], kind="stable")]
 
 
 def optimal_partition_array(
@@ -166,26 +246,37 @@ def optimal_partition_array(
         best.append(level_best)
         keep.append(level_keep)
 
-    # Top-down selection, one vectorized pass per level: nodes whose
-    # subtree optimum keeps them whole emit buckets, the rest expand
-    # into their children for the next level down.
-    pieces: list[np.ndarray] = []
-    active = np.zeros(1, dtype=np.int64)
-    for level in range(n_levels - 1, -1, -1):
-        if active.size == 0:
-            break
-        kept_mask = keep[level][active]
-        kept = active[kept_mask]
-        if kept.size:
-            width = 1 << level
-            pieces.append(
-                np.stack([kept * width, (kept + 1) * width], axis=1)
-            )
-        children = active[~kept_mask]
-        active = np.repeat(children * 2, 2)
-        active[1::2] += 1
-    arr = np.concatenate(pieces) if pieces else np.empty((0, 2), dtype=np.int64)
-    return arr[np.argsort(arr[:, 0], kind="stable")]
+    return _select_buckets(keep)
+
+
+def optimal_partition_batch(
+    costs: BatchDyadicCosts, bucket_penalty: float
+) -> list[np.ndarray]:
+    """The partition DP for every trial in one bottom-up sweep.
+
+    The Bellman recursion runs on ``(n_trials, n_intervals)`` matrices —
+    the per-trial float operations are elementwise-identical to
+    :func:`optimal_partition_array` on that trial's cost rows, so the
+    chosen buckets match the per-trial path exactly.  Only the final
+    top-down selection (whose shape is data-dependent) walks per trial.
+    Returns one ``(k_t, 2)`` bucket array per trial, over the padded
+    domain.
+    """
+    if bucket_penalty < 0:
+        raise ValueError("bucket_penalty must be non-negative")
+    n_levels = len(costs.levels)
+    best = costs.levels[0] + bucket_penalty  # (n_trials, n)
+    keep: list[np.ndarray] = [np.ones_like(best, dtype=bool)]
+    for level in range(1, n_levels):
+        whole = costs.levels[level] + bucket_penalty
+        split = best[:, 0::2] + best[:, 1::2]
+        level_keep = whole <= split
+        best = np.where(level_keep, whole, split)
+        keep.append(level_keep)
+    return [
+        _select_buckets([level_keep[t] for level_keep in keep])
+        for t in range(costs.n_trials)
+    ]
 
 
 def optimal_dyadic_partition(
@@ -198,12 +289,16 @@ def optimal_dyadic_partition(
     ]
 
 
-def _clip_buckets_array(arr: np.ndarray, n: int) -> np.ndarray:
+def clip_buckets_array(arr: np.ndarray, n: int) -> np.ndarray:
     """Restrict buckets of the padded domain to the original length."""
     arr = np.asarray(arr, dtype=np.int64).reshape(-1, 2)
     kept = arr[arr[:, 0] < n]
     np.minimum(kept[:, 1], n, out=kept[:, 1])
     return kept
+
+
+# Backwards-compatible private alias (pre-batch-path name).
+_clip_buckets_array = clip_buckets_array
 
 
 def _clip_buckets(buckets: list[Bucket], n: int) -> list[Bucket]:

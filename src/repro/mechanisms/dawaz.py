@@ -35,7 +35,7 @@ from repro.mechanisms.batch_sampling import (
     one_sided_rows,
 )
 from repro.mechanisms.dawa.dawa import Dawa, DawaResult
-from repro.mechanisms.dawa.partition import DyadicScaffold, buckets_tile_domain
+from repro.mechanisms.dawa.partition import buckets_tile_domain
 from repro.mechanisms.osdp_rr import release_probability
 from repro.queries.histogram import HistogramInput, ns_support_sorted
 
@@ -206,23 +206,25 @@ class TwoPhaseOsdpRecipe(HistogramMechanism):
             return self._sequential_release_batch(hist, rng, n_trials)
         if n_trials is None:
             raise ValueError("n_trials is required with a single generator")
-        # All trials' zero sets in one support-restricted sampling pass,
-        # and one shared stage-1 scaffold for the DP algorithm.
+        # All trials' zero sets in one support-restricted sampling pass.
         masks = detect_zero_bins_batch(
             hist, self.epsilon_zero, rng, n_trials, detector=self.zero_detector
         )
         if isinstance(self.dp_algorithm, Dawa):
-            scaffold = DyadicScaffold(np.asarray(hist.x, dtype=float))
-            release_dp = lambda: self.dp_algorithm.release_with_partition(  # noqa: E731
-                hist, rng, scaffold=scaffold
+            # Fully batched stage 1: one scaffold, all trials' noisy
+            # cost levels as (n_trials, level) matrices, one vectorized
+            # partition DP across trials.
+            results = self.dp_algorithm.release_with_partition_batch(
+                hist, rng, n_trials
             )
         else:
-            release_dp = lambda: self.dp_algorithm.release_with_partition(  # noqa: E731
-                hist, rng
-            )
+            results = [
+                self.dp_algorithm.release_with_partition(hist, rng)
+                for _ in range(n_trials)
+            ]
         rows = [
-            apply_zero_postprocessing(release_dp(), masks[trial])
-            for trial in range(n_trials)
+            apply_zero_postprocessing(result, masks[trial])
+            for trial, result in enumerate(results)
         ]
         return np.stack(rows)
 

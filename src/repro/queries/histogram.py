@@ -19,6 +19,7 @@ DP mechanisms read only ``x``; OSDP mechanisms use ``x_ns`` and the mask.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from functools import cached_property
 from typing import Callable, Sequence
@@ -30,6 +31,27 @@ from repro.data.database import Database
 
 HISTOGRAM_L1_SENSITIVITY = 2.0
 SINGLE_COUNT_SENSITIVITY = 1.0
+
+
+def _shard_aware_bin_indices(impl: Callable) -> Callable:
+    """Give a ``bin_indices`` implementation sharded dispatch.
+
+    The binning-side analog of ``repro.core.policy._shard_aware``
+    (binnings share no base class, so each vectorized ``bin_indices``
+    opts in with this decorator): a sharded bundle is binned per shard
+    and the index arrays concatenate in record order — bit-identical to
+    the single-node array, since a record's bin depends only on that
+    record.  Single-node bundles fall straight through.
+    """
+
+    @functools.wraps(impl)
+    def bin_indices(self, columns) -> np.ndarray:
+        map_shards = getattr(columns, "map_shards", None)
+        if map_shards is not None:
+            return np.concatenate(map_shards(self.bin_indices))
+        return impl(self, columns)
+
+    return bin_indices
 
 
 class CategoricalBinning:
@@ -46,9 +68,14 @@ class CategoricalBinning:
     def n_bins(self) -> int:
         return len(self.domain)
 
+    def cache_key(self) -> tuple:
+        """Hashable value identity (see ``Policy.cache_key``)."""
+        return ("cat", self.attribute, self.domain)
+
     def bin_of(self, record: object) -> int:
         return self._lookup(record[self.attribute])  # type: ignore[index]
 
+    @_shard_aware_bin_indices
     def bin_indices(self, columns) -> np.ndarray:
         """Vectorized ``bin_of`` over a column bundle.
 
@@ -106,6 +133,10 @@ class IntegerBinning:
     def n_bins(self) -> int:
         return -(-(self.high - self.low) // self.width)
 
+    def cache_key(self) -> tuple:
+        """Hashable value identity (see ``Policy.cache_key``)."""
+        return ("int", self.attribute, self.low, self.high, self.width)
+
     def bin_of(self, record: object) -> int:
         value = record[self.attribute]  # type: ignore[index]
         if not self.low <= value < self.high:
@@ -114,6 +145,7 @@ class IntegerBinning:
             )
         return (value - self.low) // self.width
 
+    @_shard_aware_bin_indices
     def bin_indices(self, columns) -> np.ndarray:
         """Vectorized ``bin_of``: range check + integer division."""
         values = np.asarray(columns[self.attribute])
@@ -142,11 +174,22 @@ class Product2DBinning:
     def shape(self) -> tuple[int, int]:
         return (self.first.n_bins, self.second.n_bins)
 
+    def cache_key(self) -> tuple | None:
+        """Value identity when both factors have one, else None."""
+        first = getattr(self.first, "cache_key", lambda: None)()
+        second = getattr(self.second, "cache_key", lambda: None)()
+        if first is None or second is None:
+            return None
+        return ("prod", first, second)
+
     def bin_of(self, record: object) -> int:
         return self.first.bin_of(record) * self.second.n_bins + self.second.bin_of(
             record
         )
 
+    # Dispatch at the product level so each shard computes its full
+    # 2-D index in one pass instead of concatenating twice.
+    @_shard_aware_bin_indices
     def bin_indices(self, columns) -> np.ndarray:
         return (
             self.first.bin_indices(columns) * self.second.n_bins
@@ -276,21 +319,44 @@ class HistogramInput:
     def from_columnar(
         cls, db, query: HistogramQuery, policy: Policy
     ) -> "HistogramInput":
-        """Vectorized ``from_database`` for a columnar database.
+        """Vectorized ``from_database`` for a (possibly sharded) columnar db.
 
-        Bin indices are computed once for the full database; ``x`` and
-        ``x_ns`` are two ``np.bincount`` calls (the non-sensitive one
-        over the policy's vectorized mask), so the whole construction is
-        free of per-record Python dispatch.
+        Single-node: bin indices are computed once for the full
+        database; ``x`` and ``x_ns`` are two ``np.bincount`` calls (the
+        non-sensitive one over the policy's vectorized mask), so the
+        whole construction is free of per-record Python dispatch.
+
+        Sharded (:class:`repro.data.sharding.ShardedColumnarDatabase`):
+        each shard produces its ``(x, x_ns)`` pair independently —
+        serially or on the database's executor — and the pairs merge by
+        exact integer addition, bit-identical to the single-node
+        histograms.
         """
-        from repro.core.policy import NON_SENSITIVE
+        map_shards = getattr(db, "map_shards", None)
+        if map_shards is not None:
+            pairs = map_shards(
+                functools.partial(
+                    _shard_histogram_counts, query=query, policy=policy
+                )
+            )
+        else:
+            pairs = [_shard_histogram_counts(db, query, policy)]
+        return cls.from_shard_counts(pairs)
 
-        indices = query.binning.bin_indices(db)
-        x = db.histogram_from_indices(indices, query.n_bins)
-        ns = policy.evaluate_batch(db) == NON_SENSITIVE
-        x_ns = np.bincount(
-            indices[ns], minlength=query.n_bins
-        ).astype(np.int64)
+    @classmethod
+    def from_shard_counts(
+        cls, pairs: Sequence[tuple[np.ndarray, np.ndarray]]
+    ) -> "HistogramInput":
+        """Merge per-shard ``(x, x_ns)`` pairs and derive the bin mask.
+
+        The single home of the merge-and-mask step shared by
+        :meth:`from_columnar` and the release server's cached path —
+        exact integer addition, then the value-based sensitivity mask
+        (a bin is sensitive-only when populated but without
+        non-sensitive records).
+        """
+        x = np.sum([p[0] for p in pairs], axis=0, dtype=np.int64)
+        x_ns = np.sum([p[1] for p in pairs], axis=0, dtype=np.int64)
         mask = (x > 0) & (x_ns == 0)
         return cls(x=x, x_ns=x_ns, sensitive_bin_mask=mask)
 
@@ -299,6 +365,64 @@ class HistogramInput:
         cls, x: np.ndarray, x_ns: np.ndarray
     ) -> "HistogramInput":
         return cls(x=np.asarray(x, dtype=float), x_ns=np.asarray(x_ns, dtype=float))
+
+
+def counts_from_mask(
+    bin_indices: np.ndarray, ns_mask: np.ndarray, n_bins: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(x, x_ns)`` int64 counts from bin indices + non-sensitive flags.
+
+    The count-construction step shared by the columnar/sharded
+    histogram path and the release server's cached path; rejects
+    indices outside ``[0, n_bins)`` and index/mask length mismatches
+    (a binning that silently drops records must fail loudly, not
+    produce an x/x_ns pair built from inconsistent record sets).
+    """
+    bin_indices = np.asarray(bin_indices)
+    ns_mask = np.asarray(ns_mask)
+    if bin_indices.shape != ns_mask.shape:
+        raise ValueError(
+            f"bin indices cover {bin_indices.shape[0]} records but the "
+            f"policy mask covers {ns_mask.shape[0]}"
+        )
+    x = np.bincount(bin_indices, minlength=n_bins).astype(np.int64)
+    if len(x) > n_bins:
+        raise ValueError(
+            f"record mapped to bin {int(bin_indices.max())}, "
+            f"outside [0, {n_bins})"
+        )
+    x_ns = np.bincount(
+        bin_indices[ns_mask], minlength=n_bins
+    ).astype(np.int64)
+    return x, x_ns
+
+
+def _shard_histogram_counts(
+    db, query: HistogramQuery, policy: Policy
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(x, x_ns)`` int64 counts for one columnar database (or shard).
+
+    A module-level function (not a closure) so process-pool executors
+    can ship it to workers alongside a picklable shard and policy.
+    """
+    from repro.core.policy import NON_SENSITIVE
+
+    indices = query.binning.bin_indices(db)
+    ns = policy.evaluate_batch(db) == NON_SENSITIVE
+    return counts_from_mask(indices, ns, query.n_bins)
+
+
+def histogram_input_for(db, query: HistogramQuery, policy: Policy) -> HistogramInput:
+    """Build a :class:`HistogramInput` from any database flavor.
+
+    Routes row databases through the per-record reference path and
+    columnar/sharded databases through the vectorized path — the single
+    entry point the mechanisms' ``release_from_database`` and the
+    service facade use.
+    """
+    if hasattr(db, "map_shards") or hasattr(db, "histogram_from_indices"):
+        return HistogramInput.from_columnar(db, query, policy)
+    return HistogramInput.from_database(db, query, policy)
 
 
 def ns_support(hist) -> np.ndarray:

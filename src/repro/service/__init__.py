@@ -1,0 +1,25 @@
+"""High-traffic service facade over the sharded columnar engine.
+
+:class:`ReleaseServer` is the minimal "million-user service" shape the
+ROADMAP targets: it owns a (sharded) database, accepts batches of
+histogram-release requests, reuses per-(shard, policy) mask work across
+requests, and audits every release against a privacy budget.
+"""
+
+from repro.service.server import (
+    BatchBudgetExceededError,
+    ReleaseRequest,
+    ReleaseResponse,
+    ReleaseServer,
+    ServiceStats,
+    default_registry,
+)
+
+__all__ = [
+    "BatchBudgetExceededError",
+    "ReleaseRequest",
+    "ReleaseResponse",
+    "ReleaseServer",
+    "ServiceStats",
+    "default_registry",
+]

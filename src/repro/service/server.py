@@ -1,0 +1,369 @@
+"""The histogram-release server: sharded engine + caches + accountant.
+
+A deployment of the paper's mechanisms is not one release but a stream
+of them: many analysts, many policies, many binnings, one budget.  The
+server models exactly that traffic shape while staying in-process (no
+sockets — transport is out of scope; the request/response dataclasses
+are the wire format a transport would serialize):
+
+* **Sharded evaluation.**  The database is a
+  :class:`repro.data.sharding.ShardedColumnarDatabase`; masks and bin
+  indices are computed shard by shard (on the database's executor when
+  it has one) and merged bit-identically to single-node evaluation.
+* **Cross-request caching.**  Policy masks are cached per
+  ``(shard, policy)`` and bin indices per ``(shard, binning)``, so a
+  burst of requests over the same policy pays the mask once; the
+  assembled :class:`~repro.queries.histogram.HistogramInput` is cached
+  per ``(binning, policy)``.  Cache keys prefer the objects'
+  ``cache_key()`` *value identity* (so a transport that deserializes a
+  fresh-but-equal policy or binning per request still hits), falling
+  back to object identity for opaque predicates (the fallback pins the
+  object so CPython cannot recycle its ``id``).  The key set is
+  bounded: beyond ``cache_limit`` distinct policies/binnings the
+  least-recently-used key and all of its per-shard arrays are evicted,
+  so a long-lived server cannot grow without bound.  The data is
+  immutable, so live entries never invalidate.
+* **Budget accounting.**  Every release charges the accountant under
+  the request's policy (DP mechanisms charge under ``P_all`` per Lemma
+  3.1) *before* sampling; a request that would exceed the budget raises
+  :class:`repro.core.accountant.BudgetExceededError` and releases
+  nothing.  A batch that fails mid-way raises
+  :class:`BatchBudgetExceededError`, which carries the responses of the
+  already-charged prefix — charged noise is never silently discarded.
+
+Caching the mask/histogram is free privacy-wise: the cached values are
+exact data-dependent intermediates, and privacy is only consumed when a
+mechanism samples a release from them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.accountant import BudgetExceededError, PrivacyAccountant
+from repro.core.policy import NON_SENSITIVE, Policy
+from repro.data.columnar import ColumnarDatabase
+from repro.data.sharding import ShardedColumnarDatabase
+from repro.mechanisms.base import MechanismRegistry
+from repro.queries.histogram import (
+    HistogramInput,
+    HistogramQuery,
+    counts_from_mask,
+)
+
+
+class BatchBudgetExceededError(BudgetExceededError):
+    """A batch ran out of budget mid-way.
+
+    ``responses`` holds the already-produced (and already-charged)
+    prefix; ``failed_request`` is the first request that could not be
+    afforded.  Earlier releases consumed real budget, so they must
+    reach the caller even though the batch as a whole failed.
+    """
+
+    def __init__(self, message: str, responses, failed_request):
+        super().__init__(message)
+        self.responses = list(responses)
+        self.failed_request = failed_request
+
+
+def default_registry() -> MechanismRegistry:
+    """The standard pool: the paper's OSDP and DP release algorithms."""
+    from repro.mechanisms.dawa import Dawa
+    from repro.mechanisms.dawaz import DawaZ
+    from repro.mechanisms.laplace import LaplaceHistogram
+    from repro.mechanisms.osdp_laplace import (
+        HybridOsdpLaplace,
+        OsdpLaplaceHistogram,
+        OsdpLaplaceL1Histogram,
+    )
+    from repro.mechanisms.osdp_rr import OsdpRRHistogram
+
+    registry = MechanismRegistry()
+    registry.register("laplace", LaplaceHistogram)
+    registry.register("dawa", Dawa)
+    registry.register("dawaz", DawaZ)
+    registry.register("osdp_rr", OsdpRRHistogram)
+    registry.register("osdp_laplace", OsdpLaplaceHistogram)
+    registry.register("osdp_laplace_l1", OsdpLaplaceL1Histogram)
+    registry.register("osdp_hybrid", HybridOsdpLaplace)
+    return registry
+
+
+@dataclass(frozen=True)
+class ReleaseRequest:
+    """One histogram-release job.
+
+    ``mechanism`` names a registry entry; ``binning`` is any object with
+    ``bin_indices``/``n_bins`` (the :mod:`repro.queries.histogram`
+    binnings); ``policy`` decides sensitivity; ``seed=None`` draws fresh
+    OS entropy per request (the production default), while an explicit
+    seed makes the response reproducible.
+    """
+
+    mechanism: str
+    epsilon: float
+    binning: object
+    policy: Policy
+    n_trials: int = 1
+    seed: int | None = None
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class ReleaseResponse:
+    """The released estimates plus the accounting trail."""
+
+    request: ReleaseRequest
+    estimates: np.ndarray  # (n_trials, n_bins)
+    epsilon_spent: float
+    budget_remaining: float | None
+    cache_hit: bool
+
+
+@dataclass
+class ServiceStats:
+    """Cache effectiveness counters (per shard-level computation)."""
+
+    mask_hits: int = 0
+    mask_misses: int = 0
+    index_hits: int = 0
+    index_misses: int = 0
+    hist_hits: int = 0
+    hist_misses: int = 0
+    evictions: int = 0
+    requests: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self.__dict__)
+
+
+class ReleaseServer:
+    """Serve histogram-release requests from one sharded database."""
+
+    def __init__(
+        self,
+        db,
+        registry: MechanismRegistry | None = None,
+        accountant: PrivacyAccountant | None = None,
+        n_shards: int | None = None,
+        executor=None,
+        cache_limit: int = 128,
+    ):
+        if isinstance(db, ShardedColumnarDatabase):
+            if executor is not None:
+                db = db.with_executor(executor)
+        else:
+            if not isinstance(db, ColumnarDatabase):
+                db = ColumnarDatabase.from_database(db)
+            db = db.shard(n_shards or 1, executor=executor)
+        if cache_limit < 2:
+            # A single request keeps two keys live (binning + policy);
+            # with fewer slots they would evict each other mid-request.
+            raise ValueError("cache_limit must be at least 2")
+        self._db: ShardedColumnarDatabase = db
+        self._registry = registry or default_registry()
+        self.accountant = accountant
+        self.cache_limit = cache_limit
+        self.stats = ServiceStats()
+        # (shard index, policy key) -> int8 mask; (shard index,
+        # binning key) -> int64 bin indices; (binning key, policy key)
+        # -> HistogramInput.  Keys come from _key(); _keyed tracks
+        # every live key in insertion order — it pins identity-keyed
+        # objects (so CPython cannot recycle an id into a stale hit)
+        # and is the LRU eviction queue bounding total cache growth.
+        self._mask_cache: dict[tuple, np.ndarray] = {}
+        self._index_cache: dict[tuple, np.ndarray] = {}
+        self._hist_cache: dict[tuple, HistogramInput] = {}
+        self._keyed: dict[tuple, object] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def db(self) -> ShardedColumnarDatabase:
+        return self._db
+
+    @property
+    def n_shards(self) -> int:
+        return self._db.n_shards
+
+    @property
+    def budget_remaining(self) -> float | None:
+        return self.accountant.remaining if self.accountant else None
+
+    # ------------------------------------------------------------------
+    # Cached shard-level building blocks
+    # ------------------------------------------------------------------
+    def _key(self, obj: object) -> tuple:
+        """The cache key of a policy/binning: value identity when possible.
+
+        Objects exposing a non-None ``cache_key()`` (the algebra
+        policies, the standard binnings) key by value, so equal objects
+        deserialized per request share cache entries; opaque objects
+        (predicate policies) key by ``id`` and are pinned.  Either way
+        the key is registered in the LRU eviction queue.
+        """
+        value_key = getattr(obj, "cache_key", lambda: None)()
+        key = ("v", value_key) if value_key is not None else ("id", id(obj))
+        if key in self._keyed:
+            # LRU touch: move to the back of the eviction queue, so a
+            # hot key is never the one evicted when the limit is hit.
+            self._keyed[key] = self._keyed.pop(key)
+        else:
+            if len(self._keyed) >= self.cache_limit:
+                self._evict(next(iter(self._keyed)))
+            self._keyed[key] = obj
+        return key
+
+    def _evict(self, key: tuple) -> None:
+        """Drop one keyed object and every cache entry referencing it."""
+        self._keyed.pop(key, None)
+        for cache in (self._mask_cache, self._index_cache):
+            for entry in [k for k in cache if k[1] == key]:
+                del cache[entry]
+        for entry in [k for k in self._hist_cache if key in k]:
+            del self._hist_cache[entry]
+        self.stats.evictions += 1
+
+    def _per_shard(
+        self, cache: dict, key: tuple, compute, hits: str, misses: str
+    ) -> list:
+        """Fetch or fill a key's per-shard cache entries.
+
+        Entries for one key are all-or-nothing: fills write every shard
+        in one ``map_shards`` pass (getting the executor's parallelism)
+        and :meth:`_evict` removes a key's entries atomically, so a
+        partial state cannot occur.
+        """
+        if (0, key) not in cache:
+            setattr(
+                self.stats, misses, getattr(self.stats, misses) + self.n_shards
+            )
+            for i, value in enumerate(self._db.map_shards(compute)):
+                cache[(i, key)] = value
+        else:
+            setattr(
+                self.stats, hits, getattr(self.stats, hits) + self.n_shards
+            )
+        return [cache[(i, key)] for i in range(self.n_shards)]
+
+    def shard_masks(self, policy: Policy) -> list[np.ndarray]:
+        """Per-shard policy masks, cached per ``(shard, policy key)``."""
+        return self._per_shard(
+            self._mask_cache,
+            self._key(policy),
+            policy.evaluate_batch,
+            "mask_hits",
+            "mask_misses",
+        )
+
+    def shard_bin_indices(self, binning) -> list[np.ndarray]:
+        """Per-shard bin-index arrays, cached per ``(shard, binning key)``."""
+        return self._per_shard(
+            self._index_cache,
+            self._key(binning),
+            binning.bin_indices,
+            "index_hits",
+            "index_misses",
+        )
+
+    def histogram_input(
+        self, binning, policy: Policy
+    ) -> tuple[HistogramInput, bool]:
+        """The merged ``(x, x_ns, mask)`` bundle and whether it was cached.
+
+        Built from the cached per-shard masks and indices; the merge is
+        exact integer addition, so the result is bit-identical to
+        :meth:`repro.queries.histogram.HistogramInput.from_columnar` on
+        the same sharded database.
+        """
+        key = (self._key(binning), self._key(policy))
+        cached = self._hist_cache.get(key)
+        if cached is not None:
+            self.stats.hist_hits += 1
+            return cached, True
+        self.stats.hist_misses += 1
+        n_bins = binning.n_bins
+        masks = self.shard_masks(policy)
+        indices = self.shard_bin_indices(binning)
+        hist = HistogramInput.from_shard_counts(
+            [
+                counts_from_mask(idx, mask == NON_SENSITIVE, n_bins)
+                for idx, mask in zip(indices, masks)
+            ]
+        )
+        hist.ns_support_sorted  # warm the release fast-path views
+        self._hist_cache[key] = hist
+        return hist, False
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+    def handle(self, request: ReleaseRequest) -> ReleaseResponse:
+        """Serve one request: cache-assisted histogram, charge, release."""
+        if request.n_trials < 1:
+            raise ValueError("n_trials must be at least 1")
+        hist, cache_hit = self.histogram_input(request.binning, request.policy)
+        mechanism = self._registry.create(request.mechanism, request.epsilon)
+        # The ledger records the policy whose x_ns the mechanism
+        # consumed (DP mechanisms charge under P_all per Lemma 3.1) —
+        # the composition theorem (Theorem 3.3) folds the entries into
+        # the minimum relaxation.
+        mechanism.charge_for(
+            self.accountant,
+            request.policy,
+            label=request.label or request.mechanism,
+        )
+        rng = np.random.default_rng(request.seed)
+        estimates = mechanism.release_batch(hist, rng, request.n_trials)
+        self.stats.requests += 1
+        return ReleaseResponse(
+            request=request,
+            estimates=estimates,
+            epsilon_spent=request.epsilon,
+            budget_remaining=self.budget_remaining,
+            cache_hit=cache_hit,
+        )
+
+    def handle_batch(
+        self, requests: Sequence[ReleaseRequest]
+    ) -> list[ReleaseResponse]:
+        """Serve a traffic batch in order.
+
+        Requests sharing a ``(binning, policy)`` pair hit the histogram
+        cache after the first.  Malformed requests (unknown mechanism,
+        bad trial count, non-positive epsilon) are rejected up front,
+        before *any* request is charged — budget must never be spent on
+        a batch that was doomed by a typo.  The accountant then sees
+        every request; when one overruns the budget, the
+        already-charged prefix must not be lost, so the failure is
+        re-raised as :class:`BatchBudgetExceededError` carrying those
+        responses.
+        """
+        for request in requests:
+            if request.mechanism not in self._registry:
+                raise KeyError(
+                    f"unknown mechanism {request.mechanism!r}; registered: "
+                    f"{self._registry.names()}"
+                )
+            if request.n_trials < 1:
+                raise ValueError("n_trials must be at least 1")
+            if request.epsilon <= 0:
+                raise ValueError("epsilon must be positive")
+        responses: list[ReleaseResponse] = []
+        for request in requests:
+            try:
+                responses.append(self.handle(request))
+            except BudgetExceededError as exc:
+                raise BatchBudgetExceededError(
+                    str(exc), responses, request
+                ) from exc
+        return responses
+
+    def query_true_histogram(self, query: HistogramQuery) -> np.ndarray:
+        """The exact (non-private) histogram — for offline error audits."""
+        return self._db.histogram(query.binning, query.n_bins)

@@ -1,0 +1,127 @@
+"""Trial-vectorized DAWA stage 1: exact equivalence with the per-trial DP.
+
+``noisy_costs_batch`` samples all trials' noisy cost levels as
+``(n_trials, level)`` matrices and ``optimal_partition_batch`` runs the
+partition Bellman recursion once across trials.  Given the *same* noisy
+costs, the batched DP must choose exactly the buckets the per-trial
+:func:`optimal_partition_array` chooses — float-op-for-float-op — which
+is what these tests pin down (the only difference between the paths is
+then the noise stream layout, the documented batch-mode contract).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dpbench import generate_dpbench
+from repro.mechanisms.dawa.dawa import Dawa
+from repro.mechanisms.dawa.partition import (
+    DyadicScaffold,
+    optimal_partition_array,
+    optimal_partition_batch,
+    validate_partition,
+)
+from repro.mechanisms.dawaz import DawaZ
+from repro.queries.histogram import HistogramInput
+
+
+@pytest.fixture(scope="module")
+def adult_x() -> np.ndarray:
+    return generate_dpbench("adult", seed=1).astype(float)
+
+
+class TestBatchCosts:
+    def test_shapes_and_level0(self, adult_x):
+        scaffold = DyadicScaffold(adult_x)
+        costs = scaffold.noisy_costs_batch(0.5, np.random.default_rng(0), 7)
+        assert costs.n_trials == 7
+        assert costs.n == scaffold.n_padded
+        assert len(costs.levels) == scaffold.n_levels
+        # Level 0 (singletons) is exactly zero — data-independent, no
+        # noise, no budget.
+        assert not costs.levels[0].any()
+        for level, matrix in enumerate(costs.levels):
+            assert matrix.shape == (7, scaffold.n_padded >> level)
+            assert (matrix >= 0.0).all()  # clipped like the scalar path
+
+    def test_trial_view_round_trips(self, adult_x):
+        scaffold = DyadicScaffold(adult_x)
+        costs = scaffold.noisy_costs_batch(0.5, np.random.default_rng(1), 3)
+        single = costs.trial(2)
+        assert len(single.levels) == len(costs.levels)
+        for level, matrix in enumerate(costs.levels):
+            assert np.array_equal(single.levels[level], matrix[2])
+
+    def test_rejects_bad_arguments(self, adult_x):
+        scaffold = DyadicScaffold(adult_x)
+        with pytest.raises(ValueError):
+            scaffold.noisy_costs_batch(0.0, np.random.default_rng(0), 3)
+        with pytest.raises(ValueError):
+            scaffold.noisy_costs_batch(1.0, np.random.default_rng(0), 0)
+
+
+class TestBatchPartitionExactEquivalence:
+    @pytest.mark.parametrize("penalty", [0.0, 1.0, 4.0, 40.0])
+    def test_matches_per_trial_path_bit_for_bit(self, adult_x, penalty):
+        scaffold = DyadicScaffold(adult_x)
+        costs = scaffold.noisy_costs_batch(0.5, np.random.default_rng(2), 6)
+        batch = optimal_partition_batch(costs, penalty)
+        assert len(batch) == 6
+        for t in range(6):
+            reference = optimal_partition_array(costs.trial(t), penalty)
+            assert np.array_equal(batch[t], reference), f"trial {t}"
+
+    def test_small_synthetic_domain(self):
+        x = np.array([5.0, 5.0, 5.0, 5.0, 90.0, 0.0, 0.0, 1.0, 2.0])
+        scaffold = DyadicScaffold(x)
+        costs = scaffold.noisy_costs_batch(1.0, np.random.default_rng(3), 12)
+        batch = optimal_partition_batch(costs, 2.0)
+        for t in range(12):
+            assert np.array_equal(
+                batch[t], optimal_partition_array(costs.trial(t), 2.0)
+            )
+
+    def test_partitions_tile_the_padded_domain(self, adult_x):
+        scaffold = DyadicScaffold(adult_x)
+        costs = scaffold.noisy_costs_batch(0.5, np.random.default_rng(4), 4)
+        for buckets in optimal_partition_batch(costs, 4.0):
+            validate_partition(buckets, scaffold.n_padded)
+
+
+class TestBatchedReleases:
+    def test_release_with_partition_batch_results(self, adult_x):
+        hist = HistogramInput(x=adult_x, x_ns=np.floor(adult_x * 0.6))
+        dawa = Dawa(1.0)
+        results = dawa.release_with_partition_batch(
+            hist, np.random.default_rng(5), 5
+        )
+        assert len(results) == 5
+        for result in results:
+            assert result.estimate.shape == adult_x.shape
+            validate_partition(result.buckets, len(adult_x))
+
+    def test_dawa_batch_error_comparable_to_sequential(self, adult_x):
+        hist = HistogramInput(x=adult_x, x_ns=np.floor(adult_x * 0.6))
+        dawa = Dawa(1.0)
+        batch = dawa.release_batch(hist, np.random.default_rng(6), 8)
+        sequential = np.stack(
+            [
+                dawa.release(hist, np.random.default_rng(seed))
+                for seed in range(8)
+            ]
+        )
+        err_batch = np.abs(batch - adult_x).sum(axis=1).mean()
+        err_seq = np.abs(sequential - adult_x).sum(axis=1).mean()
+        assert err_batch == pytest.approx(err_seq, rel=0.5)
+
+    def test_dawaz_batch_goes_through_vectorized_stage1(self, adult_x):
+        hist = HistogramInput(x=adult_x, x_ns=np.floor(adult_x * 0.6))
+        mech = DawaZ(1.0)
+        out = mech.release_batch(hist, np.random.default_rng(7), 6)
+        assert out.shape == (6, len(adult_x))
+        assert np.isfinite(out).all()
+        # Zero-detected bins release exact zeros; with rho=0.1 the
+        # empty-support bins are always zeroed.
+        empty = np.asarray(hist.x_ns) == 0
+        assert (out[:, empty] == 0.0).all()

@@ -1,0 +1,291 @@
+"""Unit tests for the sharded columnar engine.
+
+The property suite (``test_sharding_properties.py``) covers the random
+algebra; these tests pin the deterministic mechanics — slice geometry,
+ragged rebasing, executor plumbing, empty shards, the any-database
+mechanism front door — and the real TIPPERS ragged data.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.core.accountant import PrivacyAccountant
+from repro.core.policy import (
+    AttributePolicy,
+    MinimumRelaxationPolicy,
+    OptInPolicy,
+    Policy,
+    SensitiveValuePolicy,
+)
+from repro.data.columnar import ColumnarDatabase, RaggedColumn
+from repro.data.sharding import ShardedColumnarDatabase, shard_slices
+from repro.data.tippers import TippersConfig, generate_tippers
+from repro.evaluation.runner import release_trials_from_database
+from repro.mechanisms.osdp_laplace import OsdpLaplaceL1Histogram
+from repro.queries.histogram import (
+    HistogramInput,
+    HistogramQuery,
+    IntegerBinning,
+    Product2DBinning,
+    histogram_input_for,
+)
+
+
+def _flat_db(n: int = 997, seed: int = 0) -> tuple[ColumnarDatabase, list]:
+    rng = np.random.default_rng(seed)
+    records = [
+        {"age": int(a), "city": c, "opt_in": bool(o)}
+        for a, c, o in zip(
+            rng.integers(0, 100, n),
+            rng.choice(list("abcd"), n),
+            rng.integers(0, 2, n),
+        )
+    ]
+    return ColumnarDatabase.from_records(records), records
+
+
+def _policy() -> Policy:
+    return MinimumRelaxationPolicy(
+        [
+            AttributePolicy("age", lambda v: v <= 25, name="minors"),
+            SensitiveValuePolicy("city", {"a", "c"}),
+            OptInPolicy(),
+        ]
+    )
+
+
+class TestShardSlices:
+    def test_balanced_cover(self):
+        slices = shard_slices(10, 3)
+        assert slices == [(0, 4), (4, 7), (7, 10)]
+
+    def test_more_shards_than_records(self):
+        slices = shard_slices(2, 5)
+        assert slices[0] == (0, 1) and slices[1] == (1, 2)
+        assert all(s == e for s, e in slices[2:])
+
+    def test_sizes_differ_by_at_most_one(self):
+        for n, k in ((1000, 7), (5, 5), (13, 4)):
+            sizes = [e - s for s, e in shard_slices(n, k)]
+            assert sum(sizes) == n
+            assert max(sizes) - min(sizes) <= 1
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            shard_slices(10, 0)
+
+
+class TestRaggedSlicing:
+    def test_slice_segments_rebases_offsets(self):
+        col = RaggedColumn(
+            flat=np.arange(10), offsets=np.array([0, 3, 3, 7, 10])
+        )
+        mid = col.slice_segments(1, 3)
+        assert len(mid) == 2
+        assert np.array_equal(mid.flat, np.arange(3, 7))
+        assert np.array_equal(mid.offsets, [0, 0, 4])
+
+    def test_empty_slice(self):
+        col = RaggedColumn(flat=np.arange(4), offsets=np.array([0, 2, 4]))
+        empty = col.slice_segments(1, 1)
+        assert len(empty) == 0 and len(empty.flat) == 0
+
+    def test_out_of_range_rejected(self):
+        col = RaggedColumn(flat=np.arange(4), offsets=np.array([0, 2, 4]))
+        with pytest.raises(ValueError):
+            col.slice_segments(0, 3)
+
+    def test_shards_reassemble_exactly(self):
+        col = RaggedColumn(
+            flat=np.arange(20), offsets=np.array([0, 1, 5, 5, 12, 20])
+        )
+        pieces = [
+            col.slice_segments(s, e) for s, e in shard_slices(len(col), 3)
+        ]
+        assert np.array_equal(
+            np.concatenate([p.flat for p in pieces]), col.flat
+        )
+        assert sum(len(p) for p in pieces) == len(col)
+
+
+class TestShardedDatabase:
+    def test_schema_and_lengths(self):
+        db, _ = _flat_db()
+        sharded = db.shard(4)
+        assert len(sharded) == len(db)
+        assert sharded.n_shards == 4
+        assert sharded.column_names == db.column_names
+        assert [e - s for s, e in sharded.slices] == [
+            len(s) for s in sharded.shards
+        ]
+
+    def test_mismatched_schemas_rejected(self):
+        a = ColumnarDatabase({"x": np.arange(3)})
+        b = ColumnarDatabase({"y": np.arange(3)})
+        with pytest.raises(ValueError):
+            ShardedColumnarDatabase([a, b])
+
+    def test_to_columnar_round_trip(self):
+        db, _ = _flat_db(101)
+        back = db.shard(7).to_columnar()
+        for name in db.column_names:
+            assert np.array_equal(db[name], back[name])
+
+    def test_iter_records_order(self):
+        db, records = _flat_db(53)
+        assert list(db.shard(5).iter_records()) == records
+
+    def test_executor_matches_serial(self):
+        db, _ = _flat_db(2003)
+        policy = _policy()
+        serial = db.shard(4).mask(policy)
+        with ThreadPoolExecutor(4) as pool:
+            threaded = db.shard(4, executor=pool).mask(policy)
+            assert np.array_equal(serial, threaded)
+            # with_executor swaps the pool without re-slicing
+            resharded = db.shard(4).with_executor(pool)
+            assert np.array_equal(resharded.mask(policy), serial)
+
+    def test_process_pool_executor(self):
+        """Process pools work end to end with picklable shards/policies."""
+        db, _ = _flat_db(300)
+        policy = MinimumRelaxationPolicy(
+            [SensitiveValuePolicy("city", {"a", "c"}), OptInPolicy()]
+        )
+        binning = IntegerBinning("age", 0, 100, 10)
+        serial = db.shard(2)
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            pooled = db.shard(2, executor=pool)
+            assert np.array_equal(pooled.mask(policy), serial.mask(policy))
+            assert np.array_equal(
+                pooled.histogram(binning), serial.histogram(binning)
+            )
+            assert np.array_equal(
+                binning.bin_indices(pooled), binning.bin_indices(serial)
+            )
+            assert len(pooled.non_sensitive(policy)) == len(
+                serial.non_sensitive(policy)
+            )
+            pooled_hist = HistogramInput.from_columnar(
+                pooled, HistogramQuery(binning), policy
+            )
+        serial_hist = HistogramInput.from_columnar(
+            serial, HistogramQuery(binning), policy
+        )
+        assert np.array_equal(pooled_hist.x, serial_hist.x)
+        assert np.array_equal(pooled_hist.x_ns, serial_hist.x_ns)
+
+    def test_partition_shard_preserving(self):
+        db, records = _flat_db(500)
+        policy = _policy()
+        sharded = db.shard(3)
+        ns = sharded.non_sensitive(policy)
+        s = sharded.sensitive(policy)
+        assert isinstance(ns, ShardedColumnarDatabase)
+        assert len(ns) + len(s) == len(db)
+        assert len(ns) == int(
+            (db.mask(policy) == 1).sum()
+        )
+
+    def test_product_binning_sharded(self):
+        db, _ = _flat_db(700)
+        binning = Product2DBinning(
+            IntegerBinning("age", 0, 100, 10),
+            IntegerBinning("age", 0, 100, 25),
+        )
+        assert np.array_equal(
+            binning.bin_indices(db), binning.bin_indices(db.shard(6))
+        )
+
+    def test_empty_shards_are_harmless(self):
+        db, records = _flat_db(3)
+        sharded = db.shard(8)
+        assert len(sharded) == 3
+        policy = _policy()
+        assert np.array_equal(sharded.mask(policy), db.mask(policy))
+
+
+class TestTippersSharded:
+    def test_ap_policy_masks_match(self):
+        dataset = generate_tippers(TippersConfig(n_users=80, n_days=12, seed=3))
+        db = dataset.columnar()
+        policy = dataset.policy_for_fraction(90)
+        reference = np.fromiter(
+            (policy(t) for t in dataset.trajectories),
+            dtype=np.int8,
+            count=len(dataset.trajectories),
+        )
+        for k in (1, 4, 11):
+            assert np.array_equal(db.shard(k).mask(policy), reference)
+
+
+class TestAnyDatabaseFrontDoor:
+    def test_histogram_input_for_routes_all_flavors(self):
+        db, records = _flat_db(400)
+        from repro.data.database import Database
+
+        query = HistogramQuery(IntegerBinning("age", 0, 100, 10))
+        policy = _policy()
+        h_row = histogram_input_for(Database(records), query, policy)
+        h_col = histogram_input_for(db, query, policy)
+        h_shard = histogram_input_for(db.shard(5), query, policy)
+        assert np.array_equal(h_row.x, h_col.x)
+        assert np.array_equal(h_col.x, h_shard.x)
+        assert np.array_equal(h_col.x_ns, h_shard.x_ns)
+
+    def test_release_from_database_charges_and_releases(self):
+        db, _ = _flat_db(300)
+        query = HistogramQuery(IntegerBinning("age", 0, 100, 20))
+        policy = _policy()
+        accountant = PrivacyAccountant(1.0)
+        mech = OsdpLaplaceL1Histogram(0.25, policy=policy)
+        out = mech.release_from_database(
+            db.shard(3), query, policy, np.random.default_rng(0), accountant
+        )
+        assert out.shape == (query.n_bins,)
+        assert accountant.spent == pytest.approx(0.25)
+        batch = mech.release_batch_from_database(
+            db.shard(3),
+            query,
+            policy,
+            np.random.default_rng(0),
+            4,
+            accountant=accountant,
+        )
+        assert batch.shape == (4, query.n_bins)
+        assert accountant.spent == pytest.approx(0.5)
+
+    def test_ledger_records_the_input_policy(self):
+        """A registry-style OSDP mechanism (no policy attached) must be
+        charged under the policy that built x_ns, not P_all."""
+        db, _ = _flat_db(200)
+        query = HistogramQuery(IntegerBinning("age", 0, 100, 20))
+        policy = _policy()
+        accountant = PrivacyAccountant(1.0)
+        mech = OsdpLaplaceL1Histogram(0.25)  # policy=None
+        mech.release_from_database(
+            db, query, policy, np.random.default_rng(0), accountant
+        )
+        assert accountant.ledger[0].policy is policy
+        from repro.mechanisms.laplace import LaplaceHistogram
+
+        LaplaceHistogram(0.25).release_from_database(
+            db, query, policy, np.random.default_rng(0), accountant
+        )
+        assert accountant.ledger[1].policy.name == "P_all"
+
+    def test_release_trials_from_database_matches_hist_path(self):
+        db, _ = _flat_db(300)
+        query = HistogramQuery(IntegerBinning("age", 0, 100, 20))
+        policy = _policy()
+        mech = OsdpLaplaceL1Histogram(0.5)
+        via_db = release_trials_from_database(
+            mech, db.shard(4), query, policy, n_trials=3, seed=11
+        )
+        hist = HistogramInput.from_columnar(db, query, policy)
+        via_hist = mech.release_batch(hist, np.random.default_rng(11), 3)
+        assert np.array_equal(via_db, via_hist)
