@@ -5,6 +5,10 @@ and the appendix):
 
 * :mod:`repro.core.policy` — policy functions (Definition 3.1) and the
   relaxation partial order / minimum relaxation (Definitions 3.5, 3.6);
+* :mod:`repro.core.policy_language` — the declarative policy spec
+  language (§7) and the serializable wire format
+  (``policy_to_spec``/``policy_from_spec``) the shard-worker runtime
+  ships policies across process boundaries with;
 * :mod:`repro.core.neighbors` — bounded-DP, one-sided and extended
   one-sided neighbor relations (Definitions 2.1, 3.2, 10.1);
 * :mod:`repro.core.guarantees` — privacy guarantee objects and the
@@ -52,8 +56,17 @@ from repro.core.policy import (
     LambdaPolicy,
     OptInPolicy,
     Policy,
+    SpecUnsupported,
     is_relaxation_of,
     minimum_relaxation,
+)
+from repro.core.policy_language import (
+    PolicySpecError,
+    compile_policy,
+    policy_from_spec,
+    policy_spec_fingerprint,
+    policy_to_spec,
+    register_policy_kind,
 )
 from repro.core.verifier import (
     max_likelihood_ratio,
@@ -74,8 +87,11 @@ __all__ = [
     "OptInPolicy",
     "PDPGuarantee",
     "Policy",
+    "PolicySpecError",
     "PrivacyAccountant",
     "ProductPrior",
+    "SpecUnsupported",
+    "compile_policy",
     "dp_neighbors",
     "dp_to_osdp",
     "eosdp_to_osdp",
@@ -88,7 +104,11 @@ __all__ = [
     "minimum_relaxation",
     "one_sided_neighbors",
     "osdp_all_sensitive_to_dp",
+    "policy_from_spec",
+    "policy_spec_fingerprint",
+    "policy_to_spec",
     "posterior_odds_ratio",
+    "register_policy_kind",
     "relax_guarantee",
     "sequential_composition",
     "verify_dp",

@@ -98,6 +98,41 @@ class BatchUnsupported(Exception):
     """
 
 
+class SpecUnsupported(TypeError):
+    """The policy holds an opaque predicate and cannot be serialized.
+
+    Raised by :meth:`Policy.to_spec` for policies built from arbitrary
+    callables (:class:`LambdaPolicy`, :class:`AttributePolicy`); such
+    policies can only run in the process that created them.  The
+    declarative alternative — :func:`repro.core.policy_language.compile_policy`
+    — produces policies that round-trip losslessly.
+    """
+
+
+def plain_value(value):
+    """A JSON-friendly Python scalar for a (possibly numpy) value.
+
+    Spec dicts must survive ``json.dumps``/``loads`` unchanged, so
+    numpy scalars (which ``json`` rejects) are unwrapped to their
+    Python equivalents before they enter a spec.
+    """
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+def sorted_plain_values(values: Iterable[object]) -> list:
+    """A deterministic JSON-friendly list for an unordered value set.
+
+    Mixed-type sets (``{1, "x"}``) cannot be sorted by ``<``; keying by
+    ``(type name, repr)`` gives a stable order for any hashable values,
+    so equal sets always serialize to the same spec (and hence the same
+    :func:`repro.core.policy_language.policy_spec_fingerprint`).
+    """
+    plain = [plain_value(v) for v in values]
+    return sorted(plain, key=lambda v: (type(v).__name__, repr(v)))
+
+
 def members_isin(values: np.ndarray, members) -> np.ndarray:
     """``np.isin`` matching Python set-membership semantics, or raise.
 
@@ -166,6 +201,23 @@ class Policy(ABC):
         falling back to object-identity caching.
         """
         return None
+
+    def to_spec(self) -> dict:
+        """A JSON-serializable spec that reconstructs this policy.
+
+        The wire format of the shard-worker runtime: a policy crosses a
+        process boundary as a small dict, and
+        :func:`repro.core.policy_language.policy_from_spec` rebuilds an
+        equivalent policy (identical ``cache_key()``, bit-identical
+        masks) on the other side.  Policies wrapping opaque callables
+        raise :class:`SpecUnsupported`; everything else in the algebra
+        round-trips losslessly.
+        """
+        raise SpecUnsupported(
+            f"{type(self).__name__} wraps an opaque predicate and has no "
+            "serializable spec; build it from the declarative policy "
+            "language (repro.core.policy_language) to make it portable"
+        )
 
     @_shard_aware
     def evaluate_batch(self, columns) -> np.ndarray:
@@ -335,6 +387,14 @@ class SensitiveValuePolicy(Policy):
     def cache_key(self) -> tuple:
         return ("values", self.attribute, self.sensitive_values)
 
+    def to_spec(self) -> dict:
+        return {
+            "kind": "values",
+            "attr": self.attribute,
+            "values": sorted_plain_values(self.sensitive_values),
+            "name": self.name,
+        }
+
     def evaluate_batch(self, columns) -> np.ndarray:
         values = np.asarray(_column(columns, self.attribute))
         try:
@@ -361,6 +421,9 @@ class OptInPolicy(Policy):
     def cache_key(self) -> tuple:
         return ("opt_in", self.attribute)
 
+    def to_spec(self) -> dict:
+        return {"kind": "opt_in", "attr": self.attribute, "name": self.name}
+
     def evaluate_batch(self, columns) -> np.ndarray:
         values = np.asarray(_column(columns, self.attribute))
         return _mask_from_bool(~values.astype(bool))
@@ -380,6 +443,9 @@ class AllSensitivePolicy(Policy):
 
     def cache_key(self) -> tuple:
         return ("all_sensitive",)
+
+    def to_spec(self) -> dict:
+        return {"kind": "all_sensitive"}
 
     def evaluate_batch(self, columns) -> np.ndarray:
         return np.full(_bundle_length(columns), SENSITIVE, dtype=MASK_DTYPE)
@@ -401,6 +467,9 @@ class AllNonSensitivePolicy(Policy):
 
     def cache_key(self) -> tuple:
         return ("all_non_sensitive",)
+
+    def to_spec(self) -> dict:
+        return {"kind": "all_non_sensitive"}
 
     def evaluate_batch(self, columns) -> np.ndarray:
         return np.full(_bundle_length(columns), NON_SENSITIVE, dtype=MASK_DTYPE)
@@ -425,6 +494,9 @@ class MinimumRelaxationPolicy(Policy):
 
     def cache_key(self) -> tuple | None:
         return _combined_cache_key("mr", self.policies)
+
+    def to_spec(self) -> dict:
+        return {"kind": "mr", "policies": [p.to_spec() for p in self.policies]}
 
     def evaluate_batch(self, columns) -> np.ndarray:
         return np.maximum.reduce(
@@ -451,6 +523,9 @@ class IntersectionPolicy(Policy):
 
     def cache_key(self) -> tuple | None:
         return _combined_cache_key("and", self.policies)
+
+    def to_spec(self) -> dict:
+        return {"kind": "and", "policies": [p.to_spec() for p in self.policies]}
 
     def evaluate_batch(self, columns) -> np.ndarray:
         return np.minimum.reduce(

@@ -17,6 +17,8 @@
 
 from repro.data.columnar import ColumnarDatabase, RaggedColumn
 from repro.data.database import Database
+from repro.data.sharding import ShardedColumnarDatabase
+from repro.data.workers import ShardWorkerPool, WorkerPoolStats
 from repro.data.dpbench import DPBENCH_SPECS, DatasetSpec, generate_dpbench, load_all
 from repro.data.sampling import PolicySample, hilo_sampling, m_sampling
 from repro.data.tippers import (
@@ -33,6 +35,9 @@ __all__ = [
     "DatasetSpec",
     "RaggedColumn",
     "PolicySample",
+    "ShardWorkerPool",
+    "ShardedColumnarDatabase",
+    "WorkerPoolStats",
     "TippersConfig",
     "TippersDataset",
     "Trajectory",

@@ -180,14 +180,62 @@ class ColumnarDatabase:
         return cls(columns, records=records)
 
     @classmethod
-    def from_database(cls, db: Database) -> "ColumnarDatabase":
-        """Columnarize a row database of mapping records or trajectories."""
-        records = db.records
+    def from_any_records(cls, records: Iterable[object]) -> "ColumnarDatabase":
+        """Columnarize mapping records *or* trajectories (slot records).
+
+        The single home of the record-kind dispatch, shared by
+        :meth:`from_database` and the sharded engine's
+        ``append_records`` so initial construction and incremental
+        ingest can never columnarize differently.
+        """
+        records = tuple(records)
         if records and hasattr(records[0], "slots"):
             from repro.data.tippers import trajectory_columns
 
             return cls(trajectory_columns(records), records=records)
         return cls.from_records(records)  # type: ignore[arg-type]
+
+    @classmethod
+    def from_database(cls, db: Database) -> "ColumnarDatabase":
+        """Columnarize a row database of mapping records or trajectories."""
+        return cls.from_any_records(db.records)
+
+    @classmethod
+    def concat(
+        cls, parts: Sequence["ColumnarDatabase"]
+    ) -> "ColumnarDatabase":
+        """Concatenate databases record-wise (shared schema required).
+
+        Plain columns concatenate directly; ragged columns concatenate
+        their flats and rebase the offsets.  Original record tuples are
+        kept only when every part has them (a mixed concatenation would
+        silently fabricate records).  This is the append primitive the
+        incremental shard updates are built on.
+        """
+        parts = list(parts)
+        if not parts:
+            raise ValueError("need at least one part")
+        names = parts[0].column_names
+        for part in parts[1:]:
+            if part.column_names != names:
+                raise ValueError("all parts must share a column schema")
+        if len(parts) == 1:
+            return parts[0]
+        columns: dict[str, np.ndarray | RaggedColumn] = {}
+        for name in names:
+            cols = [part[name] for part in parts]
+            if isinstance(cols[0], RaggedColumn):
+                lengths = np.concatenate([c.lengths for c in cols])
+                columns[name] = RaggedColumn(
+                    flat=np.concatenate([c.flat for c in cols]),
+                    offsets=np.concatenate([[0], np.cumsum(lengths)]),
+                )
+            else:
+                columns[name] = np.concatenate(cols)
+        records = None
+        if all(part._records is not None for part in parts):
+            records = tuple(r for part in parts for r in part._records)
+        return cls(columns, records=records)
 
     # ------------------------------------------------------------------
     # Basic container protocol

@@ -30,7 +30,18 @@ Execution is pluggable: with no executor, shards run serially in-process
 with a :class:`concurrent.futures.Executor` the per-shard closures are
 submitted to the pool.  Thread pools work out of the box (numpy kernels
 release the GIL); process pools additionally require picklable shards
-and policies, so lambda-based policies must stay on threads.
+and policies, so lambda-based policies must stay on threads.  The
+third executor shape is :class:`repro.data.workers.ShardWorkerPool` —
+persistent worker processes holding the shards resident, answering
+``map_shards`` requests with policy/binning *specs* on the wire instead
+of re-shipped columns (the deployment shape the ROADMAP's million-user
+target asks for).
+
+The database is no longer frozen at construction: :meth:`append_records`
+extends the tail shard and :meth:`expire_prefix` trims the oldest
+records in place, bumping per-shard **version counters** so caches
+(the release server's, the worker pool's) invalidate only the affected
+shards instead of forcing a full reslice.
 """
 
 from __future__ import annotations
@@ -41,7 +52,7 @@ from typing import Callable, Iterable, Sequence, TypeVar
 import numpy as np
 
 from repro.core.policy import NON_SENSITIVE, SENSITIVE, Policy
-from repro.data.columnar import ColumnarDatabase, RaggedColumn
+from repro.data.columnar import ColumnarDatabase
 
 T = TypeVar("T")
 
@@ -105,10 +116,15 @@ class ShardedColumnarDatabase:
                 raise ValueError("all shards must share a column schema")
         self._shards = shards
         self._executor = executor
-        lengths = [len(s) for s in shards]
+        self._versions = [0] * len(shards)
+        self._recompute_bounds()
+
+    def _recompute_bounds(self) -> None:
+        lengths = [len(s) for s in self._shards]
         bounds = np.concatenate([[0], np.cumsum(lengths)])
         self._slices = [
-            (int(bounds[i]), int(bounds[i + 1])) for i in range(len(shards))
+            (int(bounds[i]), int(bounds[i + 1]))
+            for i in range(len(self._shards))
         ]
         self._n = int(bounds[-1])
 
@@ -161,6 +177,17 @@ class ShardedColumnarDatabase:
         return self._executor
 
     @property
+    def shard_versions(self) -> tuple[int, ...]:
+        """Per-shard update counters.
+
+        A shard's version bumps whenever :meth:`append_records` or
+        :meth:`expire_prefix` touches it; caches keyed on
+        ``(shard index, version)`` therefore invalidate exactly the
+        entries the update affected.
+        """
+        return tuple(self._versions)
+
+    @property
     def column_names(self) -> tuple[str, ...]:
         return self._shards[0].column_names
 
@@ -175,38 +202,131 @@ class ShardedColumnarDatabase:
 
     def to_columnar(self) -> ColumnarDatabase:
         """Reassemble one single-node :class:`ColumnarDatabase`."""
-        columns: dict[str, np.ndarray | RaggedColumn] = {}
-        for name in self.column_names:
-            parts = [shard[name] for shard in self._shards]
-            if isinstance(parts[0], RaggedColumn):
-                flats = [p.flat for p in parts]
-                lengths = np.concatenate([p.lengths for p in parts])
-                columns[name] = RaggedColumn(
-                    flat=np.concatenate(flats),
-                    offsets=np.concatenate([[0], np.cumsum(lengths)]),
-                )
-            else:
-                columns[name] = np.concatenate(parts)
-        records = None
-        try:
-            records = [r for s in self._shards for r in s.iter_records()]
-        except TypeError:
-            records = None
-        return ColumnarDatabase(columns, records=records)
+        return ColumnarDatabase.concat(list(self._shards))
 
     # ------------------------------------------------------------------
     # The sharded execution primitive
     # ------------------------------------------------------------------
-    def map_shards(self, fn: Callable[[ColumnarDatabase], T]) -> list[T]:
+    def map_shards(
+        self,
+        fn: Callable[[ColumnarDatabase], T],
+        indices: Sequence[int] | None = None,
+    ) -> list[T]:
         """``[fn(shard) for shard in shards]`` — serial or on the executor.
 
         The single choke point every sharded operation funnels through;
         results come back in shard order, so ``np.concatenate`` on them
-        reproduces the single-node record order.
+        reproduces the single-node record order.  ``indices`` restricts
+        the pass to a subset of shards (cache refills after an
+        incremental update touch only the stale shards).
+
+        Executor dispatch: a plain :class:`concurrent.futures.Executor`
+        receives ``(fn, shard)`` pairs (shipping the shard each call on
+        process pools); an executor exposing ``map_resident`` — the
+        :class:`repro.data.workers.ShardWorkerPool` — receives only
+        ``fn``, translated to a spec request against its resident copy
+        of the shards.
         """
+        shards = (
+            self._shards
+            if indices is None
+            else [self._shards[i] for i in indices]
+        )
         if self._executor is None:
-            return [fn(shard) for shard in self._shards]
-        return list(self._executor.map(fn, self._shards))
+            return [fn(shard) for shard in shards]
+        map_resident = getattr(self._executor, "map_resident", None)
+        if map_resident is not None:
+            return map_resident(self._shards, fn, indices)
+        return list(self._executor.map(fn, shards))
+
+    # ------------------------------------------------------------------
+    # Incremental updates (append new data, expire the oldest)
+    # ------------------------------------------------------------------
+    def _columnarize_chunk(self, records) -> ColumnarDatabase:
+        chunk = (
+            records
+            if isinstance(records, ColumnarDatabase)
+            else ColumnarDatabase.from_any_records(records)
+        )
+        if set(chunk.column_names) != set(self.column_names):
+            raise ValueError(
+                f"appended records have columns {list(chunk.column_names)}, "
+                f"database has {list(self.column_names)}"
+            )
+        if chunk.column_names != self.column_names:
+            # Same schema, different attribute order: realign so the
+            # per-shard column dictionaries stay congruent.
+            chunk = ColumnarDatabase(
+                {name: chunk[name] for name in self.column_names},
+                records=tuple(chunk.iter_records())
+                if chunk._records is not None
+                else None,
+            )
+        return chunk
+
+    def append_records(self, records) -> int:
+        """Append records to the tail shard in place; returns its index.
+
+        ``records`` is an iterable of mapping records (or trajectories),
+        or an already-columnar chunk.  Only the last shard's columns are
+        extended — an O(chunk + tail shard) concatenation instead of a
+        full reslice — and only that shard's version bumps, so caches
+        keyed on shard versions revalidate exactly one shard.  A worker
+        pool installed as the executor receives the chunk (never the
+        whole shard) and extends its resident copy in lockstep.
+        """
+        chunk = self._columnarize_chunk(records)
+        index = len(self._shards) - 1
+        new_shard = ColumnarDatabase.concat([self._shards[index], chunk])
+        hook = getattr(self._executor, "append_shard_chunk", None)
+        if hook is not None:
+            hook(index, chunk, new_shard)
+        shards = list(self._shards)
+        shards[index] = new_shard
+        self._shards = tuple(shards)
+        self._versions[index] += 1
+        self._recompute_bounds()
+        return index
+
+    def expire_prefix(self, n_records: int) -> list[int]:
+        """Drop the ``n_records`` oldest records in place.
+
+        Records are stored in arrival order, so expiry walks shards from
+        the front, trimming each (a shard fully covered by the prefix
+        becomes an empty shard — the shard count, and hence any worker
+        assignment, never changes).  Returns the indices of the shards
+        that were touched; only their versions bump.
+        """
+        if not 0 <= n_records <= self._n:
+            raise ValueError(
+                f"cannot expire {n_records} of {self._n} records"
+            )
+        hook = getattr(self._executor, "expire_shard_prefix", None)
+        affected: list[int] = []
+        remaining = n_records
+        try:
+            for index in range(len(self._shards)):
+                if remaining == 0:
+                    break
+                shard = self._shards[index]
+                take = min(len(shard), remaining)
+                if take == 0:
+                    continue
+                new_shard = shard.slice_records(take, len(shard))
+                if hook is not None:
+                    hook(index, take, new_shard)
+                # Commit shard by shard: if a later shard's hook fails,
+                # parent and workers still agree on everything already
+                # trimmed (only the failing shard is in doubt).
+                shards = list(self._shards)
+                shards[index] = new_shard
+                self._shards = tuple(shards)
+                self._versions[index] += 1
+                affected.append(index)
+                remaining -= take
+        finally:
+            self._recompute_bounds()
+        return affected
 
     # ------------------------------------------------------------------
     # Policy operations (merged from per-shard evaluation)
@@ -221,17 +341,29 @@ class ShardedColumnarDatabase:
     def non_sensitive_indices(self, policy: Policy) -> np.ndarray:
         return np.flatnonzero(self.mask(policy) == NON_SENSITIVE)
 
+    def _derived_executor(self):
+        """Executor for databases derived from this one's shards.
+
+        A shard-resident worker pool only answers for the exact shard
+        objects it holds; a filtered copy's shards are new objects, so
+        the derived database runs serially (plain executors carry
+        over — they ship shards per call and serve any data).
+        """
+        if getattr(self._executor, "map_resident", None) is not None:
+            return None
+        return self._executor
+
     def non_sensitive(self, policy: Policy) -> "ShardedColumnarDatabase":
         """Shard-preserving ``D_ns``: each shard keeps its survivors."""
         return ShardedColumnarDatabase(
             self.map_shards(functools.partial(_shard_non_sensitive, policy=policy)),
-            executor=self._executor,
+            executor=self._derived_executor(),
         )
 
     def sensitive(self, policy: Policy) -> "ShardedColumnarDatabase":
         return ShardedColumnarDatabase(
             self.map_shards(functools.partial(_shard_sensitive, policy=policy)),
-            executor=self._executor,
+            executor=self._derived_executor(),
         )
 
     # ------------------------------------------------------------------

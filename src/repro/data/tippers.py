@@ -31,7 +31,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from repro.core.policy import Policy
+from repro.core.policy import Policy, sorted_plain_values
 
 SLOTS_PER_DAY = 144  # 10-minute intervals
 SLOTS_PER_HOUR = 6
@@ -110,6 +110,13 @@ class SensitiveAPPolicy(Policy):
 
     def cache_key(self) -> tuple:
         return ("sensitive_aps", self.sensitive_aps)
+
+    def to_spec(self) -> dict:
+        return {
+            "kind": "sensitive_aps",
+            "aps": sorted_plain_values(self.sensitive_aps),
+            "name": self.name,
+        }
 
     def evaluate_batch(self, columns) -> np.ndarray:
         """Vectorized over an ``aps`` ragged column (see

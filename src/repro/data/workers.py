@@ -1,0 +1,475 @@
+"""Shard-resident worker runtime: persistent processes, specs on the wire.
+
+:class:`repro.data.sharding.ShardedColumnarDatabase` with a
+:class:`concurrent.futures.ProcessPoolExecutor` re-pickles every shard's
+columns on every ``map_shards`` call — at million-record scale the wire
+cost dwarfs the mask kernels it parallelizes.  :class:`ShardWorkerPool`
+inverts the data flow:
+
+* **Columns cross the wire once.**  Each worker process receives its
+  shard at pool start (one pickle) and keeps it resident for the pool's
+  lifetime.  Incremental updates (:meth:`append_shard_chunk`,
+  :meth:`expire_shard_prefix`) ship only the delta.
+* **Requests are specs.**  A mask, bin-index, histogram or
+  ``(x, x_ns)`` request is a small dict built from the policy/binning
+  wire format (:func:`repro.core.policy_language.policy_to_spec`,
+  :func:`repro.queries.histogram.binning_to_spec`); the worker rebuilds
+  the object and evaluates it against its resident columns.  Responses
+  are result arrays only.  Per-request traffic is therefore independent
+  of the shard size (``stats`` proves it: ``request_bytes`` vs
+  ``startup_bytes``).
+* **Workers cache by spec.**  Each worker holds mask and bin-index
+  caches keyed by the spec's canonical rendering, so a burst of
+  requests over the same policy pays the kernel once per shard — the
+  worker-side mirror of the release server's caches.  Appends extend
+  cached arrays by evaluating only the new chunk (policies and binnings
+  are per-record, so extension is bit-identical to recomputation);
+  expires slice them.
+
+The pool plugs in behind ``ShardedColumnarDatabase.map_shards`` as an
+executor: callables the pool recognizes (``Policy.evaluate_batch``,
+``binning.bin_indices``, the histogram partials of
+:mod:`repro.queries.histogram` and :mod:`repro.data.sharding`) are
+translated to spec requests; anything else falls back to pickling the
+callable itself (still without re-shipping the shard).  Every result is
+**bit-identical** to serial ``map_shards``: the spec round-trip is
+lossless and the kernels run unchanged, just in another process.
+"""
+
+from __future__ import annotations
+
+import functools
+import pickle
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.policy import NON_SENSITIVE, Policy, SpecUnsupported
+from repro.core.policy_language import (
+    PolicySpecError,
+    canonical_spec,
+    policy_from_spec,
+    policy_to_spec,
+)
+from repro.data.columnar import ColumnarDatabase
+
+_PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+
+
+class _WorkerState:
+    """One worker's resident shard plus its spec-keyed caches."""
+
+    def __init__(self, shard: ColumnarDatabase):
+        self.shard = shard
+        # canonical spec -> (spec dict, per-record array); the spec is
+        # kept so incremental appends can evaluate it on the new chunk.
+        self.masks: dict[str, tuple[dict, np.ndarray]] = {}
+        self.indices: dict[str, tuple[dict, np.ndarray]] = {}
+
+    def mask(self, spec: dict) -> np.ndarray:
+        key = canonical_spec(spec)
+        hit = self.masks.get(key)
+        if hit is None:
+            arr = policy_from_spec(spec).evaluate_batch(self.shard)
+            self.masks[key] = (spec, arr)
+            return arr
+        return hit[1]
+
+    def bin_indices(self, spec: dict) -> np.ndarray:
+        from repro.queries.histogram import binning_from_spec
+
+        key = canonical_spec(spec)
+        hit = self.indices.get(key)
+        if hit is None:
+            arr = binning_from_spec(spec).bin_indices(self.shard)
+            self.indices[key] = (spec, arr)
+            return arr
+        return hit[1]
+
+    def hist_counts(
+        self, binning_spec: dict, policy_spec: dict
+    ) -> tuple[np.ndarray, np.ndarray]:
+        from repro.queries.histogram import binning_from_spec, counts_from_mask
+
+        n_bins = binning_from_spec(binning_spec).n_bins
+        return counts_from_mask(
+            self.bin_indices(binning_spec),
+            self.mask(policy_spec) == NON_SENSITIVE,
+            n_bins,
+        )
+
+    def histogram(self, binning_spec: dict, n_bins: int) -> np.ndarray:
+        return self.shard.histogram_from_indices(
+            self.bin_indices(binning_spec), n_bins
+        )
+
+    def append(self, chunk: ColumnarDatabase) -> int:
+        """Extend the resident shard and every cached array by the chunk.
+
+        Masks and bin indices are per-record, so evaluating the cached
+        specs on the chunk alone and concatenating is bit-identical to
+        recomputing over the extended shard — the caches stay warm at
+        O(chunk) cost.
+        """
+        from repro.queries.histogram import binning_from_spec
+
+        self.shard = ColumnarDatabase.concat([self.shard, chunk])
+        for key, (spec, arr) in list(self.masks.items()):
+            extra = policy_from_spec(spec).evaluate_batch(chunk)
+            self.masks[key] = (spec, np.concatenate([arr, extra]))
+        for key, (spec, arr) in list(self.indices.items()):
+            extra = binning_from_spec(spec).bin_indices(chunk)
+            self.indices[key] = (spec, np.concatenate([arr, extra]))
+        return len(self.shard)
+
+    def expire(self, n: int) -> int:
+        """Drop the first ``n`` resident records; slice cached arrays."""
+        self.shard = self.shard.slice_records(n, len(self.shard))
+        self.masks = {
+            key: (spec, arr[n:]) for key, (spec, arr) in self.masks.items()
+        }
+        self.indices = {
+            key: (spec, arr[n:]) for key, (spec, arr) in self.indices.items()
+        }
+        return len(self.shard)
+
+
+def _worker_main(conn) -> None:
+    """The worker loop: receive pickled requests, answer until 'stop'."""
+    state: _WorkerState | None = None
+    while True:
+        try:
+            msg = pickle.loads(conn.recv_bytes())
+        except EOFError:
+            return
+        op = msg[0]
+        if op == "stop":
+            conn.send_bytes(pickle.dumps(("ok", None), _PICKLE_PROTOCOL))
+            return
+        try:
+            if op == "shard":
+                state = _WorkerState(msg[1])
+                result = len(state.shard)
+            elif state is None:
+                raise RuntimeError("worker has no resident shard")
+            elif op == "mask":
+                result = state.mask(msg[1])
+            elif op == "bin_indices":
+                result = state.bin_indices(msg[1])
+            elif op == "hist_counts":
+                result = state.hist_counts(msg[1], msg[2])
+            elif op == "histogram":
+                result = state.histogram(msg[1], msg[2])
+            elif op == "call":
+                result = msg[1](state.shard)
+            elif op == "append":
+                result = state.append(msg[1])
+            elif op == "expire":
+                result = state.expire(msg[1])
+            else:
+                raise ValueError(f"unknown worker op {op!r}")
+            reply = ("ok", result)
+        except BaseException as exc:  # ship the failure, keep serving
+            reply = ("err", f"{type(exc).__name__}: {exc}")
+        try:
+            payload = pickle.dumps(reply, _PICKLE_PROTOCOL)
+        except Exception as exc:
+            # An unpicklable result (possible on the generic "call"
+            # path) must not kill the worker — ship the failure too.
+            payload = pickle.dumps(
+                ("err", f"unpicklable result: {type(exc).__name__}: {exc}"),
+                _PICKLE_PROTOCOL,
+            )
+        conn.send_bytes(payload)
+
+
+# ----------------------------------------------------------------------
+# Parent-side pool
+# ----------------------------------------------------------------------
+
+
+class WorkerError(RuntimeError):
+    """A shard worker failed to serve a request."""
+
+
+@dataclass
+class WorkerPoolStats:
+    """Wire-traffic accounting, the proof of the runtime's contract.
+
+    ``startup_bytes`` is the one-time shard shipment; ``request_bytes``
+    is everything the parent sent after startup (specs and deltas
+    only — it must not scale with the resident shard size) and
+    ``response_bytes`` the result arrays that came back.
+    """
+
+    startup_bytes: int = 0
+    request_bytes: int = 0
+    response_bytes: int = 0
+    requests: int = 0
+    spec_requests: int = 0
+    pickled_callables: int = 0
+    last_request_bytes: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self.__dict__)
+
+
+class ShardWorkerPool:
+    """Persistent worker processes, one per shard, columns shipped once.
+
+    Build one from the shards (or a sharded database) and install it as
+    the database's executor::
+
+        pool = ShardWorkerPool(sharded.shards)
+        db = sharded.with_executor(pool)   # map_shards now runs on it
+
+    The pool recognizes the hot callables of the sharded engine and
+    sends them as specs; see the module docstring for the wire
+    contract.  Use as a context manager or call :meth:`close`.
+    """
+
+    def __init__(self, shards, mp_context: str | None = None):
+        import multiprocessing
+
+        shard_list = tuple(getattr(shards, "shards", shards))
+        if not shard_list:
+            raise ValueError("need at least one shard")
+        if mp_context is None:
+            methods = multiprocessing.get_all_start_methods()
+            mp_context = "fork" if "fork" in methods else "spawn"
+        ctx = multiprocessing.get_context(mp_context)
+        self.stats = WorkerPoolStats()
+        self._resident: list[ColumnarDatabase] = list(shard_list)
+        self._conns = []
+        self._procs = []
+        self._closed = False
+        try:
+            for shard in shard_list:
+                parent_conn, child_conn = ctx.Pipe(duplex=True)
+                proc = ctx.Process(
+                    target=_worker_main, args=(child_conn,), daemon=True
+                )
+                proc.start()
+                child_conn.close()
+                self._conns.append(parent_conn)
+                self._procs.append(proc)
+            payloads = [
+                pickle.dumps(("shard", shard), _PICKLE_PROTOCOL)
+                for shard in shard_list
+            ]
+            self.stats.startup_bytes = sum(len(p) for p in payloads)
+            for conn, payload in zip(self._conns, payloads):
+                conn.send_bytes(payload)
+            for conn in self._conns:
+                self._receive(conn)
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def n_workers(self) -> int:
+        return len(self._procs)
+
+    def close(self) -> None:
+        """Stop the workers and release the pipes (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send_bytes(pickle.dumps(("stop",), _PICKLE_PROTOCOL))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+        for conn in self._conns:
+            conn.close()
+
+    def __enter__(self) -> "ShardWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # Wire plumbing
+    # ------------------------------------------------------------------
+    def _send(self, worker: int, message: tuple, startup: bool = False) -> None:
+        self._send_payload(
+            worker, pickle.dumps(message, _PICKLE_PROTOCOL), startup=startup
+        )
+
+    def _send_payload(
+        self, worker: int, payload: bytes, startup: bool = False
+    ) -> None:
+        if self._closed:
+            raise WorkerError("pool is closed")
+        if startup:
+            self.stats.startup_bytes += len(payload)
+        else:
+            self.stats.request_bytes += len(payload)
+            self.stats.last_request_bytes = len(payload)
+            self.stats.requests += 1
+        self._conns[worker].send_bytes(payload)
+
+    def _receive(self, conn):
+        status, value = self._receive_any(conn)
+        if status != "ok":
+            raise WorkerError(value)
+        return value
+
+    def _receive_any(self, conn) -> tuple[str, object]:
+        try:
+            raw = conn.recv_bytes()
+        except EOFError as exc:
+            raise WorkerError("shard worker died") from exc
+        self.stats.response_bytes += len(raw)
+        return pickle.loads(raw)
+
+    def _round_trip(self, request: tuple, workers: Sequence[int]) -> list:
+        """Send one request to each worker, then gather in worker order.
+
+        The payload is pickled once and fanned out (the request is the
+        same for every worker).  Every reply is drained before a
+        failure is raised — leaving responses queued in a pipe would
+        corrupt the next request's pairing, so one failing shard must
+        not strand the others'.
+        """
+        payload = pickle.dumps(request, _PICKLE_PROTOCOL)
+        for worker in workers:
+            self._send_payload(worker, payload)
+        replies = [self._receive_any(self._conns[w]) for w in workers]
+        for status, value in replies:
+            if status != "ok":
+                raise WorkerError(value)
+        return [value for _, value in replies]
+
+    # ------------------------------------------------------------------
+    # The executor face seen by ShardedColumnarDatabase.map_shards
+    # ------------------------------------------------------------------
+    def resident_matches(self, shards: Sequence[ColumnarDatabase]) -> bool:
+        """True when ``shards`` are exactly the resident shard objects."""
+        return len(shards) == len(self._resident) and all(
+            a is b for a, b in zip(shards, self._resident)
+        )
+
+    def map_resident(
+        self,
+        shards: Sequence[ColumnarDatabase],
+        fn: Callable,
+        indices: Sequence[int] | None = None,
+    ) -> list:
+        """``[fn(shard) for shard in shards]`` on the resident workers.
+
+        ``shards`` must be the pool's resident shard objects (the
+        sharded database passes its own) — a pool cannot answer for
+        data it does not hold.  ``indices`` restricts the call to a
+        subset of workers (the incremental-update path).
+        """
+        shards = tuple(getattr(shards, "shards", shards))
+        if not self.resident_matches(shards):
+            raise WorkerError(
+                "database shards are not this pool's resident shards; "
+                "rebuild the pool (or route updates through the "
+                "database so the pool sees them)"
+            )
+        request = self._request_for(fn)
+        workers = (
+            list(range(self.n_workers)) if indices is None else list(indices)
+        )
+        if request[0] == "call":
+            self.stats.pickled_callables += len(workers)
+        else:
+            self.stats.spec_requests += len(workers)
+        return self._round_trip(request, workers)
+
+    def _request_for(self, fn: Callable) -> tuple:
+        """Translate a map_shards callable into a wire request.
+
+        Recognized shapes become pure-spec requests; everything else is
+        pickled whole (the callable, never the shard).
+        """
+        owner = getattr(fn, "__self__", None)
+        name = getattr(fn, "__name__", "")
+        try:
+            if owner is not None and name == "evaluate_batch" and isinstance(
+                owner, Policy
+            ):
+                return ("mask", policy_to_spec(owner))
+            if owner is not None and name == "bin_indices":
+                return ("bin_indices", owner.to_spec())
+            if isinstance(fn, functools.partial):
+                from repro.data.sharding import _shard_histogram
+                from repro.queries.histogram import (
+                    _shard_histogram_counts,
+                    binning_to_spec,
+                )
+
+                kw = fn.keywords or {}
+                if fn.func is _shard_histogram_counts and not fn.args:
+                    query, policy = kw["query"], kw["policy"]
+                    return (
+                        "hist_counts",
+                        binning_to_spec(query.binning),
+                        policy_to_spec(policy),
+                    )
+                if fn.func is _shard_histogram and not fn.args:
+                    return (
+                        "histogram",
+                        binning_to_spec(kw["binning"]),
+                        int(kw["n_bins"]),
+                    )
+        except (SpecUnsupported, PolicySpecError, AttributeError, KeyError):
+            pass  # fall through to the pickled-callable path
+        return ("call", fn)
+
+    # ------------------------------------------------------------------
+    # Incremental updates (driven by ShardedColumnarDatabase)
+    # ------------------------------------------------------------------
+    def append_shard_chunk(
+        self, index: int, chunk: ColumnarDatabase, new_shard: ColumnarDatabase
+    ) -> None:
+        """Ship only the appended chunk to worker ``index``.
+
+        ``new_shard`` is the parent's extended shard object; the pool
+        records it so the residency check keeps passing after the
+        update (worker and parent extend in lockstep).
+        """
+        self._send(index, ("append", chunk))
+        n = self._receive(self._conns[index])
+        if n != len(new_shard):
+            raise WorkerError(
+                f"worker {index} shard has {n} records after append, "
+                f"parent expects {len(new_shard)}"
+            )
+        self._resident[index] = new_shard
+
+    def expire_shard_prefix(
+        self, index: int, n: int, new_shard: ColumnarDatabase
+    ) -> None:
+        """Drop the first ``n`` records of worker ``index``'s shard."""
+        self._send(index, ("expire", int(n)))
+        remaining = self._receive(self._conns[index])
+        if remaining != len(new_shard):
+            raise WorkerError(
+                f"worker {index} shard has {remaining} records after "
+                f"expire, parent expects {len(new_shard)}"
+            )
+        self._resident[index] = new_shard

@@ -161,6 +161,142 @@ def one_sided_rows(
     return out
 
 
+# Window half-width for the inverse-CDF binomial tables, in standard
+# deviations.  Binomial tails are sub-Gaussian, so the truncated mass is
+# below ~1e-30 per tail — far under the float64 CDF rounding the
+# transform already carries, and under the f32 uniform granularity the
+# other kernels accept.
+_BINOM_WINDOW_SIGMAS = 12.0
+# Build tables only when the draw matrix is big enough to amortize them.
+# The tables are cached across calls — the trial/request traffic both
+# the sweep and the release server generate reuses one (counts, p) pair
+# many times — so the ratio is well above 1; below the threshold
+# numpy's per-draw loop wins outright.
+_BINOM_TABLE_DRAW_RATIO = 16.0
+# Uniforms are clamped away from the exact 0/1 lattice edges so that
+# ``u + group`` can never round onto a group boundary; the ~2^-26
+# edge-cell distortion is below the f32 uniform granularity the other
+# kernels run on.
+_BINOM_U_EDGE = 2.0**-26
+
+_MAX_BINOM_TABLES = 8
+_binom_table_pool: dict[tuple, tuple] = {}
+_binom_size_pool: dict[tuple, int] = {}
+
+
+def _pool_insert(pool: dict, key, value) -> None:
+    """Bounded insert: evict the oldest entry, never the whole pool."""
+    if len(pool) >= _MAX_BINOM_TABLES:
+        pool.pop(next(iter(pool)))
+    pool[key] = value
+
+_logfact_table = np.zeros(1)
+
+
+def _log_factorials(n_max: int) -> np.ndarray:
+    """``ln k!`` for ``k in [0, n_max]`` (a growing module-level table)."""
+    global _logfact_table
+    if len(_logfact_table) <= n_max:
+        size = max(n_max + 1, 2 * len(_logfact_table))
+        table = np.zeros(size)
+        np.cumsum(np.log(np.arange(1, size)), out=table[1:])
+        _logfact_table = table
+    return _logfact_table
+
+
+def _binomial_windows(
+    uniq: np.ndarray, p: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-distinct-count support windows ``[lo, hi]`` covering the mass."""
+    mean = uniq * p
+    half = _BINOM_WINDOW_SIGMAS * np.sqrt(mean * (1.0 - p)) + 1.0
+    lo = np.maximum(np.floor(mean - half), 0.0).astype(np.int64)
+    hi = np.minimum(np.ceil(mean + half), uniq).astype(np.int64)
+    return lo, hi
+
+
+def _binom_key(counts: np.ndarray, p: float) -> tuple:
+    """The table-pool key of a ``(counts, p)`` pair (content hash)."""
+    return (float(p), len(counts), hash(counts.tobytes()))
+
+
+def _binomial_table(counts: np.ndarray, p: float) -> tuple:
+    """The grouped inverse-CDF table for ``(counts, p)``, cached.
+
+    The table depends only on the distinct counts and ``p`` — exactly
+    the pair that repeats across a sweep's trials and a server's
+    request stream over one histogram — so it is built once and reused
+    (the binomial analog of the scratch-buffer amortization above).
+    Returns ``(inverse, scaled, k_flat)``: the per-column group ids,
+    the group-lifted CDF array, and the flat outcome values.
+    """
+    key = _binom_key(counts, p)
+    hit = _binom_table_pool.get(key)
+    if hit is not None:
+        return hit
+    uniq, inverse = np.unique(counts, return_inverse=True)
+    lo, hi = _binomial_windows(uniq, p)
+    widths = hi - lo + 1
+    offsets = np.concatenate([[0], np.cumsum(widths)])
+    starts = offsets[:-1]
+    k_flat = (
+        np.arange(int(offsets[-1]))
+        - np.repeat(starts, widths)
+        + np.repeat(lo, widths)
+    )
+    n_flat = np.repeat(uniq, widths)
+    logfact = _log_factorials(int(uniq[-1]))
+    log_pmf = (
+        logfact[n_flat]
+        - logfact[k_flat]
+        - logfact[n_flat - k_flat]
+        + k_flat * np.log(p)
+        + (n_flat - k_flat) * np.log1p(-p)
+    )
+    cdf = np.cumsum(np.exp(log_pmf))
+    base = np.concatenate([[0.0], cdf[offsets[1:-1] - 1]])
+    mass = cdf[offsets[1:] - 1] - base
+    # Per-group CDF in (0, 1] (the last entry of each group divides to
+    # exactly 1.0), lifted by the group index so one sorted array
+    # serves every group: a query ``u + g`` lies strictly inside group
+    # ``g``'s span once ``u`` is clamped off the lattice edges.
+    scaled = (cdf - np.repeat(base, widths)) / np.repeat(mass, widths)
+    scaled += np.repeat(np.arange(len(uniq), dtype=np.float64), widths)
+    entry = (inverse, scaled, k_flat)
+    _pool_insert(_binom_table_pool, key, entry)
+    return entry
+
+
+def binomial_inverse_cdf_rows(
+    rng: np.random.Generator,
+    counts: np.ndarray,
+    p: float,
+    n_rows: int,
+) -> np.ndarray:
+    """``Binomial(n_j, p)`` per column via grouped inverse-CDF tables.
+
+    The dense-support fast path: instead of one BTPE rejection draw per
+    matrix entry, the distinct counts are grouped and every group gets
+    one explicit CDF table over its high-mass window (``±12`` standard
+    deviations, truncating ~1e-30 of tail mass — far below the
+    transform's own float64 rounding).  All groups' tables live in one
+    flat array whose per-group CDFs are normalized to ``(0, 1]`` and
+    lifted by the group index, so a single ``np.searchsorted`` over one
+    uniform matrix inverts every draw at once — no per-group Python
+    loop, no per-draw rejection — and the table is cached across calls
+    (see :func:`_binomial_table`).  Distribution-exact up to the
+    float64 CDF rounding and the ``2^-26`` edge clamp; not
+    stream-identical to ``Generator.binomial``.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    inverse, scaled, k_flat = _binomial_table(counts, p)
+    u = rng.random((n_rows, len(counts)))
+    np.clip(u, _BINOM_U_EDGE, 1.0 - _BINOM_U_EDGE, out=u)
+    u += inverse[np.newaxis, :]
+    idx = np.searchsorted(scaled, u.ravel(), side="left")
+    return k_flat[idx].reshape(n_rows, len(counts)).astype(np.float64)
+
+
 def binomial_support_rows(
     rng: np.random.Generator,
     sorted_counts: np.ndarray,
@@ -169,16 +305,35 @@ def binomial_support_rows(
 ) -> np.ndarray:
     """``Binomial(n_j, p)`` per column, counts pre-sorted ascending.
 
-    Sorting matters: numpy's binomial loop caches its sampler setup
-    while consecutive ``(n, p)`` pairs repeat, so grouping equal counts
-    pays the (expensive) BTPE/inversion setup once per distinct count
-    instead of once per matrix entry.  Returns float64 rows.
+    Two regimes.  When the matrix holds enough draws to amortize
+    (cached) CDF tables over the distinct counts, the grouped
+    inverse-CDF transform (:func:`binomial_inverse_cdf_rows`) samples
+    the whole matrix in one searchsorted pass — the dense-support
+    (searchlogs-like) fast path.  Otherwise numpy's per-draw loop wins;
+    the pre-sorted counts still matter there, since the binomial
+    sampler caches its BTPE/inversion setup while consecutive
+    ``(n, p)`` pairs repeat.  Returns float64 rows.
     """
     if n_rows < 1:
         raise ValueError("need at least one row")
     sorted_counts = np.asarray(sorted_counts, dtype=np.int64)
     if sorted_counts.size == 0:
         return np.zeros((n_rows, 0))
+    if 0.0 < p < 1.0:
+        # The route is a pure function of (counts, p, n_rows) — cache
+        # state must never pick the path, or a seeded request would
+        # stop being reproducible across process histories.  Only the
+        # table-size computation is memoized (it is itself pure).
+        key = _binom_key(sorted_counts, p)
+        table_size = _binom_size_pool.get(key)
+        if table_size is None:
+            uniq = np.unique(sorted_counts)
+            lo, hi = _binomial_windows(uniq, p)
+            table_size = int(np.sum(hi - lo + 1))
+            _pool_insert(_binom_size_pool, key, table_size)
+        n_draws = n_rows * len(sorted_counts)
+        if table_size <= _BINOM_TABLE_DRAW_RATIO * n_draws:
+            return binomial_inverse_cdf_rows(rng, sorted_counts, p, n_rows)
     return rng.binomial(
         sorted_counts, p, size=(n_rows, len(sorted_counts))
     ).astype(np.float64)

@@ -21,7 +21,10 @@ import numpy as np
 
 from repro.core.guarantees import DPGuarantee
 from repro.mechanisms.base import HistogramMechanism
-from repro.mechanisms.dawa.estimate import uniform_bucket_estimate
+from repro.mechanisms.dawa.estimate import (
+    uniform_bucket_estimate,
+    uniform_bucket_estimate_batch,
+)
 from repro.mechanisms.dawa.partition import (
     Bucket,
     DyadicScaffold,
@@ -103,27 +106,45 @@ class Dawa(HistogramMechanism):
         n_trials: int,
         scaffold: DyadicScaffold | None = None,
     ) -> list[DawaResult]:
-        """``n_trials`` independent releases with stage 1 fully batched.
+        """``n_trials`` independent releases with both stages batched.
 
-        The exact dyadic deviation costs are data-dependent but
+        Stage 1: the exact dyadic deviation costs are data-dependent but
         trial-independent (one scaffold); all trials' noisy cost levels
         are sampled as ``(n_trials, n_intervals)`` matrices and the
         partition Bellman recursion runs once across trials
         (:func:`repro.mechanisms.dawa.partition.optimal_partition_batch`).
-        Stage 2 stays per trial — each trial owns a different bucket
-        set — but its reduceat/repeat kernels are already vectorized
-        within a trial.
+
+        Stage 2: trials are grouped by their chosen partition — stage 1
+        is strongly data-driven, so distinct trials frequently land on
+        the same bucket set — and each group expands in one
+        reduceat/Laplace-matrix/repeat pass
+        (:func:`repro.mechanisms.dawa.estimate.uniform_bucket_estimate_batch`).
+        Trial order is preserved in the returned list; only the noise
+        stream order differs from the per-trial loop (batch-mode
+        contract).
         """
         x = np.asarray(hist.x, dtype=float)
         if scaffold is None:
             scaffold = DyadicScaffold(x)
         costs = scaffold.noisy_costs_batch(self.epsilon1, rng, n_trials)
         partitions = optimal_partition_batch(costs, self.bucket_penalty)
-        results: list[DawaResult] = []
-        for padded_buckets in partitions:
-            buckets = clip_buckets_array(padded_buckets, scaffold.n_original)
-            estimate = uniform_bucket_estimate(x, buckets, self.epsilon2, rng)
-            results.append(DawaResult(estimate=estimate, buckets=buckets))
+        buckets_by_trial = [
+            clip_buckets_array(padded, scaffold.n_original)
+            for padded in partitions
+        ]
+        groups: dict[bytes, list[int]] = {}
+        for trial, buckets in enumerate(buckets_by_trial):
+            groups.setdefault(buckets.tobytes(), []).append(trial)
+        results: list[DawaResult | None] = [None] * n_trials
+        for trials in groups.values():
+            buckets = buckets_by_trial[trials[0]]
+            rows = uniform_bucket_estimate_batch(
+                x, buckets, self.epsilon2, rng, len(trials)
+            )
+            for row, trial in enumerate(trials):
+                results[trial] = DawaResult(
+                    estimate=rows[row], buckets=buckets
+                )
         return results
 
     def release_batch(

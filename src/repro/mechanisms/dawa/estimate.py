@@ -66,6 +66,53 @@ def uniform_bucket_estimate(
     return estimate
 
 
+def uniform_bucket_estimate_batch(
+    x: np.ndarray,
+    buckets: list[Bucket],
+    epsilon2: float,
+    rng: np.random.Generator,
+    n_rows: int,
+    clip_negative_totals: bool = True,
+) -> np.ndarray:
+    """``n_rows`` independent stage-2 releases over one shared partition.
+
+    The bucket totals are data, not noise — one ``np.add.reduceat``
+    serves every trial — so the whole group costs a single
+    ``(n_rows, n_buckets)`` Laplace matrix and one axis-1 ``np.repeat``
+    expansion.  This is the kernel behind grouped stage 2: trials whose
+    stage-1 partitions coincide (common at paper-scale epsilon, where
+    stage 1 is strongly data-driven) share everything but their noise.
+    Each row is distributed exactly as one :func:`uniform_bucket_estimate`
+    draw; the streams differ (batch-mode contract).
+    """
+    if n_rows < 1:
+        raise ValueError("need at least one row")
+    if epsilon2 <= 0:
+        raise ValueError("epsilon2 must be positive")
+    x = np.asarray(x, dtype=float)
+    if len(buckets) == 0:
+        return np.zeros((n_rows, len(x)))
+    arr = np.asarray(buckets, dtype=np.int64).reshape(-1, 2)
+    starts, ends = arr[:, 0], arr[:, 1]
+    widths = ends - starts
+    if not buckets_tile_domain(starts, ends, len(x)):
+        return np.stack(
+            [
+                uniform_bucket_estimate(
+                    x, buckets, epsilon2, rng, clip_negative_totals
+                )
+                for _ in range(n_rows)
+            ]
+        )
+    scale = BUCKET_TOTAL_SENSITIVITY / epsilon2
+    totals = np.add.reduceat(x, starts)
+    noisy = totals + sample_laplace(rng, scale, size=(n_rows, len(totals)))
+    if clip_negative_totals:
+        np.maximum(noisy, 0.0, out=noisy)
+    noisy /= widths
+    return np.repeat(noisy, widths, axis=1)
+
+
 class HierarchicalHistogram:
     """HB-style hierarchy of noisy counts for range workloads.
 

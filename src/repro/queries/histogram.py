@@ -22,15 +22,76 @@ from __future__ import annotations
 import functools
 from dataclasses import dataclass
 from functools import cached_property
-from typing import Callable, Sequence
+from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
-from repro.core.policy import Policy
+from repro.core.policy import Policy, plain_value
+from repro.core.policy_language import PolicySpecError
 from repro.data.database import Database
 
 HISTOGRAM_L1_SENSITIVITY = 2.0
 SINGLE_COUNT_SENSITIVITY = 1.0
+
+
+# ----------------------------------------------------------------------
+# Binning wire format (the histogram-side analog of
+# repro.core.policy_language.policy_from_spec): each binning exposes
+# to_spec() and binning_from_spec rebuilds an equivalent binning —
+# identical cache_key(), bit-identical bin indices — so the shard-worker
+# runtime ships binnings across process boundaries as small dicts.
+# ----------------------------------------------------------------------
+
+
+def binning_to_spec(binning) -> dict:
+    """The JSON-serializable spec of a binning (``binning.to_spec()``)."""
+    to_spec = getattr(binning, "to_spec", None)
+    if to_spec is None:
+        raise PolicySpecError(
+            f"{type(binning).__name__} has no serializable spec; add a "
+            "to_spec()/register_binning_kind pair to make it portable"
+        )
+    return to_spec()
+
+
+_BINNING_KINDS: dict[str, Callable] = {}
+
+
+def register_binning_kind(kind: str, loader: Callable) -> None:
+    """Register a loader for a custom binning ``kind``.
+
+    ``loader`` receives the whole spec dict and must return a binning
+    whose ``to_spec()`` reproduces it (the round-trip contract).
+    """
+    if kind in _BINNING_KINDS:
+        raise ValueError(f"binning kind {kind!r} already registered")
+    _BINNING_KINDS[kind] = loader
+
+
+def binning_from_spec(spec: Mapping):
+    """Rebuild a binning from its spec — inverse of :func:`binning_to_spec`."""
+    if not isinstance(spec, Mapping):
+        raise PolicySpecError(
+            f"binning spec must be a mapping, got {type(spec).__name__}"
+        )
+    kind = spec.get("kind")
+    if kind == "cat":
+        return CategoricalBinning(spec["attr"], spec["domain"])
+    if kind == "int":
+        return IntegerBinning(
+            spec["attr"], spec["low"], spec["high"], spec.get("width", 1)
+        )
+    if kind == "prod":
+        return Product2DBinning(
+            binning_from_spec(spec["first"]), binning_from_spec(spec["second"])
+        )
+    loader = _BINNING_KINDS.get(kind)
+    if loader is None:
+        raise PolicySpecError(
+            f"unknown binning kind {kind!r}; registered: "
+            f"{sorted(_BINNING_KINDS) + ['cat', 'int', 'prod']}"
+        )
+    return loader(spec)
 
 
 def _shard_aware_bin_indices(impl: Callable) -> Callable:
@@ -71,6 +132,14 @@ class CategoricalBinning:
     def cache_key(self) -> tuple:
         """Hashable value identity (see ``Policy.cache_key``)."""
         return ("cat", self.attribute, self.domain)
+
+    def to_spec(self) -> dict:
+        """Wire form (see :func:`binning_from_spec`); order is the bin order."""
+        return {
+            "kind": "cat",
+            "attr": self.attribute,
+            "domain": [plain_value(v) for v in self.domain],
+        }
 
     def bin_of(self, record: object) -> int:
         return self._lookup(record[self.attribute])  # type: ignore[index]
@@ -137,6 +206,15 @@ class IntegerBinning:
         """Hashable value identity (see ``Policy.cache_key``)."""
         return ("int", self.attribute, self.low, self.high, self.width)
 
+    def to_spec(self) -> dict:
+        return {
+            "kind": "int",
+            "attr": self.attribute,
+            "low": plain_value(self.low),
+            "high": plain_value(self.high),
+            "width": plain_value(self.width),
+        }
+
     def bin_of(self, record: object) -> int:
         value = record[self.attribute]  # type: ignore[index]
         if not self.low <= value < self.high:
@@ -181,6 +259,13 @@ class Product2DBinning:
         if first is None or second is None:
             return None
         return ("prod", first, second)
+
+    def to_spec(self) -> dict:
+        return {
+            "kind": "prod",
+            "first": binning_to_spec(self.first),
+            "second": binning_to_spec(self.second),
+        }
 
     def bin_of(self, record: object) -> int:
         return self.first.bin_of(record) * self.second.n_bins + self.second.bin_of(

@@ -30,6 +30,22 @@ are the wire format a transport would serialize):
   nothing.  A batch that fails mid-way raises
   :class:`BatchBudgetExceededError`, which carries the responses of the
   already-charged prefix — charged noise is never silently discarded.
+* **Live data.**  :meth:`ReleaseServer.append_records` and
+  :meth:`ReleaseServer.expire_prefix` mutate the sharded database in
+  place (tail-shard extension / front-shard trim — never a full
+  reslice).  Every cache entry carries the shard versions it was
+  computed under, so a data update invalidates exactly the affected
+  shards' entries lazily: the next request recomputes the stale shards
+  and reuses the rest.
+* **Specs at the boundary.**  A request's ``policy``/``binning`` may be
+  the live objects *or* their wire specs (plain dicts, see
+  :func:`repro.core.policy_language.policy_from_spec`); specs are
+  resolved per request and still share cache entries via value
+  identity.  With a :class:`repro.data.workers.ShardWorkerPool` as the
+  executor, histogram assembly skips the parent-side mask arrays
+  entirely: each worker answers a spec request with its shard's
+  ``(x, x_ns)`` pair, so per-request traffic stays O(bins), not
+  O(records).
 
 Caching the mask/histogram is free privacy-wise: the cached values are
 exact data-dependent intermediates, and privacy is only consumed when a
@@ -38,19 +54,23 @@ mechanism samples a release from them.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Mapping, Sequence
 
 import numpy as np
 
 from repro.core.accountant import BudgetExceededError, PrivacyAccountant
 from repro.core.policy import NON_SENSITIVE, Policy
+from repro.core.policy_language import policy_from_spec
 from repro.data.columnar import ColumnarDatabase
 from repro.data.sharding import ShardedColumnarDatabase
 from repro.mechanisms.base import MechanismRegistry
 from repro.queries.histogram import (
     HistogramInput,
     HistogramQuery,
+    _shard_histogram_counts,
+    binning_from_spec,
     counts_from_mask,
 )
 
@@ -99,15 +119,17 @@ class ReleaseRequest:
 
     ``mechanism`` names a registry entry; ``binning`` is any object with
     ``bin_indices``/``n_bins`` (the :mod:`repro.queries.histogram`
-    binnings); ``policy`` decides sensitivity; ``seed=None`` draws fresh
-    OS entropy per request (the production default), while an explicit
-    seed makes the response reproducible.
+    binnings) or its wire spec; ``policy`` decides sensitivity — a
+    :class:`~repro.core.policy.Policy` or its wire spec (a plain dict,
+    the form a network transport would deliver); ``seed=None`` draws
+    fresh OS entropy per request (the production default), while an
+    explicit seed makes the response reproducible.
     """
 
     mechanism: str
     epsilon: float
     binning: object
-    policy: Policy
+    policy: "Policy | Mapping"
     n_trials: int = 1
     seed: int | None = None
     label: str = ""
@@ -169,15 +191,22 @@ class ReleaseServer:
         self.accountant = accountant
         self.cache_limit = cache_limit
         self.stats = ServiceStats()
-        # (shard index, policy key) -> int8 mask; (shard index,
-        # binning key) -> int64 bin indices; (binning key, policy key)
-        # -> HistogramInput.  Keys come from _key(); _keyed tracks
-        # every live key in insertion order — it pins identity-keyed
-        # objects (so CPython cannot recycle an id into a stale hit)
-        # and is the LRU eviction queue bounding total cache growth.
-        self._mask_cache: dict[tuple, np.ndarray] = {}
-        self._index_cache: dict[tuple, np.ndarray] = {}
-        self._hist_cache: dict[tuple, HistogramInput] = {}
+        # Every cache value is paired with the shard version(s) it was
+        # computed under (see ShardedColumnarDatabase.shard_versions);
+        # an incremental append/expire bumps the touched shards'
+        # versions, so stale entries miss lazily and only those shards
+        # recompute.  (shard index, policy key) -> (version, int8 mask);
+        # (shard index, binning key) -> (version, int64 bin indices);
+        # (shard index, binning key, policy key) -> (version, (x, x_ns));
+        # (binning key, policy key) -> (versions tuple, HistogramInput).
+        # Keys come from _key(); _keyed tracks every live key in
+        # insertion order — it pins identity-keyed objects (so CPython
+        # cannot recycle an id into a stale hit) and is the LRU
+        # eviction queue bounding total cache growth.
+        self._mask_cache: dict[tuple, tuple[int, np.ndarray]] = {}
+        self._index_cache: dict[tuple, tuple[int, np.ndarray]] = {}
+        self._counts_cache: dict[tuple, tuple[int, tuple]] = {}
+        self._hist_cache: dict[tuple, tuple[tuple, HistogramInput]] = {}
         self._keyed: dict[tuple, object] = {}
 
     # ------------------------------------------------------------------
@@ -225,6 +254,8 @@ class ReleaseServer:
         for cache in (self._mask_cache, self._index_cache):
             for entry in [k for k in cache if k[1] == key]:
                 del cache[entry]
+        for entry in [k for k in self._counts_cache if key in k[1:]]:
+            del self._counts_cache[entry]
         for entry in [k for k in self._hist_cache if key in k]:
             del self._hist_cache[entry]
         self.stats.evictions += 1
@@ -232,24 +263,34 @@ class ReleaseServer:
     def _per_shard(
         self, cache: dict, key: tuple, compute, hits: str, misses: str
     ) -> list:
-        """Fetch or fill a key's per-shard cache entries.
+        """Fetch or refresh a key's per-shard cache entries.
 
-        Entries for one key are all-or-nothing: fills write every shard
-        in one ``map_shards`` pass (getting the executor's parallelism)
-        and :meth:`_evict` removes a key's entries atomically, so a
-        partial state cannot occur.
+        Entries carry the shard version they were computed under; the
+        stale subset (missing entries, or shards touched by an
+        append/expire since) refills in one ``map_shards`` pass over
+        just those shards, so an incremental update costs exactly the
+        affected shards' recomputation.
         """
-        if (0, key) not in cache:
-            setattr(
-                self.stats, misses, getattr(self.stats, misses) + self.n_shards
-            )
-            for i, value in enumerate(self._db.map_shards(compute)):
-                cache[(i, key)] = value
-        else:
-            setattr(
-                self.stats, hits, getattr(self.stats, hits) + self.n_shards
-            )
-        return [cache[(i, key)] for i in range(self.n_shards)]
+        versions = self._db.shard_versions
+        stale = [
+            i
+            for i in range(self.n_shards)
+            if cache.get((i, key), (None,))[0] != versions[i]
+        ]
+        setattr(
+            self.stats, misses, getattr(self.stats, misses) + len(stale)
+        )
+        setattr(
+            self.stats,
+            hits,
+            getattr(self.stats, hits) + self.n_shards - len(stale),
+        )
+        if stale:
+            for i, value in zip(
+                stale, self._db.map_shards(compute, indices=stale)
+            ):
+                cache[(i, key)] = (versions[i], value)
+        return [cache[(i, key)][1] for i in range(self.n_shards)]
 
     def shard_masks(self, policy: Policy) -> list[np.ndarray]:
         """Per-shard policy masks, cached per ``(shard, policy key)``."""
@@ -271,43 +312,100 @@ class ReleaseServer:
             "index_misses",
         )
 
+    def _shard_counts(
+        self, binning, policy: Policy, bkey: tuple, pkey: tuple
+    ) -> list[tuple]:
+        """Per-shard ``(x, x_ns)`` pairs, cached and version-checked.
+
+        Two refill routes for the stale shards: with a shard-resident
+        worker pool as the executor, the partial below travels as a
+        pure spec request and only the O(bins) count pairs come back;
+        otherwise the counts derive from the cached per-shard masks and
+        bin indices (which themselves refresh only their stale shards).
+        """
+        versions = self._db.shard_versions
+        cache = self._counts_cache
+        stale = [
+            i
+            for i in range(self.n_shards)
+            if cache.get((i, bkey, pkey), (None,))[0] != versions[i]
+        ]
+        if stale:
+            if getattr(self._db.executor, "map_resident", None) is not None:
+                pairs = self._db.map_shards(
+                    functools.partial(
+                        _shard_histogram_counts,
+                        query=HistogramQuery(binning),
+                        policy=policy,
+                    ),
+                    indices=stale,
+                )
+            else:
+                n_bins = binning.n_bins
+                masks = self.shard_masks(policy)
+                indices = self.shard_bin_indices(binning)
+                pairs = [
+                    counts_from_mask(
+                        indices[i], masks[i] == NON_SENSITIVE, n_bins
+                    )
+                    for i in stale
+                ]
+            for i, pair in zip(stale, pairs):
+                cache[(i, bkey, pkey)] = (versions[i], pair)
+        return [cache[(i, bkey, pkey)][1] for i in range(self.n_shards)]
+
     def histogram_input(
         self, binning, policy: Policy
     ) -> tuple[HistogramInput, bool]:
         """The merged ``(x, x_ns, mask)`` bundle and whether it was cached.
 
-        Built from the cached per-shard masks and indices; the merge is
-        exact integer addition, so the result is bit-identical to
+        Built from the cached (version-checked) per-shard count pairs;
+        the merge is exact integer addition, so the result is
+        bit-identical to
         :meth:`repro.queries.histogram.HistogramInput.from_columnar` on
-        the same sharded database.
+        the same sharded database — including after incremental
+        appends/expires, where only the touched shards recompute.
         """
-        key = (self._key(binning), self._key(policy))
+        bkey, pkey = self._key(binning), self._key(policy)
+        key = (bkey, pkey)
+        versions = self._db.shard_versions
         cached = self._hist_cache.get(key)
-        if cached is not None:
+        if cached is not None and cached[0] == versions:
             self.stats.hist_hits += 1
-            return cached, True
+            return cached[1], True
         self.stats.hist_misses += 1
-        n_bins = binning.n_bins
-        masks = self.shard_masks(policy)
-        indices = self.shard_bin_indices(binning)
         hist = HistogramInput.from_shard_counts(
-            [
-                counts_from_mask(idx, mask == NON_SENSITIVE, n_bins)
-                for idx, mask in zip(indices, masks)
-            ]
+            self._shard_counts(binning, policy, bkey, pkey)
         )
         hist.ns_support_sorted  # warm the release fast-path views
-        self._hist_cache[key] = hist
+        self._hist_cache[key] = (versions, hist)
         return hist, False
 
     # ------------------------------------------------------------------
     # Request handling
     # ------------------------------------------------------------------
+    @staticmethod
+    def _resolve(request: ReleaseRequest) -> tuple[object, Policy]:
+        """Materialize a request's binning/policy from wire specs.
+
+        A dict-shaped ``policy``/``binning`` is what a transport
+        delivers; resolution goes through the spec loaders, and the
+        resulting objects still share cache entries with their live
+        twins via ``cache_key()`` value identity.
+        """
+        binning, policy = request.binning, request.policy
+        if isinstance(binning, Mapping):
+            binning = binning_from_spec(binning)
+        if isinstance(policy, Mapping):
+            policy = policy_from_spec(policy)
+        return binning, policy
+
     def handle(self, request: ReleaseRequest) -> ReleaseResponse:
         """Serve one request: cache-assisted histogram, charge, release."""
         if request.n_trials < 1:
             raise ValueError("n_trials must be at least 1")
-        hist, cache_hit = self.histogram_input(request.binning, request.policy)
+        binning, policy = self._resolve(request)
+        hist, cache_hit = self.histogram_input(binning, policy)
         mechanism = self._registry.create(request.mechanism, request.epsilon)
         # The ledger records the policy whose x_ns the mechanism
         # consumed (DP mechanisms charge under P_all per Lemma 3.1) —
@@ -315,7 +413,7 @@ class ReleaseServer:
         # the minimum relaxation.
         mechanism.charge_for(
             self.accountant,
-            request.policy,
+            policy,
             label=request.label or request.mechanism,
         )
         rng = np.random.default_rng(request.seed)
@@ -367,3 +465,33 @@ class ReleaseServer:
     def query_true_histogram(self, query: HistogramQuery) -> np.ndarray:
         """The exact (non-private) histogram — for offline error audits."""
         return self._db.histogram(query.binning, query.n_bins)
+
+    # ------------------------------------------------------------------
+    # Incremental data updates
+    # ------------------------------------------------------------------
+    def append_records(self, records) -> int:
+        """Ingest new records without a reslice; returns the tail shard index.
+
+        Delegates to
+        :meth:`repro.data.sharding.ShardedColumnarDatabase.append_records`
+        (which forwards only the chunk to a shard-resident worker
+        pool).  No cache is cleared here: the tail shard's version bump
+        makes exactly its entries miss on the next request, while every
+        other shard's cached masks, indices and counts keep serving —
+        the merged histograms are bit-identical to a from-scratch
+        rebuild over the extended data.
+
+        Appending changes the database the privacy ledger describes;
+        as in the paper's continual-observation setting, the accountant
+        keeps charging cumulatively — budget never resets on ingest.
+        """
+        return self._db.append_records(records)
+
+    def expire_prefix(self, n_records: int) -> list[int]:
+        """Drop the ``n_records`` oldest records (retention enforcement).
+
+        Only the leading shards' versions bump; their cache entries
+        miss lazily and everything else keeps serving.  Returns the
+        touched shard indices.
+        """
+        return self._db.expire_prefix(n_records)

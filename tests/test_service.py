@@ -260,3 +260,94 @@ class TestConstruction:
         assert np.array_equal(
             server.query_true_histogram(query), db.histogram(BINNING)
         )
+
+
+class TestLiveUpdates:
+    """append_records/expire_prefix keep the server bit-exact and only
+    recompute the touched shards."""
+
+    def _fresh_records(self, n, seed):
+        rng = np.random.default_rng(seed)
+        return [
+            {"age": int(a), "opt_in": bool(o)}
+            for a, o in zip(rng.integers(0, 100, n), rng.integers(0, 2, n))
+        ]
+
+    def test_append_matches_fresh_server(self):
+        records = self._fresh_records(900, 3)
+        extra = self._fresh_records(60, 4)
+        server = ReleaseServer(
+            ColumnarDatabase.from_records(records).shard(3)
+        )
+        server.handle(_request(seed=1))  # warm every cache
+        server.append_records(extra)
+        updated = server.handle(_request(seed=5))
+        fresh = ReleaseServer(
+            ColumnarDatabase.from_records(records + extra).shard(3)
+        ).handle(_request(seed=5))
+        assert np.array_equal(updated.estimates, fresh.estimates)
+
+    def test_expire_matches_fresh_server(self):
+        records = self._fresh_records(900, 6)
+        server = ReleaseServer(
+            ColumnarDatabase.from_records(records).shard(3)
+        )
+        server.handle(_request(seed=1))
+        touched = server.expire_prefix(320)
+        assert touched == [0, 1]
+        updated = server.handle(_request(seed=5))
+        fresh = ReleaseServer(
+            ColumnarDatabase.from_records(records[320:]).shard(3)
+        ).handle(_request(seed=5))
+        assert np.array_equal(updated.estimates, fresh.estimates)
+
+    def test_append_recomputes_only_the_tail_shard(self, server):
+        server.handle(_request(seed=1))
+        assert server.stats.mask_misses == server.n_shards
+        server.append_records(self._fresh_records(10, 9))
+        response = server.handle(_request(seed=1))
+        assert not response.cache_hit  # histogram had to re-merge...
+        assert server.stats.mask_misses == server.n_shards + 1  # ...one shard
+        assert server.stats.mask_hits == server.n_shards - 1
+        assert server.stats.index_misses == server.n_shards + 1
+
+    def test_expire_recomputes_only_touched_shards(self, server):
+        server.handle(_request(seed=1))
+        server.expire_prefix(1)  # trims shard 0 only
+        server.handle(_request(seed=1))
+        assert server.stats.mask_misses == server.n_shards + 1
+        # untouched shards' cached masks still serve
+        assert server.stats.mask_hits == server.n_shards - 1
+
+    def test_cache_hits_return_after_update(self, server):
+        server.handle(_request(seed=1))
+        server.append_records(self._fresh_records(5, 2))
+        assert not server.handle(_request(seed=1)).cache_hit
+        assert server.handle(_request(seed=1)).cache_hit
+
+    def test_budget_keeps_accumulating_across_updates(self, server):
+        server.handle(_request(epsilon=1.0))
+        server.append_records(self._fresh_records(5, 2))
+        server.handle(_request(epsilon=0.9))
+        with pytest.raises(BudgetExceededError):
+            server.handle(_request(epsilon=0.2))
+
+
+class TestSpecRequests:
+    def test_spec_shaped_requests_resolve_and_share_caches(self, server):
+        live = server.handle(_request(seed=4, n_trials=2))
+        wire = server.handle(
+            _request(
+                binning=BINNING.to_spec(),
+                policy=POLICY.to_spec(),
+                seed=4,
+                n_trials=2,
+            )
+        )
+        assert wire.cache_hit  # value identity across the wire form
+        assert np.array_equal(live.estimates, wire.estimates)
+
+    def test_malformed_spec_rejected_before_charging(self, server):
+        with pytest.raises(Exception):
+            server.handle(_request(policy={"kind": "nope"}))
+        assert server.budget_remaining == pytest.approx(2.0)

@@ -289,3 +289,120 @@ class TestAnyDatabaseFrontDoor:
         hist = HistogramInput.from_columnar(db, query, policy)
         via_hist = mech.release_batch(hist, np.random.default_rng(11), 3)
         assert np.array_equal(via_db, via_hist)
+
+
+class TestIncrementalUpdates:
+    """append_records / expire_prefix vs a from-scratch reslice."""
+
+    def _updated_reference(self, db, extra_records, n_expired):
+        from repro.data.columnar import ColumnarDatabase as CD
+
+        full = CD.concat([db, CD.from_records(extra_records)])
+        return full.slice_records(n_expired, len(full))
+
+    def test_append_matches_scratch_rebuild(self):
+        db, _ = _flat_db(500)
+        sharded = db.shard(3)
+        policy = _policy()
+        extra = [
+            {"age": 17, "city": "a", "opt_in": False},
+            {"age": 44, "city": "b", "opt_in": True},
+        ]
+        touched = sharded.append_records(extra)
+        assert touched == 2  # the tail shard
+        reference = self._updated_reference(db, extra, 0)
+        assert len(sharded) == len(reference)
+        assert np.array_equal(
+            sharded.mask(policy), policy.evaluate_batch(reference)
+        )
+        binning = IntegerBinning("age", 0, 100, 10)
+        assert np.array_equal(
+            sharded.histogram(binning), reference.histogram(binning)
+        )
+
+    def test_expire_matches_scratch_rebuild(self):
+        db, _ = _flat_db(500)
+        sharded = db.shard(4)
+        policy = _policy()
+        touched = sharded.expire_prefix(150)
+        # 125-record shards: shard 0 swallowed, shard 1 trimmed
+        assert touched == [0, 1]
+        assert len(sharded.shards[0]) == 0
+        reference = db.slice_records(150, 500)
+        assert len(sharded) == len(reference)
+        assert np.array_equal(
+            sharded.mask(policy), policy.evaluate_batch(reference)
+        )
+
+    def test_versions_bump_only_for_touched_shards(self):
+        db, _ = _flat_db(300)
+        sharded = db.shard(3)
+        assert sharded.shard_versions == (0, 0, 0)
+        sharded.append_records([{"age": 1, "city": "a", "opt_in": True}])
+        assert sharded.shard_versions == (0, 0, 1)
+        sharded.expire_prefix(10)
+        assert sharded.shard_versions == (1, 0, 1)
+
+    def test_histogram_input_after_updates(self):
+        db, _ = _flat_db(400)
+        sharded = db.shard(3)
+        policy = _policy()
+        query = HistogramQuery(IntegerBinning("age", 0, 100, 5))
+        extra = [{"age": 3, "city": "c", "opt_in": False}] * 7
+        sharded.append_records(extra)
+        sharded.expire_prefix(90)
+        reference = self._updated_reference(db, extra, 90)
+        a = histogram_input_for(sharded, query, policy)
+        b = histogram_input_for(reference, query, policy)
+        assert np.array_equal(a.x, b.x)
+        assert np.array_equal(a.x_ns, b.x_ns)
+        assert np.array_equal(a.sensitive_bin_mask, b.sensitive_bin_mask)
+
+    def test_append_ragged_trajectories(self):
+        from repro.data.tippers import Trajectory, trajectory_columns
+
+        trajs = [
+            Trajectory(user_id=i, day=0, slots=((0, i % 5), (1, (i + 1) % 5)))
+            for i in range(30)
+        ]
+        db = ColumnarDatabase(trajectory_columns(trajs), records=trajs)
+        sharded = db.shard(2)
+        new = [Trajectory(user_id=99, day=1, slots=((4, 2),))]
+        sharded.append_records(new)
+        assert len(sharded) == 31
+        from repro.data.tippers import SensitiveAPPolicy
+
+        policy = SensitiveAPPolicy({2})
+        combined = trajs + new
+        expected = np.fromiter(
+            (policy(t) for t in combined), dtype=np.int8, count=31
+        )
+        assert np.array_equal(sharded.mask(policy), expected)
+
+    def test_append_reorders_mismatched_schema(self):
+        db, _ = _flat_db(50)
+        sharded = db.shard(2)
+        sharded.append_records([{"opt_in": True, "city": "d", "age": 30}])
+        assert sharded.column_names == db.column_names
+        assert len(sharded) == 51
+
+    def test_append_rejects_wrong_schema(self):
+        db, _ = _flat_db(50)
+        sharded = db.shard(2)
+        with pytest.raises(ValueError, match="columns"):
+            sharded.append_records([{"age": 1, "city": "a"}])
+
+    def test_expire_rejects_overdraw(self):
+        db, _ = _flat_db(50)
+        sharded = db.shard(2)
+        with pytest.raises(ValueError):
+            sharded.expire_prefix(51)
+        with pytest.raises(ValueError):
+            sharded.expire_prefix(-1)
+
+    def test_expire_everything_leaves_empty_shards(self):
+        db, _ = _flat_db(40)
+        sharded = db.shard(3)
+        sharded.expire_prefix(40)
+        assert len(sharded) == 0
+        assert sharded.n_shards == 3
