@@ -18,19 +18,28 @@ itself secret.  This package provides:
   (:mod:`repro.queries`, :mod:`repro.classification`,
   :mod:`repro.evaluation`).
 
-Quickstart::
+Quickstart (the client API — one surface over in-process, sharded and
+remote backends; see ``docs/API.md``)::
 
-    import numpy as np
-    from repro.core.policy import AttributePolicy
-    from repro.mechanisms.osdp_rr import OsdpRR
+    from repro.api import OsdpClient
+    from repro.data.columnar import ColumnarDatabase
+    from repro.queries.histogram import IntegerBinning
 
-    policy = AttributePolicy("age", lambda a: a <= 17)   # minors sensitive
-    mech = OsdpRR(policy, epsilon=1.0)
-    sample = mech.sample(records, np.random.default_rng(0))
+    db = ColumnarDatabase.from_records(records)
+    with OsdpClient.in_process(db) as client:
+        response = client.release(
+            mechanism="osdp_laplace_l1",
+            epsilon=1.0,
+            binning=IntegerBinning("age", 0, 100, 10),
+            policy={"attr": "age", "op": "<=", "value": 17},
+            seed=0,
+        )
+    response.estimates    # the released histogram, (n_trials, n_bins)
 """
 
 __version__ = "1.0.0"
 
+from repro.api import OsdpClient, ReleaseRequest, ReleaseResponse
 from repro.core.accountant import PrivacyAccountant
 from repro.core.guarantees import DPGuarantee, OSDPGuarantee
 from repro.core.policy import (
@@ -65,10 +74,13 @@ __all__ = [
     "OptInPolicy",
     "OsdpLaplaceHistogram",
     "OsdpLaplaceL1Histogram",
+    "OsdpClient",
     "OsdpRR",
     "OsdpRRHistogram",
     "Policy",
     "PrivacyAccountant",
+    "ReleaseRequest",
+    "ReleaseResponse",
     "SuppressHistogram",
     "__version__",
 ]

@@ -1,0 +1,41 @@
+"""One client, many backends: the public service API of the reproduction.
+
+The paper's deployment story (Section 1's curator/analyst split) as a
+protocol-first Python surface:
+
+* :class:`OsdpClient` — the single entry point: ``release`` /
+  ``release_batch`` / ``true_histogram`` plus live-data updates.
+* :class:`Backend` — the substrate protocol, with
+  :class:`InProcessBackend`, :class:`ShardedBackend` (optionally on
+  the shard-resident worker pool) and :class:`RemoteBackend` (socket
+  client for :class:`repro.service.rpc.RpcServer`).
+* :mod:`repro.api.wire` — the canonical JSON / length-prefixed-frame
+  wire format of :class:`~repro.service.server.ReleaseRequest` and
+  :class:`~repro.service.server.ReleaseResponse`.
+
+See ``docs/API.md`` for the full reference and deployment sketch.
+"""
+
+from repro.api.backends import (
+    Backend,
+    InProcessBackend,
+    RemoteBackend,
+    ShardedBackend,
+)
+from repro.api.client import OsdpClient
+from repro.service.server import (
+    BatchBudgetExceededError,
+    ReleaseRequest,
+    ReleaseResponse,
+)
+
+__all__ = [
+    "Backend",
+    "BatchBudgetExceededError",
+    "InProcessBackend",
+    "OsdpClient",
+    "ReleaseRequest",
+    "ReleaseResponse",
+    "RemoteBackend",
+    "ShardedBackend",
+]

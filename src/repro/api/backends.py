@@ -1,0 +1,330 @@
+"""The three execution substrates behind :class:`repro.api.OsdpClient`.
+
+The :class:`Backend` protocol is the seam that makes "where does the
+release run" a deployment decision instead of a call-site decision:
+
+* :class:`InProcessBackend` — one plain
+  :class:`repro.data.columnar.ColumnarDatabase`, everything in the
+  caller's process.  The notebook / unit-test substrate.
+* :class:`ShardedBackend` — a
+  :class:`repro.data.sharding.ShardedColumnarDatabase` behind the
+  caching :class:`repro.service.server.ReleaseServer`, optionally with
+  a shard-resident :class:`repro.data.workers.ShardWorkerPool` (one
+  process per shard, specs on the pipes, failover/respawn on worker
+  death).  The single-machine curator substrate.
+* :class:`RemoteBackend` — a socket client speaking the
+  :mod:`repro.api.wire` framing to a :class:`repro.service.rpc.RpcServer`
+  on another process or machine.  The analyst substrate.
+
+All three answer the same five questions (release one, release a
+batch, true histogram, append, expire) with **bit-identical** results
+for the same request and seed — the backends differ in *where* the
+histogram pipeline runs, never in *what* it computes.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Mapping, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.service.server import (
+    ReleaseRequest,
+    ReleaseResponse,
+    ReleaseServer,
+)
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """What a release substrate must answer; see the module docstring."""
+
+    def handle(self, request: ReleaseRequest) -> ReleaseResponse: ...
+
+    def handle_batch(
+        self, requests: Sequence[ReleaseRequest]
+    ) -> list[ReleaseResponse]: ...
+
+    def true_histogram(self, binning) -> np.ndarray: ...
+
+    def append_records(self, records) -> int: ...
+
+    def expire_prefix(self, n_records: int) -> list[int]: ...
+
+    def close(self) -> None: ...
+
+
+class _ServerBackend:
+    """Shared plumbing of the two library-side backends.
+
+    Both own a transport-independent :class:`ReleaseServer`; they
+    differ only in how the database under it was assembled (and
+    whether a worker pool must be torn down on close).
+    """
+
+    def __init__(self, server: ReleaseServer):
+        self.server = server
+
+    def handle(self, request: ReleaseRequest) -> ReleaseResponse:
+        return self.server.handle(request)
+
+    def handle_batch(
+        self, requests: Sequence[ReleaseRequest]
+    ) -> list[ReleaseResponse]:
+        return self.server.handle_batch(requests)
+
+    def true_histogram(self, binning) -> np.ndarray:
+        return self.server.true_histogram(binning)
+
+    def append_records(self, records) -> int:
+        return self.server.append_records(records)
+
+    def expire_prefix(self, n_records: int) -> list[int]:
+        return self.server.expire_prefix(n_records)
+
+    def stats(self) -> dict:
+        return self.server.stats.as_dict()
+
+    @property
+    def budget_remaining(self) -> float | None:
+        return self.server.budget_remaining
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class InProcessBackend(_ServerBackend):
+    """A plain single-shard columnar database in the caller's process."""
+
+    def __init__(
+        self,
+        db,
+        registry=None,
+        accountant=None,
+        cache_limit: int = 128,
+    ):
+        super().__init__(
+            ReleaseServer(
+                db,
+                registry=registry,
+                accountant=accountant,
+                n_shards=1,
+                cache_limit=cache_limit,
+            )
+        )
+
+
+class ShardedBackend(_ServerBackend):
+    """The sharded engine, optionally on a shard-resident worker pool.
+
+    ``workers=True`` builds a :class:`ShardWorkerPool` over the shards
+    and installs it as the executor — columns ship to the worker
+    processes once, requests cross as specs, and a killed worker is
+    respawned from the parent's shard copy (the request degrades to a
+    recompute, not a crash).  The backend owns the pool: ``close()``
+    stops the processes.
+    """
+
+    def __init__(
+        self,
+        db,
+        n_shards: int | None = None,
+        workers: bool = False,
+        executor=None,
+        registry=None,
+        accountant=None,
+        cache_limit: int = 128,
+        mp_context: str | None = None,
+    ):
+        from repro.data.columnar import ColumnarDatabase
+        from repro.data.sharding import ShardedColumnarDatabase
+
+        if workers and executor is not None:
+            raise ValueError("pass workers=True or an executor, not both")
+        if not isinstance(db, ShardedColumnarDatabase):
+            if not isinstance(db, ColumnarDatabase):
+                db = ColumnarDatabase.from_database(db)
+            db = db.shard(n_shards or _default_shards())
+        elif n_shards is not None and n_shards != db.n_shards:
+            raise ValueError(
+                f"database already has {db.n_shards} shards; "
+                f"cannot reshard to {n_shards}"
+            )
+        self.pool = None
+        if workers:
+            from repro.data.workers import ShardWorkerPool
+
+            self.pool = ShardWorkerPool(db.shards, mp_context=mp_context)
+            executor = self.pool
+        super().__init__(
+            ReleaseServer(
+                db,
+                registry=registry,
+                accountant=accountant,
+                executor=executor,
+                cache_limit=cache_limit,
+            )
+        )
+
+    def close(self) -> None:
+        if self.pool is not None:
+            self.pool.close()
+
+
+def _default_shards() -> int:
+    import os
+
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+class RemoteBackend:
+    """A release service on the other end of a socket.
+
+    Speaks the :mod:`repro.api.wire` framing to a
+    :class:`repro.service.rpc.RpcServer`; every call is one
+    request/reply exchange, serialized with a lock so a backend can be
+    shared across threads.  Server-side failures re-raise faithfully —
+    including :class:`repro.service.server.BatchBudgetExceededError`
+    with its charged prefix of responses.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float | None = None):
+        from repro.service.rpc import connect
+
+        self._sock = connect(host, port, timeout=timeout)
+        self._lock = threading.Lock()
+        self.address = (host, port)
+
+    # ------------------------------------------------------------------
+    # One exchange
+    # ------------------------------------------------------------------
+    def _call(self, op: str, **payload):
+        from repro.api.wire import (
+            exception_from_wire,
+            recv_message,
+            send_message,
+        )
+
+        message = {"op": op, **payload}
+        with self._lock:
+            if self._sock is None:
+                raise ConnectionError(
+                    "rpc connection is closed or broken; open a new "
+                    "RemoteBackend"
+                )
+            try:
+                send_message(self._sock, message)
+                reply = recv_message(self._sock)
+            except (OSError, EOFError) as exc:
+                # A mid-exchange transport failure (timeout, reset,
+                # truncated frame) leaves the stream unsynchronized —
+                # the server's eventual reply would pair with the
+                # *next* request.  The connection must die with the
+                # exchange, never be reused.
+                try:
+                    self._sock.close()
+                finally:
+                    self._sock = None
+                raise ConnectionError(
+                    f"rpc exchange failed mid-flight ({exc}); the "
+                    "connection has been closed"
+                ) from exc
+        if not isinstance(reply, dict) or ("ok" not in reply) == (
+            "err" not in reply
+        ):
+            raise RuntimeError(f"malformed rpc reply: {reply!r}")
+        if "err" in reply:
+            raise exception_from_wire(reply["err"])
+        return reply["ok"]
+
+    # ------------------------------------------------------------------
+    # The Backend surface
+    # ------------------------------------------------------------------
+    def handle(self, request: ReleaseRequest) -> ReleaseResponse:
+        from repro.api.wire import request_to_wire, response_from_wire
+
+        doc = self._call("release", request=request_to_wire(request))
+        return response_from_wire(doc)
+
+    def handle_batch(
+        self, requests: Sequence[ReleaseRequest]
+    ) -> list[ReleaseResponse]:
+        from repro.api.wire import request_to_wire, response_from_wire
+
+        docs = self._call(
+            "release_batch",
+            requests=[request_to_wire(r) for r in requests],
+        )
+        return [response_from_wire(doc) for doc in docs]
+
+    def true_histogram(self, binning) -> np.ndarray:
+        from repro.queries.histogram import binning_to_spec
+
+        spec = (
+            dict(binning)
+            if isinstance(binning, Mapping)
+            else binning_to_spec(binning)
+        )
+        return np.asarray(self._call("true_histogram", binning=spec))
+
+    def append_records(self, records) -> int:
+        return int(self._call("append_records", **_append_payload(records)))
+
+    def expire_prefix(self, n_records: int) -> list[int]:
+        return [
+            int(i) for i in self._call("expire_prefix", n_records=n_records)
+        ]
+
+    # ------------------------------------------------------------------
+    # Remote introspection
+    # ------------------------------------------------------------------
+    def ping(self) -> dict:
+        return self._call("ping")
+
+    def mechanisms(self) -> list[str]:
+        return list(self._call("mechanisms"))
+
+    def stats(self) -> dict:
+        return self._call("stats")
+
+    @property
+    def budget_remaining(self) -> float | None:
+        return self._call("budget")
+
+    def close(self) -> None:
+        with self._lock:
+            if self._sock is None:
+                return
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover - platform-dependent
+                pass
+            self._sock = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _append_payload(records) -> dict:
+    """Render an append for the wire: columns when columnar, else rows."""
+    from repro.data.columnar import ColumnarDatabase
+
+    if isinstance(records, ColumnarDatabase):
+        columns = {}
+        for name in records.column_names:
+            column = np.asarray(records[name])
+            if column.dtype.hasobject:
+                return {"records": [dict(r) for r in records.iter_records()]}
+            columns[name] = column
+        return {"columns": columns}
+    return {"records": [dict(r) for r in records]}

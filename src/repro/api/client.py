@@ -1,0 +1,161 @@
+"""The one client every caller talks to, whatever runs underneath.
+
+Before this layer, a caller had to pick among ``ColumnarDatabase``,
+``ShardedColumnarDatabase``, ``ShardWorkerPool`` and ``ReleaseServer``
+by hand and then choose the right of four per-mechanism entry points.
+:class:`OsdpClient` replaces all of that with the paper's deployment
+shape — a curator serving releases to analysts — behind one surface::
+
+    from repro.api import OsdpClient
+    from repro.queries.histogram import IntegerBinning
+
+    with OsdpClient.in_process(db) as client:       # or .sharded / .connect
+        response = client.release(
+            mechanism="osdp_laplace_l1",
+            epsilon=0.5,
+            binning=IntegerBinning("age", 0, 100, 10),
+            policy={"attr": "age", "op": "<=", "value": 17},
+            seed=7,
+        )
+    response.estimates        # (n_trials, n_bins)
+
+The same call works against every backend, and for the same request
+and seed returns **bit-identical** estimates — swapping a notebook's
+in-process backend for a production socket is a one-line change that
+cannot alter results.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.api.backends import (
+    Backend,
+    InProcessBackend,
+    RemoteBackend,
+    ShardedBackend,
+)
+from repro.service.server import ReleaseRequest, ReleaseResponse
+
+
+class OsdpClient:
+    """Issue release requests against any :class:`~repro.api.Backend`."""
+
+    def __init__(self, backend: Backend):
+        self._backend = backend
+
+    # ------------------------------------------------------------------
+    # Constructors, one per substrate
+    # ------------------------------------------------------------------
+    @classmethod
+    def in_process(cls, db, **kwargs) -> "OsdpClient":
+        """A client over the caller's own process (plain columnar db)."""
+        return cls(InProcessBackend(db, **kwargs))
+
+    @classmethod
+    def sharded(cls, db, **kwargs) -> "OsdpClient":
+        """A client over the sharded engine (``workers=True`` for the
+        shard-resident process pool with failover)."""
+        return cls(ShardedBackend(db, **kwargs))
+
+    @classmethod
+    def connect(
+        cls, host: str, port: int, timeout: float | None = None
+    ) -> "OsdpClient":
+        """A client over a live :class:`repro.service.rpc.RpcServer`."""
+        return cls(RemoteBackend(host, port, timeout=timeout))
+
+    @property
+    def backend(self) -> Backend:
+        return self._backend
+
+    # ------------------------------------------------------------------
+    # The release surface
+    # ------------------------------------------------------------------
+    def release(
+        self,
+        request: ReleaseRequest | None = None,
+        *,
+        mechanism: str | None = None,
+        epsilon: float | None = None,
+        binning=None,
+        policy=None,
+        n_trials: int = 1,
+        seed: int | None = None,
+        label: str = "",
+    ) -> ReleaseResponse:
+        """Serve one release request.
+
+        Pass a ready :class:`ReleaseRequest`, or its fields as keywords
+        (``binning``/``policy`` may be live objects or wire specs).
+        """
+        if request is None:
+            if mechanism is None or epsilon is None or binning is None:
+                raise ValueError(
+                    "pass a ReleaseRequest or at least mechanism, epsilon "
+                    "and binning"
+                )
+            request = ReleaseRequest(
+                mechanism=mechanism,
+                epsilon=epsilon,
+                binning=binning,
+                policy=policy,
+                n_trials=n_trials,
+                seed=seed,
+                label=label,
+            )
+        elif (
+            mechanism is not None
+            or epsilon is not None
+            or binning is not None
+            or policy is not None
+            or n_trials != 1
+            or seed is not None
+            or label != ""
+        ):
+            # Every keyword must be rejected, not just the required
+            # trio — silently ignoring e.g. seed= next to a request
+            # would hand back a non-reproducible release.
+            raise ValueError(
+                "pass either a ReleaseRequest or keyword fields, not both"
+            )
+        return self._backend.handle(request)
+
+    def release_batch(
+        self, requests: Sequence[ReleaseRequest]
+    ) -> list[ReleaseResponse]:
+        """Serve a traffic batch in order (see ``ReleaseServer.handle_batch``);
+        a mid-batch budget overrun raises
+        :class:`repro.service.server.BatchBudgetExceededError` carrying
+        the already-charged prefix — on every backend, including over a
+        socket."""
+        return self._backend.handle_batch(list(requests))
+
+    def true_histogram(self, binning) -> np.ndarray:
+        """The exact (non-private) histogram — the curator's audit path."""
+        return self._backend.true_histogram(binning)
+
+    # ------------------------------------------------------------------
+    # Live data
+    # ------------------------------------------------------------------
+    def append_records(self, records) -> int:
+        """Ingest new records; returns the tail shard index."""
+        return self._backend.append_records(records)
+
+    def expire_prefix(self, n_records: int) -> list[int]:
+        """Drop the ``n_records`` oldest records; returns touched shards."""
+        return self._backend.expire_prefix(n_records)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self._backend.close()
+
+    def __enter__(self) -> "OsdpClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

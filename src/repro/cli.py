@@ -10,6 +10,13 @@ Usage examples::
     python -m repro.cli fig1 --users 400 --days 50 --folds 5
     python -m repro.cli ngrams --n 4 --epsilon 1.0 0.01
     python -m repro.cli dpbench --datasets adult patent --trials 3
+
+``serve`` is different in kind: it starts the release service — a
+:class:`repro.service.rpc.RpcServer` over a (sharded) database — and
+blocks, so analysts can connect with
+``repro.api.OsdpClient.connect(host, port)``::
+
+    python -m repro.cli serve --port 7777 --shards 4 --workers --budget 10
 """
 
 from __future__ import annotations
@@ -177,6 +184,79 @@ def cmd_dpbench(args: argparse.Namespace) -> None:
     _maybe_save([dataclass_record.__dict__ for dataclass_record in records], args)
 
 
+def serve_database(args: argparse.Namespace):
+    """Build the table the ``serve`` subcommand exposes.
+
+    ``--dataset synthetic`` is a generic demo table (age, city,
+    opt_in); a DPBench name expands that benchmark's histogram into
+    one record per count with a synthetic opt-in column, so the served
+    data reproduces the paper's workloads bin for bin.
+    """
+    import numpy as np
+
+    from repro.data.columnar import ColumnarDatabase
+
+    rng = np.random.default_rng(args.seed)
+    if args.dataset == "synthetic":
+        n = args.records
+        return ColumnarDatabase(
+            {
+                "age": rng.integers(0, 100, n),
+                "city": rng.choice(list("abcd"), n),
+                "opt_in": rng.random(n) < args.opt_in_rate,
+            }
+        )
+    from repro.data.dpbench import generate_dpbench
+
+    x = generate_dpbench(args.dataset, seed=args.seed)
+    values = np.repeat(np.arange(len(x)), x)
+    if args.records and args.records < len(values):
+        values = rng.choice(values, size=args.records, replace=False)
+        values.sort()
+    return ColumnarDatabase(
+        {
+            "value": values,
+            "opt_in": rng.random(len(values)) < args.opt_in_rate,
+        }
+    )
+
+
+def cmd_serve(args: argparse.Namespace) -> None:
+    from repro.api.backends import ShardedBackend
+    from repro.core.accountant import PrivacyAccountant
+    from repro.service.rpc import RpcServer
+
+    # `is not None`, not truthiness: `--budget 0` must not silently
+    # start an unmetered server (the accountant rejects it loudly).
+    accountant = (
+        PrivacyAccountant(total_epsilon=args.budget)
+        if args.budget is not None
+        else None
+    )
+    backend = ShardedBackend(
+        serve_database(args),
+        n_shards=args.shards,
+        workers=args.workers,
+        accountant=accountant,
+    )
+    rpc = RpcServer(backend.server, host=args.host, port=args.port)
+    host, port = rpc.address
+    print(
+        f"serving {len(backend.server.db)} records on {host}:{port} "
+        f"({backend.server.n_shards} shards"
+        f"{', worker pool' if args.workers else ''}"
+        f"{f', budget {args.budget}' if args.budget else ''}) — "
+        f"connect with repro.api.OsdpClient.connect({host!r}, {port})"
+    )
+    try:
+        rpc.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        rpc.close()
+        backend.close()
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -227,6 +307,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--seed", type=int, default=0)
     p_bench.add_argument("--output")
     p_bench.set_defaults(func=cmd_dpbench)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the OSDP release service on a TCP socket"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=7777, help="0 binds an ephemeral port"
+    )
+    p_serve.add_argument(
+        "--dataset", default="synthetic",
+        help="'synthetic' or a DPBench name (adult, patent, ...)",
+    )
+    p_serve.add_argument("--records", type=int, default=100_000)
+    p_serve.add_argument("--opt-in-rate", type=float, default=0.5)
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument("--shards", type=int, default=None)
+    p_serve.add_argument(
+        "--workers", action="store_true",
+        help="shard-resident worker processes with failover",
+    )
+    p_serve.add_argument(
+        "--budget", type=float, default=None,
+        help="total epsilon; omit for an unmetered server",
+    )
+    p_serve.set_defaults(func=cmd_serve)
 
     return parser
 

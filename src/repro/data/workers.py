@@ -18,13 +18,25 @@ inverts the data flow:
   are result arrays only.  Per-request traffic is therefore independent
   of the shard size (``stats`` proves it: ``request_bytes`` vs
   ``startup_bytes``).
-* **Workers cache by spec.**  Each worker holds mask and bin-index
-  caches keyed by the spec's canonical rendering, so a burst of
-  requests over the same policy pays the kernel once per shard — the
-  worker-side mirror of the release server's caches.  Appends extend
-  cached arrays by evaluating only the new chunk (policies and binnings
-  are per-record, so extension is bit-identical to recomputation);
-  expires slice them.
+* **Workers cache by spec.**  Each worker holds mask, bin-index and
+  ``(x, x_ns)`` count-pair caches keyed by the specs' canonical
+  rendering, so a burst of requests over the same policy pays the
+  kernel once per shard and repeated histogram traffic is O(1) per
+  worker — the worker-side mirror of the release server's caches
+  (``worker_cache_stats()`` reports exact hit/miss counts).  Appends
+  extend cached arrays by evaluating only the new chunk and advance
+  count pairs by the chunk's own pair (policies and binnings are
+  per-record and counts are additive, so both are bit-identical to
+  recomputation); expires slice arrays and subtract the expired
+  prefix's pair.
+* **Failover, not failure.**  The parent keeps the authoritative
+  resident-shard copies; a worker that dies mid-request is respawned
+  from its copy and the request resent, so a killed process degrades
+  to a recompute on cold caches — never a crashed request.  Fan-out
+  replies drain in arrival order
+  (:func:`multiprocessing.connection.wait`) and reassemble into shard
+  order, overlapping parent-side deserialization/merge with the slower
+  shards' compute.
 
 The pool plugs in behind ``ShardedColumnarDatabase.map_shards`` as an
 executor: callables the pool recognizes (``Policy.evaluate_batch``,
@@ -63,46 +75,93 @@ _PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
 
 
 class _WorkerState:
-    """One worker's resident shard plus its spec-keyed caches."""
+    """One worker's resident shard plus its spec-keyed caches.
 
-    def __init__(self, shard: ColumnarDatabase):
+    Every cache is LRU-bounded at ``cache_limit`` distinct specs — the
+    worker-side mirror of the release server's ``cache_limit`` — so a
+    long-lived pool serving many distinct per-analyst policies cannot
+    grow a worker's memory without bound.
+    """
+
+    def __init__(self, shard: ColumnarDatabase, cache_limit: int = 128):
         self.shard = shard
+        self.cache_limit = max(2, int(cache_limit))
         # canonical spec -> (spec dict, per-record array); the spec is
         # kept so incremental appends can evaluate it on the new chunk.
         self.masks: dict[str, tuple[dict, np.ndarray]] = {}
         self.indices: dict[str, tuple[dict, np.ndarray]] = {}
+        # (canonical binning spec, canonical policy spec) ->
+        # (binning spec, policy spec, n_bins, (x, x_ns)); maintained
+        # through appends/expires by the same delta discipline as the
+        # per-record caches, so repeated histogram traffic over a warm
+        # key costs O(1) per worker, not a bincount pass.
+        self.counts: dict[
+            tuple[str, str], tuple[dict, dict, int, tuple]
+        ] = {}
+        self.cache_stats = {
+            "mask_hits": 0,
+            "mask_misses": 0,
+            "index_hits": 0,
+            "index_misses": 0,
+            "counts_hits": 0,
+            "counts_misses": 0,
+        }
+
+    def _store(self, cache: dict, key, value) -> None:
+        """Insert at the LRU back, evicting the front beyond the bound."""
+        cache[key] = value
+        while len(cache) > self.cache_limit:
+            cache.pop(next(iter(cache)))
+
+    @staticmethod
+    def _touch(cache: dict, key):
+        """LRU hit: move the entry to the back of the eviction order."""
+        value = cache.pop(key)
+        cache[key] = value
+        return value
 
     def mask(self, spec: dict) -> np.ndarray:
         key = canonical_spec(spec)
-        hit = self.masks.get(key)
-        if hit is None:
+        if key not in self.masks:
+            self.cache_stats["mask_misses"] += 1
             arr = policy_from_spec(spec).evaluate_batch(self.shard)
-            self.masks[key] = (spec, arr)
+            self._store(self.masks, key, (spec, arr))
             return arr
-        return hit[1]
+        self.cache_stats["mask_hits"] += 1
+        return self._touch(self.masks, key)[1]
 
     def bin_indices(self, spec: dict) -> np.ndarray:
         from repro.queries.histogram import binning_from_spec
 
         key = canonical_spec(spec)
-        hit = self.indices.get(key)
-        if hit is None:
+        if key not in self.indices:
+            self.cache_stats["index_misses"] += 1
             arr = binning_from_spec(spec).bin_indices(self.shard)
-            self.indices[key] = (spec, arr)
+            self._store(self.indices, key, (spec, arr))
             return arr
-        return hit[1]
+        self.cache_stats["index_hits"] += 1
+        return self._touch(self.indices, key)[1]
 
     def hist_counts(
         self, binning_spec: dict, policy_spec: dict
     ) -> tuple[np.ndarray, np.ndarray]:
         from repro.queries.histogram import binning_from_spec, counts_from_mask
 
+        key = (canonical_spec(binning_spec), canonical_spec(policy_spec))
+        if key in self.counts:
+            self.cache_stats["counts_hits"] += 1
+            return self._touch(self.counts, key)[3]
+        self.cache_stats["counts_misses"] += 1
         n_bins = binning_from_spec(binning_spec).n_bins
-        return counts_from_mask(
+        pair = counts_from_mask(
             self.bin_indices(binning_spec),
             self.mask(policy_spec) == NON_SENSITIVE,
             n_bins,
         )
+        self._store(
+            self.counts, key, (binning_spec, policy_spec, n_bins, pair)
+        )
+        return pair
 
     def histogram(self, binning_spec: dict, n_bins: int) -> np.ndarray:
         return self.shard.histogram_from_indices(
@@ -115,9 +174,11 @@ class _WorkerState:
         Masks and bin indices are per-record, so evaluating the cached
         specs on the chunk alone and concatenating is bit-identical to
         recomputing over the extended shard — the caches stay warm at
-        O(chunk) cost.
+        O(chunk) cost.  Count pairs are additive over any record
+        partition, so each cached ``(x, x_ns)`` advances by the chunk's
+        own pair.
         """
-        from repro.queries.histogram import binning_from_spec
+        from repro.queries.histogram import binning_from_spec, counts_from_mask
 
         self.shard = ColumnarDatabase.concat([self.shard, chunk])
         for key, (spec, arr) in list(self.masks.items()):
@@ -126,10 +187,37 @@ class _WorkerState:
         for key, (spec, arr) in list(self.indices.items()):
             extra = binning_from_spec(spec).bin_indices(chunk)
             self.indices[key] = (spec, np.concatenate([arr, extra]))
+        for key, (bspec, pspec, n_bins, (x, x_ns)) in list(self.counts.items()):
+            dx, dx_ns = counts_from_mask(
+                binning_from_spec(bspec).bin_indices(chunk),
+                policy_from_spec(pspec).evaluate_batch(chunk) == NON_SENSITIVE,
+                n_bins,
+            )
+            self.counts[key] = (bspec, pspec, n_bins, (x + dx, x_ns + dx_ns))
         return len(self.shard)
 
     def expire(self, n: int) -> int:
-        """Drop the first ``n`` resident records; slice cached arrays."""
+        """Drop the first ``n`` resident records; slice cached arrays.
+
+        Cached count pairs subtract the expired prefix's own pair —
+        computed from the cached per-record arrays *before* they are
+        sliced — so they stay exact without a recount.  A count entry
+        whose per-record arrays are somehow absent is dropped instead
+        (the next request recomputes it).
+        """
+        from repro.queries.histogram import counts_from_mask
+
+        for key, (bspec, pspec, n_bins, (x, x_ns)) in list(self.counts.items()):
+            bkey, pkey = key
+            index_hit = self.indices.get(bkey)
+            mask_hit = self.masks.get(pkey)
+            if index_hit is None or mask_hit is None:
+                del self.counts[key]
+                continue
+            dx, dx_ns = counts_from_mask(
+                index_hit[1][:n], mask_hit[1][:n] == NON_SENSITIVE, n_bins
+            )
+            self.counts[key] = (bspec, pspec, n_bins, (x - dx, x_ns - dx_ns))
         self.shard = self.shard.slice_records(n, len(self.shard))
         self.masks = {
             key: (spec, arr[n:]) for key, (spec, arr) in self.masks.items()
@@ -154,7 +242,7 @@ def _worker_main(conn) -> None:
             return
         try:
             if op == "shard":
-                state = _WorkerState(msg[1])
+                state = _WorkerState(msg[1], *msg[2:3])
                 result = len(state.shard)
             elif state is None:
                 raise RuntimeError("worker has no resident shard")
@@ -172,6 +260,13 @@ def _worker_main(conn) -> None:
                 result = state.append(msg[1])
             elif op == "expire":
                 result = state.expire(msg[1])
+            elif op == "cache_stats":
+                result = dict(
+                    state.cache_stats,
+                    mask_entries=len(state.masks),
+                    index_entries=len(state.indices),
+                    counts_entries=len(state.counts),
+                )
             else:
                 raise ValueError(f"unknown worker op {op!r}")
             reply = ("ok", result)
@@ -198,6 +293,16 @@ class WorkerError(RuntimeError):
     """A shard worker failed to serve a request."""
 
 
+class WorkerDied(WorkerError):
+    """A shard worker process went away mid-request (pipe EOF/break).
+
+    Internal signal of the failover path: the pool catches it, respawns
+    the worker from the parent's resident shard copy, and retries the
+    request — the caller only ever sees it when respawning itself keeps
+    failing.
+    """
+
+
 @dataclass
 class WorkerPoolStats:
     """Wire-traffic accounting, the proof of the runtime's contract.
@@ -215,6 +320,7 @@ class WorkerPoolStats:
     spec_requests: int = 0
     pickled_callables: int = 0
     last_request_bytes: int = 0
+    respawns: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return dict(self.__dict__)
@@ -234,33 +340,36 @@ class ShardWorkerPool:
     contract.  Use as a context manager or call :meth:`close`.
     """
 
-    def __init__(self, shards, mp_context: str | None = None):
+    def __init__(
+        self,
+        shards,
+        mp_context: str | None = None,
+        cache_limit: int = 128,
+    ):
         import multiprocessing
 
         shard_list = tuple(getattr(shards, "shards", shards))
         if not shard_list:
             raise ValueError("need at least one shard")
+        self._cache_limit = cache_limit
         if mp_context is None:
             methods = multiprocessing.get_all_start_methods()
             mp_context = "fork" if "fork" in methods else "spawn"
-        ctx = multiprocessing.get_context(mp_context)
+        self._ctx = multiprocessing.get_context(mp_context)
         self.stats = WorkerPoolStats()
         self._resident: list[ColumnarDatabase] = list(shard_list)
         self._conns = []
         self._procs = []
         self._closed = False
         try:
-            for shard in shard_list:
-                parent_conn, child_conn = ctx.Pipe(duplex=True)
-                proc = ctx.Process(
-                    target=_worker_main, args=(child_conn,), daemon=True
-                )
-                proc.start()
-                child_conn.close()
+            for _ in shard_list:
+                parent_conn, proc = self._spawn_process()
                 self._conns.append(parent_conn)
                 self._procs.append(proc)
             payloads = [
-                pickle.dumps(("shard", shard), _PICKLE_PROTOCOL)
+                pickle.dumps(
+                    ("shard", shard, self._cache_limit), _PICKLE_PROTOCOL
+                )
                 for shard in shard_list
             ]
             self.stats.startup_bytes = sum(len(p) for p in payloads)
@@ -271,6 +380,16 @@ class ShardWorkerPool:
         except BaseException:
             self.close()
             raise
+
+    def _spawn_process(self):
+        """Start one worker process; returns its (parent pipe, process)."""
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=_worker_main, args=(child_conn,), daemon=True
+        )
+        proc.start()
+        child_conn.close()
+        return parent_conn, proc
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -311,23 +430,21 @@ class ShardWorkerPool:
     # ------------------------------------------------------------------
     # Wire plumbing
     # ------------------------------------------------------------------
-    def _send(self, worker: int, message: tuple, startup: bool = False) -> None:
-        self._send_payload(
-            worker, pickle.dumps(message, _PICKLE_PROTOCOL), startup=startup
-        )
-
     def _send_payload(
         self, worker: int, payload: bytes, startup: bool = False
     ) -> None:
         if self._closed:
             raise WorkerError("pool is closed")
+        try:
+            self._conns[worker].send_bytes(payload)
+        except (BrokenPipeError, ConnectionResetError, OSError) as exc:
+            raise WorkerDied(f"shard worker {worker} died mid-send") from exc
         if startup:
             self.stats.startup_bytes += len(payload)
         else:
             self.stats.request_bytes += len(payload)
             self.stats.last_request_bytes = len(payload)
             self.stats.requests += 1
-        self._conns[worker].send_bytes(payload)
 
     def _receive(self, conn):
         status, value = self._receive_any(conn)
@@ -338,28 +455,135 @@ class ShardWorkerPool:
     def _receive_any(self, conn) -> tuple[str, object]:
         try:
             raw = conn.recv_bytes()
-        except EOFError as exc:
-            raise WorkerError("shard worker died") from exc
+        except (EOFError, ConnectionResetError, OSError) as exc:
+            raise WorkerDied("shard worker died") from exc
         self.stats.response_bytes += len(raw)
         return pickle.loads(raw)
 
+    def _respawn(self, index: int) -> None:
+        """Replace a dead worker with a fresh process holding its shard.
+
+        The parent keeps the authoritative resident-shard copy, so the
+        replacement starts from exact data; its spec caches start cold,
+        degrading the retried request to a recompute — never a crash.
+        """
+        try:
+            self._conns[index].close()
+        except OSError:  # pragma: no cover - platform-dependent
+            pass
+        old = self._procs[index]
+        if old.is_alive():
+            old.terminate()
+        old.join(timeout=5)
+        conn, proc = self._spawn_process()
+        self._conns[index] = conn
+        self._procs[index] = proc
+        payload = pickle.dumps(
+            ("shard", self._resident[index], self._cache_limit),
+            _PICKLE_PROTOCOL,
+        )
+        self.stats.startup_bytes += len(payload)
+        conn.send_bytes(payload)
+        self._receive(conn)
+        self.stats.respawns += 1
+
+    def _send_with_failover(self, worker: int, payload: bytes) -> None:
+        try:
+            self._send_payload(worker, payload)
+        except WorkerDied:
+            self._respawn(worker)
+            self._send_payload(worker, payload)
+
+    def _request_one(self, index: int, message: tuple):
+        """One request/reply exchange with a single worker, with failover.
+
+        A worker that dies mid-exchange is respawned from the parent's
+        resident copy and the request is resent once.  Respawning
+        resets the worker to the parent's last committed state, so a
+        death *after* applying a mutating request (append/expire) but
+        before replying cannot double-apply it.
+        """
+        payload = pickle.dumps(message, _PICKLE_PROTOCOL)
+        try:
+            self._send_payload(index, payload)
+            return self._receive(self._conns[index])
+        except WorkerDied:
+            self._respawn(index)
+            self._send_payload(index, payload)
+            return self._receive(self._conns[index])
+
     def _round_trip(self, request: tuple, workers: Sequence[int]) -> list:
-        """Send one request to each worker, then gather in worker order.
+        """Fan one request out, drain replies as they arrive, keep order.
 
         The payload is pickled once and fanned out (the request is the
-        same for every worker).  Every reply is drained before a
-        failure is raised — leaving responses queued in a pipe would
-        corrupt the next request's pairing, so one failing shard must
-        not strand the others'.
+        same for every worker).  Replies are consumed in *arrival*
+        order via :func:`multiprocessing.connection.wait` — the parent
+        deserializes fast shards' responses while slow shards still
+        compute — and reassembled into worker order at the end, so the
+        overlap never reorders results.  A worker that dies mid-request
+        is respawned from the parent's resident shard copy and the
+        request resent (a retried spec request recomputes on cold
+        caches — bit-identical, just slower).  Every live reply is
+        drained before a worker-reported failure is raised — leaving
+        responses queued in a pipe would corrupt the next request's
+        pairing, so one failing shard must not strand the others'.
         """
+        from multiprocessing import connection as _mp_connection
+
         payload = pickle.dumps(request, _PICKLE_PROTOCOL)
+        workers = list(workers)
+        results: dict[int, object] = {}
+        errors: list[str] = []
+        pending = set()
         for worker in workers:
-            self._send_payload(worker, payload)
-        replies = [self._receive_any(self._conns[w]) for w in workers]
-        for status, value in replies:
-            if status != "ok":
-                raise WorkerError(value)
-        return [value for _, value in replies]
+            try:
+                self._send_with_failover(worker, payload)
+                pending.add(worker)
+            except WorkerError as exc:
+                # The worker (and its replacement) could not even take
+                # the request.  Record the failure and keep fanning out:
+                # raising here would strand the already-sent workers'
+                # replies in their pipes and desync the next request.
+                errors.append(f"shard worker {worker}: {exc}")
+        deaths = dict.fromkeys(workers, 0)
+        while pending:
+            by_conn = {self._conns[w]: w for w in pending}
+            for conn in _mp_connection.wait(list(by_conn)):
+                worker = by_conn[conn]
+                try:
+                    status, value = self._receive_any(conn)
+                except WorkerDied:
+                    deaths[worker] += 1
+                    if deaths[worker] > 2:
+                        pending.discard(worker)
+                        errors.append(
+                            f"shard worker {worker} kept dying after respawn"
+                        )
+                        continue
+                    try:
+                        self._respawn(worker)
+                        self._send_payload(worker, payload)
+                    except WorkerError as exc:
+                        # Respawning (or the resend) itself failed —
+                        # give up on this worker only; the others'
+                        # replies must still drain.
+                        pending.discard(worker)
+                        errors.append(
+                            f"shard worker {worker} failed to respawn: {exc}"
+                        )
+                    continue
+                pending.discard(worker)
+                if status != "ok":
+                    errors.append(value)
+                else:
+                    results[worker] = value
+        if errors:
+            raise WorkerError(errors[0])
+        return [results[w] for w in workers]
+
+    def worker_cache_stats(self) -> list[dict[str, int]]:
+        """Each worker's spec-cache hit/miss counters, in worker order."""
+        return self._round_trip(("cache_stats",), range(self.n_workers))
 
     # ------------------------------------------------------------------
     # The executor face seen by ShardedColumnarDatabase.map_shards
@@ -452,8 +676,7 @@ class ShardWorkerPool:
         records it so the residency check keeps passing after the
         update (worker and parent extend in lockstep).
         """
-        self._send(index, ("append", chunk))
-        n = self._receive(self._conns[index])
+        n = self._request_one(index, ("append", chunk))
         if n != len(new_shard):
             raise WorkerError(
                 f"worker {index} shard has {n} records after append, "
@@ -465,8 +688,7 @@ class ShardWorkerPool:
         self, index: int, n: int, new_shard: ColumnarDatabase
     ) -> None:
         """Drop the first ``n`` records of worker ``index``'s shard."""
-        self._send(index, ("expire", int(n)))
-        remaining = self._receive(self._conns[index])
+        remaining = self._request_one(index, ("expire", int(n)))
         if remaining != len(new_shard):
             raise WorkerError(
                 f"worker {index} shard has {remaining} records after "

@@ -76,7 +76,7 @@ def release_trials_from_database(
     """:func:`release_trials` fed straight from any database flavor.
 
     A seeded convenience wrapper over
-    :meth:`repro.mechanisms.base.HistogramMechanism.release_batch_from_database`
+    :meth:`repro.mechanisms.base.HistogramMechanism.run`
     (the single front door for build-histogram + charge + release): row,
     columnar and sharded databases all work, the latter evaluating
     policy masks and bincounts per shard (on the database's executor
@@ -87,8 +87,9 @@ def release_trials_from_database(
         if batched
         else spawn_rngs(seed, n_trials)
     )
-    return mechanism.release_batch_from_database(
-        db, query, policy, rng, n_trials, accountant=accountant
+    return mechanism.run(
+        db, rng, n_trials=n_trials, query=query, policy=policy,
+        accountant=accountant,
     )
 
 

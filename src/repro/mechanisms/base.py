@@ -11,14 +11,71 @@ same inputs.
 
 from __future__ import annotations
 
+import warnings
 from abc import ABC, abstractmethod
-from typing import Callable, Sequence
+from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
 from repro.core.accountant import PrivacyAccountant
 from repro.core.guarantees import DPGuarantee, OSDPGuarantee
 from repro.queries.histogram import HistogramInput
+
+
+# ----------------------------------------------------------------------
+# Source registry: how `HistogramMechanism.run` turns an arbitrary data
+# source into the HistogramInput every mechanism consumes.  Entries are
+# (matcher, builder) pairs tried in registration order; the builder
+# receives (source, query, policy) and returns a HistogramInput.  Row,
+# columnar and sharded databases are covered out of the box; exotic
+# substrates (a feature store, an RPC stub) join via
+# `register_release_source` instead of growing new per-mechanism entry
+# points — this is the single dispatch that replaced the old
+# release/release_batch/release_from_database/release_batch_from_database
+# four-way split.
+# ----------------------------------------------------------------------
+
+_SOURCE_BUILDERS: list[tuple[Callable, Callable]] = []
+
+
+def register_release_source(matcher: Callable, builder: Callable) -> None:
+    """Teach ``HistogramMechanism.run`` a new data-source shape.
+
+    ``matcher(source) -> bool`` decides whether ``builder(source,
+    query, policy) -> HistogramInput`` handles it.  User-registered
+    sources take precedence over the built-in database fallback (they
+    are tried first, in registration order).
+    """
+    _SOURCE_BUILDERS.append((matcher, builder))
+
+
+def resolve_histogram_source(source, query, policy) -> HistogramInput:
+    """Build the :class:`HistogramInput` for any registered source shape.
+
+    A ready-made :class:`HistogramInput` passes through untouched; a
+    database of any flavor (row, columnar, sharded) routes through
+    :func:`repro.queries.histogram.histogram_input_for` and requires a
+    query and policy.
+    """
+    if isinstance(source, HistogramInput):
+        return source
+    for matcher, builder in _SOURCE_BUILDERS:
+        if matcher(source):
+            return builder(source, query, policy)
+    from repro.queries.histogram import histogram_input_for
+
+    if hasattr(source, "histogram") or hasattr(source, "map_shards"):
+        if query is None or policy is None:
+            raise ValueError(
+                "releasing from a database requires a query (or binning) "
+                "and a policy"
+            )
+        return histogram_input_for(source, query, policy)
+    raise TypeError(
+        f"cannot build a histogram input from {type(source).__name__}; "
+        "pass a HistogramInput or a database, or register the source "
+        "shape with register_release_source"
+    )
 
 
 class HistogramMechanism(ABC):
@@ -88,7 +145,69 @@ class HistogramMechanism(ABC):
         return np.stack(rows)
 
     # ------------------------------------------------------------------
-    # Shard-aware end-to-end entry points
+    # The single end-to-end entry point
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        source,
+        rng: np.random.Generator | Sequence[np.random.Generator],
+        *,
+        n_trials: int | None = None,
+        query=None,
+        binning=None,
+        policy=None,
+        accountant: PrivacyAccountant | None = None,
+        label: str = "",
+    ) -> np.ndarray:
+        """Build the histogram input, charge the budget, sample a release.
+
+        The one front door that replaced the old four-way
+        ``release``/``release_batch``/``*_from_database`` split:
+        ``source`` may be a ready :class:`HistogramInput`, a row
+        :class:`repro.data.database.Database`, a
+        :class:`repro.data.columnar.ColumnarDatabase`, a
+        :class:`repro.data.sharding.ShardedColumnarDatabase`, or any
+        shape registered via :func:`register_release_source` — the
+        input is built through the matching (possibly per-shard
+        parallel) path, so every mechanism gets a sharded front door
+        without knowing about shards.
+
+        ``binning``/``policy`` accept live objects *or* their wire
+        specs (plain dicts), keeping this the same protocol the remote
+        backends speak.  With ``n_trials=None`` and a single generator
+        one release is drawn and returned as a 1-D vector; otherwise
+        (an explicit ``n_trials``, or a sequence of per-trial
+        generators) the result is an
+        ``(n_trials, n_bins)`` matrix with one accountant charge
+        covering the whole trial matrix (the trials are analyses of
+        one release distribution used jointly, and the evaluation
+        protocol treats them as one budget-ed query).
+        """
+        from repro.core.policy_language import policy_from_spec
+        from repro.queries.histogram import (
+            HistogramQuery,
+            binning_from_spec,
+        )
+
+        if isinstance(policy, Mapping):
+            policy = policy_from_spec(policy)
+        if binning is not None:
+            if query is not None:
+                raise ValueError("pass either query or binning, not both")
+            if isinstance(binning, Mapping):
+                binning = binning_from_spec(binning)
+            query = HistogramQuery(binning)
+        hist = resolve_histogram_source(source, query, policy)
+        if accountant is not None:
+            self.charge_for(accountant, policy, label=label)
+        if n_trials is None and isinstance(rng, np.random.Generator):
+            return self.release(hist, rng)
+        # A sequence of generators is the per-trial compatibility mode:
+        # one row per generator, trials inferred from the length.
+        return self.release_batch(hist, rng, n_trials)
+
+    # ------------------------------------------------------------------
+    # Deprecated shims over `run` (the pre-PR-4 entry-point split)
     # ------------------------------------------------------------------
     def release_from_database(
         self,
@@ -98,18 +217,14 @@ class HistogramMechanism(ABC):
         rng: np.random.Generator,
         accountant: PrivacyAccountant | None = None,
     ) -> np.ndarray:
-        """Histogram construction + budget charge + one release.
-
-        ``db`` may be a row :class:`repro.data.database.Database`, a
-        :class:`repro.data.columnar.ColumnarDatabase`, or a
-        :class:`repro.data.sharding.ShardedColumnarDatabase` — the
-        histogram input is built through the matching (possibly
-        per-shard parallel) path, so every mechanism gets a sharded
-        front door without knowing about shards.
-        """
-        from repro.queries.histogram import histogram_input_for
-
-        hist = histogram_input_for(db, query, policy)
+        """Deprecated: use :meth:`run` (``mechanism.run(db, rng, ...)``)."""
+        warnings.warn(
+            "release_from_database is deprecated; use "
+            "mechanism.run(db, rng, query=..., policy=...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        hist = resolve_histogram_source(db, query, policy)
         self.charge_for(accountant, policy)
         return self.release(hist, rng)
 
@@ -122,15 +237,14 @@ class HistogramMechanism(ABC):
         n_trials: int | None = None,
         accountant: PrivacyAccountant | None = None,
     ) -> np.ndarray:
-        """``release_batch`` behind the same any-database front door.
-
-        One accountant charge covers the whole trial matrix: the trials
-        are analyses of the same release distribution used jointly, and
-        the evaluation protocol treats them as one budget-ed query.
-        """
-        from repro.queries.histogram import histogram_input_for
-
-        hist = histogram_input_for(db, query, policy)
+        """Deprecated: use :meth:`run` with ``n_trials``."""
+        warnings.warn(
+            "release_batch_from_database is deprecated; use "
+            "mechanism.run(db, rng, n_trials=..., query=..., policy=...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        hist = resolve_histogram_source(db, query, policy)
         self.charge_for(accountant, policy)
         return self.release_batch(hist, rng, n_trials)
 

@@ -1,9 +1,12 @@
 """High-traffic service facade over the sharded columnar engine.
 
-:class:`ReleaseServer` is the minimal "million-user service" shape the
-ROADMAP targets: it owns a (sharded) database, accepts batches of
+:class:`ReleaseServer` is the transport-independent core of the
+release service: it owns a (sharded) database, accepts batches of
 histogram-release requests, reuses per-(shard, policy) mask work across
-requests, and audits every release against a privacy budget.
+requests, and audits every release against a privacy budget.  The
+:mod:`repro.api` backends all delegate to it —
+:class:`repro.service.rpc.RpcServer` (``python -m repro.cli serve``)
+puts it on a TCP socket for remote :class:`repro.api.OsdpClient`\\ s.
 """
 
 from repro.service.server import (

@@ -1,0 +1,192 @@
+"""The socket transport over :class:`repro.service.server.ReleaseServer`.
+
+The multi-node piece the ROADMAP calls for: a curator runs
+:class:`RpcServer` next to the data (``python -m repro.cli serve``);
+analysts connect with :class:`repro.api.RemoteBackend` (usually via
+``OsdpClient.connect``).  Everything on the wire is the canonical
+format of :mod:`repro.api.wire` — length-prefixed JSON headers plus raw
+ndarray frames, no pickle — so the server can treat clients, and
+clients the server, as black boxes.
+
+Protocol: each exchange is one framed request message
+``{"op": <name>, ...}`` answered by one framed reply, either
+``{"ok": <result>}`` or ``{"err": <error document>}``.  Ops:
+
+=================  ====================================================
+``ping``           liveness + server identification
+``mechanisms``     registered mechanism names
+``release``        one :class:`ReleaseRequest` -> response document
+``release_batch``  a list of requests -> list of response documents;
+                   a mid-batch budget overrun ships the charged prefix
+                   (see ``BatchBudgetExceededError``) in the error
+``true_histogram`` a binning spec -> the exact histogram (audit path)
+``append_records`` new rows (list of records, or a columns mapping of
+                   arrays) -> tail shard index
+``expire_prefix``  drop the n oldest records -> touched shard indices
+``stats``          the server's cache counters
+``budget``         remaining epsilon (None when unmetered)
+=================  ====================================================
+
+Handling is serialized with one lock — the release server's caches and
+the accountant are single-writer structures; concurrency lives in the
+sharded engine / worker pool underneath, not in request interleaving
+(budget charging *must* be sequential to be meaningful).  Responses are
+therefore bit-identical to calling ``ReleaseServer.handle`` in-process
+with the same request, which is the contract the API tests pin.
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import threading
+
+from repro.api.wire import (
+    error_to_wire,
+    recv_message,
+    request_from_wire,
+    response_to_wire,
+    send_message,
+)
+from repro.service.server import ReleaseServer
+
+
+class _Handler(socketserver.BaseRequestHandler):
+    def handle(self) -> None:  # one connection, many exchanges
+        rpc: "RpcServer" = self.server.rpc  # type: ignore[attr-defined]
+        while True:
+            try:
+                message = recv_message(self.request)
+            except (EOFError, ConnectionError, OSError):
+                return
+            try:
+                reply = {"ok": rpc.dispatch(message)}
+            except BaseException as exc:  # ship the failure, keep serving
+                reply = {"err": error_to_wire(exc)}
+            try:
+                send_message(self.request, reply)
+            except (BrokenPipeError, ConnectionError, OSError):
+                return
+
+
+class _ThreadedTCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class RpcServer:
+    """Serve one :class:`ReleaseServer` on a TCP socket.
+
+    ``port=0`` binds an ephemeral port (the loopback-test default);
+    read the actual address back from :attr:`address`.  Use
+    :meth:`start` for a background thread (tests, embedding) or
+    :meth:`serve_forever` to block (the CLI).
+    """
+
+    def __init__(
+        self,
+        server: ReleaseServer,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.release_server = server
+        self._lock = threading.Lock()
+        self._tcp = _ThreadedTCPServer((host, port), _Handler)
+        self._tcp.rpc = self  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` — resolves ephemeral ports."""
+        host, port = self._tcp.server_address[:2]
+        return host, port
+
+    def start(self) -> "RpcServer":
+        """Serve on a daemon thread; returns self for chaining."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._tcp.serve_forever,
+            name="repro-rpc-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted."""
+        self._tcp.serve_forever()
+
+    def close(self) -> None:
+        self._tcp.shutdown()
+        self._tcp.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "RpcServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def dispatch(self, message):
+        """Serve one decoded request message; returns the ``ok`` payload."""
+        if not isinstance(message, dict) or "op" not in message:
+            raise ValueError("malformed message: expected {'op': ...}")
+        op = message["op"]
+        server = self.release_server
+        with self._lock:
+            if op == "ping":
+                return {
+                    "server": "repro.service.rpc",
+                    "n_shards": server.n_shards,
+                    "n_records": len(server.db),
+                }
+            if op == "mechanisms":
+                return server._registry.names()
+            if op == "release":
+                request = request_from_wire(message["request"])
+                return response_to_wire(server.handle(request))
+            if op == "release_batch":
+                requests = [
+                    request_from_wire(doc) for doc in message["requests"]
+                ]
+                return [
+                    response_to_wire(r) for r in server.handle_batch(requests)
+                ]
+            if op == "true_histogram":
+                return server.true_histogram(message["binning"])
+            if op == "append_records":
+                return server.append_records(_records_from_wire(message))
+            if op == "expire_prefix":
+                return server.expire_prefix(int(message["n_records"]))
+            if op == "stats":
+                return server.stats.as_dict()
+            if op == "budget":
+                remaining = server.budget_remaining
+                return None if remaining is None else float(remaining)
+        raise ValueError(f"unknown op {op!r}")
+
+
+def _records_from_wire(message):
+    """An append payload: a columns mapping of arrays, or row dicts."""
+    columns = message.get("columns")
+    if columns is not None:
+        from repro.data.columnar import ColumnarDatabase
+
+        return ColumnarDatabase(dict(columns))
+    return list(message["records"])
+
+
+def connect(host: str, port: int, timeout: float | None = None) -> socket.socket:
+    """One connected TCP socket to an :class:`RpcServer` (client side)."""
+    sock = socket.create_connection((host, port), timeout=timeout)
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    return sock

@@ -89,6 +89,16 @@ class BatchBudgetExceededError(BudgetExceededError):
         self.responses = list(responses)
         self.failed_request = failed_request
 
+    def __reduce__(self):
+        # Exceptions with extra constructor arguments do not pickle by
+        # default; the charged prefix must survive process and socket
+        # boundaries (see repro.api.wire for the JSON form), so spell
+        # the reconstruction out.
+        return (
+            type(self),
+            (str(self), self.responses, self.failed_request),
+        )
+
 
 def default_registry() -> MechanismRegistry:
     """The standard pool: the paper's OSDP and DP release algorithms."""
@@ -407,17 +417,18 @@ class ReleaseServer:
         binning, policy = self._resolve(request)
         hist, cache_hit = self.histogram_input(binning, policy)
         mechanism = self._registry.create(request.mechanism, request.epsilon)
-        # The ledger records the policy whose x_ns the mechanism
-        # consumed (DP mechanisms charge under P_all per Lemma 3.1) —
-        # the composition theorem (Theorem 3.3) folds the entries into
-        # the minimum relaxation.
-        mechanism.charge_for(
-            self.accountant,
-            policy,
+        # `run` on the cache-assembled input: the ledger records the
+        # policy whose x_ns the mechanism consumed (DP mechanisms
+        # charge under P_all per Lemma 3.1) — the composition theorem
+        # (Theorem 3.3) folds the entries into the minimum relaxation.
+        estimates = mechanism.run(
+            hist,
+            np.random.default_rng(request.seed),
+            n_trials=request.n_trials,
+            policy=policy,
+            accountant=self.accountant,
             label=request.label or request.mechanism,
         )
-        rng = np.random.default_rng(request.seed)
-        estimates = mechanism.release_batch(hist, rng, request.n_trials)
         self.stats.requests += 1
         return ReleaseResponse(
             request=request,
@@ -465,6 +476,17 @@ class ReleaseServer:
     def query_true_histogram(self, query: HistogramQuery) -> np.ndarray:
         """The exact (non-private) histogram — for offline error audits."""
         return self._db.histogram(query.binning, query.n_bins)
+
+    def true_histogram(self, binning) -> np.ndarray:
+        """The exact histogram for a binning object *or* its wire spec.
+
+        The transport-facing twin of :meth:`query_true_histogram`: the
+        curator-side audit endpoint every backend (in-process, sharded,
+        remote) exposes through :class:`repro.api.OsdpClient`.
+        """
+        if isinstance(binning, Mapping):
+            binning = binning_from_spec(binning)
+        return self._db.histogram(binning, binning.n_bins)
 
     # ------------------------------------------------------------------
     # Incremental data updates

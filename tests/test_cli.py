@@ -94,3 +94,65 @@ class TestExecution:
         assert code == 0
         out = capsys.readouterr().out
         assert "rel95" in out
+
+
+class TestServe:
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 7777
+        assert args.dataset == "synthetic"
+        assert not args.workers
+        assert args.budget is None
+
+    def test_serve_database_synthetic(self):
+        args = build_parser().parse_args(
+            ["serve", "--records", "500", "--seed", "3"]
+        )
+        from repro.cli import serve_database
+
+        db = serve_database(args)
+        assert len(db) == 500
+        assert set(db.column_names) == {"age", "city", "opt_in"}
+
+    def test_serve_database_dpbench(self):
+        args = build_parser().parse_args(
+            ["serve", "--dataset", "adult", "--records", "1000"]
+        )
+        from repro.cli import serve_database
+
+        db = serve_database(args)
+        assert len(db) == 1000
+        assert set(db.column_names) == {"value", "opt_in"}
+
+    @pytest.mark.rpc
+    def test_served_database_end_to_end(self):
+        """The CLI's wiring, driven in-process on an ephemeral port."""
+        import socket
+
+        try:
+            probe = socket.socket()
+            probe.bind(("127.0.0.1", 0))
+            probe.close()
+        except OSError as exc:
+            pytest.skip(f"loopback sockets unavailable: {exc}")
+        from repro.api import OsdpClient
+        from repro.api.backends import ShardedBackend
+        from repro.cli import serve_database
+        from repro.service.rpc import RpcServer
+
+        args = build_parser().parse_args(
+            ["serve", "--records", "800", "--shards", "2", "--port", "0"]
+        )
+        backend = ShardedBackend(serve_database(args), n_shards=args.shards)
+        with RpcServer(backend.server, port=0).start() as rpc:
+            with OsdpClient.connect(*rpc.address) as client:
+                assert client.backend.ping()["n_records"] == 800
+
+    def test_serve_budget_zero_fails_loudly(self):
+        """--budget 0 must not silently start an unmetered server."""
+        from repro.cli import cmd_serve
+
+        args = build_parser().parse_args(["serve", "--budget", "0"])
+        with pytest.raises(ValueError, match="total_epsilon"):
+            cmd_serve(args)

@@ -237,23 +237,24 @@ class TestAnyDatabaseFrontDoor:
         assert np.array_equal(h_col.x, h_shard.x)
         assert np.array_equal(h_col.x_ns, h_shard.x_ns)
 
-    def test_release_from_database_charges_and_releases(self):
+    def test_run_from_database_charges_and_releases(self):
         db, _ = _flat_db(300)
         query = HistogramQuery(IntegerBinning("age", 0, 100, 20))
         policy = _policy()
         accountant = PrivacyAccountant(1.0)
         mech = OsdpLaplaceL1Histogram(0.25, policy=policy)
-        out = mech.release_from_database(
-            db.shard(3), query, policy, np.random.default_rng(0), accountant
+        out = mech.run(
+            db.shard(3), np.random.default_rng(0), query=query,
+            policy=policy, accountant=accountant,
         )
         assert out.shape == (query.n_bins,)
         assert accountant.spent == pytest.approx(0.25)
-        batch = mech.release_batch_from_database(
+        batch = mech.run(
             db.shard(3),
-            query,
-            policy,
             np.random.default_rng(0),
-            4,
+            n_trials=4,
+            query=query,
+            policy=policy,
             accountant=accountant,
         )
         assert batch.shape == (4, query.n_bins)
@@ -267,14 +268,16 @@ class TestAnyDatabaseFrontDoor:
         policy = _policy()
         accountant = PrivacyAccountant(1.0)
         mech = OsdpLaplaceL1Histogram(0.25)  # policy=None
-        mech.release_from_database(
-            db, query, policy, np.random.default_rng(0), accountant
+        mech.run(
+            db, np.random.default_rng(0), query=query, policy=policy,
+            accountant=accountant,
         )
         assert accountant.ledger[0].policy is policy
         from repro.mechanisms.laplace import LaplaceHistogram
 
-        LaplaceHistogram(0.25).release_from_database(
-            db, query, policy, np.random.default_rng(0), accountant
+        LaplaceHistogram(0.25).run(
+            db, np.random.default_rng(0), query=query, policy=policy,
+            accountant=accountant,
         )
         assert accountant.ledger[1].policy.name == "P_all"
 

@@ -329,3 +329,174 @@ class TestReviewRegressions:
         assert sharded.shard_versions == (1, 0, 0)
         assert len(sharded.shards[0]) == 0
         assert len(sharded) == 60
+
+
+class TestCountsCacheAndFailover:
+    """PR-4 satellites: worker-side (x, x_ns) caching and respawn."""
+
+    def _fresh(self, n=900, n_shards=3):
+        sharded = _db(n).shard(n_shards)
+        pool = ShardWorkerPool(sharded.shards)
+        return sharded.with_executor(pool), pool
+
+    def test_hist_counts_cached_with_exact_miss_counts(self):
+        on_pool, pool = self._fresh()
+        with pool:
+            query = HistogramQuery(BINNING)
+            policy = OptInPolicy()
+            first = histogram_input_for(on_pool, query, policy)
+            for stats in pool.worker_cache_stats():
+                assert stats["counts_misses"] == 1
+                assert stats["counts_hits"] == 0
+            # repeated histogram traffic is O(1) per worker: the pair
+            # comes straight from the counts cache, no mask/index reuse
+            second = histogram_input_for(on_pool, query, policy)
+            for stats in pool.worker_cache_stats():
+                assert stats["counts_misses"] == 1
+                assert stats["counts_hits"] == 1
+                assert stats["mask_misses"] == 1
+                assert stats["index_misses"] == 1
+            assert np.array_equal(first.x, second.x)
+            assert np.array_equal(first.x_ns, second.x_ns)
+
+    def test_counts_cache_advances_through_append_and_expire(self):
+        on_pool, pool = self._fresh()
+        with pool:
+            query = HistogramQuery(BINNING)
+            policy = OptInPolicy()
+            histogram_input_for(on_pool, query, policy)
+            rng = np.random.default_rng(77)
+            on_pool.append_records(
+                ColumnarDatabase(
+                    {
+                        "age": rng.integers(0, 100, 120),
+                        "city": rng.choice(list("abcd"), 120),
+                        "opt_in": rng.integers(0, 2, 120).astype(bool),
+                    }
+                )
+            )
+            on_pool.expire_prefix(150)
+            updated = histogram_input_for(on_pool, query, policy)
+            # appends/expires maintained the cached pairs incrementally:
+            # zero extra misses, and the result matches a from-scratch
+            # rebuild bit for bit
+            for stats in pool.worker_cache_stats():
+                assert stats["counts_misses"] == 1
+            reference = histogram_input_for(
+                on_pool.to_columnar(), query, policy
+            )
+            assert np.array_equal(updated.x, reference.x)
+            assert np.array_equal(updated.x_ns, reference.x_ns)
+
+    def test_distinct_specs_miss_separately(self):
+        on_pool, pool = self._fresh()
+        with pool:
+            policy = OptInPolicy()
+            histogram_input_for(on_pool, HistogramQuery(BINNING), policy)
+            wide = IntegerBinning("age", 0, 100, 5)
+            histogram_input_for(on_pool, HistogramQuery(wide), policy)
+            for stats in pool.worker_cache_stats():
+                assert stats["counts_misses"] == 2
+                assert stats["mask_misses"] == 1  # policy mask reused
+
+    def test_killed_worker_respawns_mid_request(self):
+        import os
+        import signal
+
+        on_pool, pool = self._fresh(n=1200)
+        with pool:
+            policy = _policy()
+            reference = on_pool.mask(policy)
+            os.kill(pool._procs[2].pid, signal.SIGKILL)
+            pool._procs[2].join()
+            # the dead worker is respawned from the parent's resident
+            # copy and the request answered bit-identically (cold
+            # caches degrade it to a recompute, never a crash)
+            again = on_pool.mask(policy)
+            assert pool.stats.respawns == 1
+            assert np.array_equal(again, reference)
+            # subsequent updates and requests keep working on the
+            # respawned worker
+            rng = np.random.default_rng(5)
+            on_pool.append_records(
+                ColumnarDatabase(
+                    {
+                        "age": rng.integers(0, 100, 30),
+                        "city": rng.choice(list("abcd"), 30),
+                        "opt_in": rng.integers(0, 2, 30).astype(bool),
+                    }
+                )
+            )
+            assert len(on_pool.mask(policy)) == len(on_pool)
+
+    def test_killed_worker_respawns_for_single_worker_ops(self):
+        import os
+        import signal
+
+        on_pool, pool = self._fresh(n=600)
+        with pool:
+            os.kill(pool._procs[-1].pid, signal.SIGKILL)
+            pool._procs[-1].join()
+            rng = np.random.default_rng(9)
+            on_pool.append_records(
+                ColumnarDatabase(
+                    {
+                        "age": rng.integers(0, 100, 40),
+                        "city": rng.choice(list("abcd"), 40),
+                        "opt_in": rng.integers(0, 2, 40).astype(bool),
+                    }
+                )
+            )
+            assert pool.stats.respawns == 1
+            reference = histogram_input_for(
+                on_pool.to_columnar(), HistogramQuery(BINNING), OptInPolicy()
+            )
+            live = histogram_input_for(
+                on_pool, HistogramQuery(BINNING), OptInPolicy()
+            )
+            assert np.array_equal(live.x, reference.x)
+            assert np.array_equal(live.x_ns, reference.x_ns)
+
+    def test_drain_preserves_worker_order(self):
+        """The overlapped drain must reassemble results in shard order."""
+        on_pool, pool = self._fresh(n=800, n_shards=4)
+        with pool:
+            serial = ShardedColumnarDatabase(on_pool.shards)
+            for _ in range(3):
+                assert np.array_equal(
+                    on_pool.mask(_policy()), serial.mask(_policy())
+                )
+                assert np.array_equal(
+                    on_pool.bin_indices(BINNING), serial.bin_indices(BINNING)
+                )
+
+    def test_worker_caches_are_lru_bounded(self):
+        sharded = _db(400).shard(2)
+        pool = ShardWorkerPool(sharded.shards, cache_limit=3)
+        on_pool = sharded.with_executor(pool)
+        with pool:
+            policy = OptInPolicy()
+            binnings = [
+                IntegerBinning("age", 0, 100, w) for w in (4, 5, 10, 20, 25)
+            ]
+            for binning in binnings:
+                live = histogram_input_for(
+                    on_pool, HistogramQuery(binning), policy
+                )
+                reference = histogram_input_for(
+                    on_pool.to_columnar(), HistogramQuery(binning), policy
+                )
+                assert np.array_equal(live.x, reference.x)
+                assert np.array_equal(live.x_ns, reference.x_ns)
+            for stats in pool.worker_cache_stats():
+                assert stats["index_entries"] <= 3
+                assert stats["counts_entries"] <= 3
+                assert stats["mask_entries"] <= 3
+            # evicted binnings still answer correctly (recompute)
+            early = histogram_input_for(
+                on_pool, HistogramQuery(binnings[0]), policy
+            )
+            reference = histogram_input_for(
+                on_pool.to_columnar(), HistogramQuery(binnings[0]), policy
+            )
+            assert np.array_equal(early.x, reference.x)
