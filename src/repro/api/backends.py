@@ -142,12 +142,18 @@ class ShardedBackend(_ServerBackend):
         accountant=None,
         cache_limit: int = 128,
         mp_context: str | None = None,
+        shm: bool | None = None,
     ):
         from repro.data.columnar import ColumnarDatabase
         from repro.data.sharding import ShardedColumnarDatabase
 
         if workers and executor is not None:
             raise ValueError("pass workers=True or an executor, not both")
+        if shm is not None and not workers:
+            raise ValueError(
+                "shm backing only applies to the worker pool; pass "
+                "workers=True (or drop shm=)"
+            )
         if not isinstance(db, ShardedColumnarDatabase):
             if not isinstance(db, ColumnarDatabase):
                 db = ColumnarDatabase.from_database(db)
@@ -158,10 +164,30 @@ class ShardedBackend(_ServerBackend):
                 f"cannot reshard to {n_shards}"
             )
         self.pool = None
+        self._shared_stores: list = []
         if workers:
-            from repro.data.workers import ShardWorkerPool
+            from repro.data.workers import ShardWorkerPool, shard_shm_eligible
 
-            self.pool = ShardWorkerPool(db.shards, mp_context=mp_context)
+            # Share eligible shards *before* building the pool (the
+            # same per-shard eligibility rule the pool applies): the
+            # parent-side engine then reads the exact segments the
+            # workers attach — one physical copy — instead of keeping
+            # heap originals next to pool-placed shm copies.  The
+            # backend owns these stores; close() unlinks them.
+            shared_shards = []
+            for shard in db.shards:
+                if shard_shm_eligible(shard, shm) and shard.store is None:
+                    shard = shard.share()
+                    # only stores created *here* are the backend's to
+                    # unlink — shards that arrived shm-backed belong to
+                    # their creator
+                    self._shared_stores.append(shard.store)
+                shared_shards.append(shard)
+            if self._shared_stores:
+                db = ShardedColumnarDatabase(shared_shards)
+            self.pool = ShardWorkerPool(
+                db.shards, mp_context=mp_context, shm=shm
+            )
             executor = self.pool
         super().__init__(
             ReleaseServer(
@@ -173,9 +199,27 @@ class ShardedBackend(_ServerBackend):
             )
         )
 
+    @property
+    def store_mode(self) -> str:
+        """How the columns reach the release path — the operator-facing
+        answer to "which storage path is live?".
+
+        ``"shm"``: every worker attached shared-memory segments
+        (zero-copy, one physical copy); ``"pickle"``: at least one
+        shard shipped as a pickled copy; ``"heap"``: no worker pool,
+        the engine reads this process's arrays directly.
+        """
+        if self.pool is None:
+            return "heap"
+        stats = self.pool.stats
+        return "shm" if stats.shm_shards == self.pool.n_workers else "pickle"
+
     def close(self) -> None:
         if self.pool is not None:
             self.pool.close()
+        for store in self._shared_stores:
+            store.unlink()
+        self._shared_stores = []
 
 
 def _default_shards() -> int:
@@ -188,19 +232,66 @@ class RemoteBackend:
     """A release service on the other end of a socket.
 
     Speaks the :mod:`repro.api.wire` framing to a
-    :class:`repro.service.rpc.RpcServer`; every call is one
-    request/reply exchange, serialized with a lock so a backend can be
-    shared across threads.  Server-side failures re-raise faithfully —
-    including :class:`repro.service.server.BatchBudgetExceededError`
-    with its charged prefix of responses.
+    :class:`repro.service.rpc.RpcServer`.  Each *thread* gets its own
+    connection, opened lazily on its first call, so one backend (or the
+    :class:`~repro.api.OsdpClient` above it) shared across analyst
+    threads issues truly concurrent requests — the server's
+    readers-writer discipline serves them in parallel instead of
+    queueing them behind a single stream.  Server-side failures
+    re-raise faithfully — including
+    :class:`repro.service.server.BatchBudgetExceededError` with its
+    charged prefix of responses.  A mid-exchange transport failure
+    (timeout, reset, truncated frame) leaves a stream unsynchronized,
+    so it poisons the whole backend: every subsequent call raises
+    rather than risk pairing a reply with the wrong request.
     """
 
     def __init__(self, host: str, port: int, timeout: float | None = None):
+        self.address = (host, port)
+        self._timeout = timeout
+        self._local = threading.local()
+        self._registry_lock = threading.Lock()
+        self._socks: list = []
+        self._closed = False
+        # Open the constructing thread's connection eagerly so a bad
+        # address fails here, not at the first release.
+        self._local.sock = self._connect()
+
+    def _connect(self):
+        import threading as _threading
+
         from repro.service.rpc import connect
 
-        self._sock = connect(host, port, timeout=timeout)
-        self._lock = threading.Lock()
-        self.address = (host, port)
+        sock = connect(*self.address, timeout=self._timeout)
+        with self._registry_lock:
+            if self._closed:
+                sock.close()
+                raise ConnectionError(
+                    "rpc connection is closed or broken; open a new "
+                    "RemoteBackend"
+                )
+            # Prune connections whose threads are gone, so a long-lived
+            # backend driven from short-lived threads holds one socket
+            # per *live* thread, not per thread ever seen.
+            live, dead = [], []
+            for thread, old in self._socks:
+                (live if thread.is_alive() else dead).append((thread, old))
+            self._socks = live
+            self._socks.append((_threading.current_thread(), sock))
+        for _, old in dead:
+            _close_socket(old)
+        return sock
+
+    def _thread_sock(self):
+        if self._closed:
+            raise ConnectionError(
+                "rpc connection is closed or broken; open a new "
+                "RemoteBackend"
+            )
+        sock = getattr(self._local, "sock", None)
+        if sock is None:
+            sock = self._local.sock = self._connect()
+        return sock
 
     # ------------------------------------------------------------------
     # One exchange
@@ -213,29 +304,20 @@ class RemoteBackend:
         )
 
         message = {"op": op, **payload}
-        with self._lock:
-            if self._sock is None:
-                raise ConnectionError(
-                    "rpc connection is closed or broken; open a new "
-                    "RemoteBackend"
-                )
-            try:
-                send_message(self._sock, message)
-                reply = recv_message(self._sock)
-            except (OSError, EOFError) as exc:
-                # A mid-exchange transport failure (timeout, reset,
-                # truncated frame) leaves the stream unsynchronized —
-                # the server's eventual reply would pair with the
-                # *next* request.  The connection must die with the
-                # exchange, never be reused.
-                try:
-                    self._sock.close()
-                finally:
-                    self._sock = None
-                raise ConnectionError(
-                    f"rpc exchange failed mid-flight ({exc}); the "
-                    "connection has been closed"
-                ) from exc
+        sock = self._thread_sock()
+        try:
+            send_message(sock, message)
+            reply = recv_message(sock)
+        except (OSError, EOFError) as exc:
+            # A mid-exchange failure desynchronizes the stream — the
+            # server's eventual reply would pair with the *next*
+            # request.  The backend dies with the exchange, never to
+            # be reused (close() tears down every thread's socket).
+            self.close()
+            raise ConnectionError(
+                f"rpc exchange failed mid-flight ({exc}); the "
+                "connection has been closed"
+            ) from exc
         if not isinstance(reply, dict) or ("ok" not in reply) == (
             "err" not in reply
         ):
@@ -299,20 +381,41 @@ class RemoteBackend:
         return self._call("budget")
 
     def close(self) -> None:
-        with self._lock:
-            if self._sock is None:
+        """Tear down every thread's connection (idempotent).
+
+        Sockets are ``shutdown()`` before ``close()``: shutdown wakes a
+        thread blocked in ``recv`` on that socket (a bare close of the
+        fd would not on Linux), so a mid-exchange failure in one thread
+        cannot leave another hanging forever — it surfaces there as a
+        transport error and the usual poisoned-backend ConnectionError.
+        """
+        with self._registry_lock:
+            if self._closed:
                 return
-            try:
-                self._sock.close()
-            except OSError:  # pragma: no cover - platform-dependent
-                pass
-            self._sock = None
+            self._closed = True
+            socks, self._socks = self._socks, []
+        for _, sock in socks:
+            _close_socket(sock)
 
     def __enter__(self):
         return self
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+def _close_socket(sock) -> None:
+    """Shutdown-then-close: wakes any thread blocked in recv on it."""
+    import socket as _socket
+
+    try:
+        sock.shutdown(_socket.SHUT_RDWR)
+    except OSError:
+        pass  # already disconnected
+    try:
+        sock.close()
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
 
 
 def _append_payload(records) -> dict:

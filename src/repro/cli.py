@@ -226,6 +226,13 @@ def cmd_serve(args: argparse.Namespace) -> None:
     from repro.core.accountant import PrivacyAccountant
     from repro.service.rpc import RpcServer
 
+    if args.shm and not args.workers:
+        raise SystemExit(
+            "--shm selects the worker pool's column transport; "
+            "it requires --workers"
+        )
+    if args.max_readers is not None and args.max_readers < 1:
+        raise SystemExit("--max-readers must be at least 1")
     # `is not None`, not truthiness: `--budget 0` must not silently
     # start an unmetered server (the accountant rejects it loudly).
     accountant = (
@@ -238,9 +245,26 @@ def cmd_serve(args: argparse.Namespace) -> None:
         n_shards=args.shards,
         workers=args.workers,
         accountant=accountant,
+        shm=args.shm if args.workers else None,
     )
-    rpc = RpcServer(backend.server, host=args.host, port=args.port)
+    rpc = RpcServer(
+        backend.server,
+        host=args.host,
+        port=args.port,
+        max_readers=args.max_readers,
+    )
     host, port = rpc.address
+    store_lines = {
+        "shm": "store: shared-memory segments (zero-copy worker attach, "
+        "one physical copy)",
+        "pickle": "store: heap (columns pickled to the workers once)",
+        "heap": "store: heap (in-process engine, no worker pool)",
+    }
+    readers = (
+        f"up to {args.max_readers} concurrent readers"
+        if args.max_readers
+        else "unbounded concurrent readers"
+    )
     print(
         f"serving {len(backend.server.db)} records on {host}:{port} "
         f"({backend.server.n_shards} shards"
@@ -248,6 +272,19 @@ def cmd_serve(args: argparse.Namespace) -> None:
         f"{f', budget {args.budget}' if args.budget else ''}) — "
         f"connect with repro.api.OsdpClient.connect({host!r}, {port})"
     )
+    print(f"{store_lines[backend.store_mode]}; {readers}, "
+          f"exclusive appends/expires")
+    try:
+        # SIGTERM (an orchestrator's normal stop) must run the same
+        # graceful path as Ctrl-C: the default action kills the
+        # process without finally blocks or GC finalizers, which would
+        # leak the worker pool's shared-memory segments past process
+        # death.
+        import signal
+
+        signal.signal(signal.SIGTERM, signal.default_int_handler)
+    except ValueError:  # not on the main thread (embedded/tests)
+        pass
     try:
         rpc.serve_forever()
     except KeyboardInterrupt:
@@ -326,6 +363,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--workers", action="store_true",
         help="shard-resident worker processes with failover",
+    )
+    p_serve.add_argument(
+        "--shm", action=argparse.BooleanOptionalAction, default=None,
+        help="force (--shm) or forbid (--no-shm) shared-memory column "
+        "segments for the worker pool; default auto-detects",
+    )
+    p_serve.add_argument(
+        "--max-readers", type=int, default=None,
+        help="bound on concurrently served read requests "
+        "(releases/histograms); omit for unbounded",
     )
     p_serve.add_argument(
         "--budget", type=float, default=None,

@@ -11,6 +11,7 @@ end to end.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.core.guarantees import OSDPGuarantee, sequential_composition
@@ -51,6 +52,12 @@ class PrivacyAccountant:
 
     total_epsilon: float
     _ledger: list[LedgerEntry] = field(default_factory=list, repr=False)
+    # Charging is check-then-append; concurrent analysts (the RPC tier
+    # serves releases under a shared lock) must not be able to spend
+    # the same remaining budget twice, so the pair is atomic.
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.total_epsilon <= 0:
@@ -69,17 +76,25 @@ class PrivacyAccountant:
         return tuple(self._ledger)
 
     def charge(self, policy: Policy, epsilon: float, label: str = "") -> None:
-        """Record an (policy, epsilon)-OSDP analysis against the budget."""
+        """Record an (policy, epsilon)-OSDP analysis against the budget.
+
+        Atomic: the affordability check and the ledger append happen
+        under one lock, so concurrent charges compose sequentially —
+        two analysts can never both spend the last remaining epsilon.
+        """
         if epsilon <= 0:
             raise ValueError("epsilon charge must be positive")
-        # Small tolerance so that e.g. 0.1 + 0.9 == 1.0 charges succeed
-        # despite float representation error.
-        if self.spent + epsilon > self.total_epsilon * (1 + 1e-12) + 1e-12:
-            raise BudgetExceededError(
-                f"charge of {epsilon} exceeds remaining budget "
-                f"{self.remaining:.6g} (total {self.total_epsilon})"
+        with self._lock:
+            # Small tolerance so that e.g. 0.1 + 0.9 == 1.0 charges
+            # succeed despite float representation error.
+            if self.spent + epsilon > self.total_epsilon * (1 + 1e-12) + 1e-12:
+                raise BudgetExceededError(
+                    f"charge of {epsilon} exceeds remaining budget "
+                    f"{self.remaining:.6g} (total {self.total_epsilon})"
+                )
+            self._ledger.append(
+                LedgerEntry(policy=policy, epsilon=epsilon, label=label)
             )
-        self._ledger.append(LedgerEntry(policy=policy, epsilon=epsilon, label=label))
 
     def composed_guarantee(self) -> OSDPGuarantee:
         """The overall guarantee per Theorem 3.3: (P_mr, sum eps_i)-OSDP."""

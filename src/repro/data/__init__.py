@@ -5,6 +5,9 @@
 * :mod:`repro.data.columnar` — the struct-of-arrays
   :class:`ColumnarDatabase` behind the vectorized policy/histogram
   fast paths;
+* :mod:`repro.data.store` — shared-memory column backing
+  (:class:`ColumnStore`): place a database's buffers into POSIX
+  segments once, attach by ~100-byte descriptor from any process;
 * :mod:`repro.data.dpbench` — synthetic stand-ins for the seven
   DPBench-1D histograms of Table 2 (domain 4096, matched scale/sparsity);
 * :mod:`repro.data.sampling` — the ``MSampling`` (Close) and
@@ -18,6 +21,7 @@
 from repro.data.columnar import ColumnarDatabase, RaggedColumn
 from repro.data.database import Database
 from repro.data.sharding import ShardedColumnarDatabase
+from repro.data.store import ColumnStore, shm_available
 from repro.data.workers import ShardWorkerPool, WorkerPoolStats
 from repro.data.dpbench import DPBENCH_SPECS, DatasetSpec, generate_dpbench, load_all
 from repro.data.sampling import PolicySample, hilo_sampling, m_sampling
@@ -29,6 +33,7 @@ from repro.data.tippers import (
 )
 
 __all__ = [
+    "ColumnStore",
     "ColumnarDatabase",
     "DPBENCH_SPECS",
     "Database",
@@ -46,4 +51,5 @@ __all__ = [
     "hilo_sampling",
     "load_all",
     "m_sampling",
+    "shm_available",
 ]

@@ -143,6 +143,10 @@ class ColumnarDatabase:
         self._records = tuple(records) if records is not None else None
         if self._records is not None and len(self._records) != self._n:
             raise ValueError("records must match the column length")
+        # The ColumnStore owning this database's buffers, when they
+        # live in shared memory (see repro.data.store); None means
+        # ordinary heap arrays.  Set by ColumnStore.place()/attach().
+        self._store = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -236,6 +240,15 @@ class ColumnarDatabase:
         if all(part._records is not None for part in parts):
             records = tuple(r for part in parts for r in part._records)
         return cls(columns, records=records)
+
+    def __getstate__(self) -> dict:
+        # Shared-memory handles are process-local: a pickled database
+        # ships its column *values* (numpy copies the view data) and
+        # arrives heap-backed; descriptors, not pickles, are the
+        # zero-copy transport (repro.data.store).
+        state = self.__dict__.copy()
+        state["_store"] = None
+        return state
 
     # ------------------------------------------------------------------
     # Basic container protocol
@@ -333,6 +346,31 @@ class ColumnarDatabase:
         return ShardedColumnarDatabase.from_columnar(
             self, n_shards, executor=executor
         )
+
+    # ------------------------------------------------------------------
+    # Shared-memory backing (see repro.data.store)
+    # ------------------------------------------------------------------
+    @property
+    def store(self):
+        """The owning :class:`repro.data.store.ColumnStore`, or None."""
+        return self._store
+
+    def share(self) -> "ColumnarDatabase":
+        """This database with its columns in shared-memory segments.
+
+        Returns a value-identical database whose arrays are read-only
+        views over :mod:`multiprocessing.shared_memory` segments (one
+        physical copy, attachable by name from any process — the
+        zero-copy substrate of :class:`repro.data.workers.ShardWorkerPool`).
+        Already-shared databases return themselves.  The returned
+        database's :attr:`store` owns the segments: its ``close()``/GC
+        unlinks them once nothing in this process needs them.
+        """
+        if self._store is not None:
+            return self
+        from repro.data.store import ColumnStore
+
+        return ColumnStore.place(self).database
 
     def non_sensitive(self, policy: Policy) -> "ColumnarDatabase":
         """``D_ns = {r in D | P(r) = 1}`` via one vectorized mask."""

@@ -153,6 +153,18 @@ class ShardedColumnarDatabase:
         """The same shards, mapped through a different executor."""
         return ShardedColumnarDatabase(self._shards, executor=executor)
 
+    def share(self) -> "ShardedColumnarDatabase":
+        """Every shard placed into shared-memory segments.
+
+        Shards already backed by a :class:`repro.data.store.ColumnStore`
+        are kept as-is.  Worker pools built over a shared database
+        attach to the same physical segments instead of receiving
+        pickled copies, and co-hosted pools share one copy of the data.
+        The executor does not carry over: a shard-resident pool answers
+        only for the exact shard objects it was built on.
+        """
+        return ShardedColumnarDatabase([s.share() for s in self._shards])
+
     # ------------------------------------------------------------------
     # Container protocol
     # ------------------------------------------------------------------
@@ -280,7 +292,13 @@ class ShardedColumnarDatabase:
         new_shard = ColumnarDatabase.concat([self._shards[index], chunk])
         hook = getattr(self._executor, "append_shard_chunk", None)
         if hook is not None:
-            hook(index, chunk, new_shard)
+            # The hook may hand back a replacement shard to commit —
+            # the worker pool remaps shm-backed shards into fresh
+            # segments and the parent must hold the exact object the
+            # workers attached to (the residency contract).
+            committed = hook(index, chunk, new_shard)
+            if committed is not None:
+                new_shard = committed
         shards = list(self._shards)
         shards[index] = new_shard
         self._shards = tuple(shards)

@@ -1,0 +1,389 @@
+"""Zero-copy column storage: shared-memory segments behind columnar data.
+
+:class:`repro.data.workers.ShardWorkerPool` historically shipped every
+shard's columns to its worker process as one pickle — a full physical
+copy per worker, and startup bytes proportional to the table size.
+:class:`ColumnStore` removes the copy: it places a
+:class:`~repro.data.columnar.ColumnarDatabase`'s flat buffers into
+POSIX shared-memory segments (:mod:`multiprocessing.shared_memory`)
+and renders the whole database as a **descriptor** — a ~100-byte plain
+dict per column naming the segments and their dtypes/shapes.  Any
+process (forked or spawned) rebuilds the database from the descriptor
+with :meth:`ColumnStore.attach`: the arrays are read-only views over
+the same physical pages, so
+
+* pool startup ships descriptors, not arrays — O(1) bytes per worker
+  regardless of the record count;
+* co-hosted pools (or any number of attachers) share **one** physical
+  copy of the columns;
+* attaching is O(segment count), never O(records).
+
+Lifecycle is explicit and asymmetric, mirroring POSIX semantics: every
+holder calls :meth:`close` (drop this process's mapping); exactly one
+owner calls :meth:`unlink` (remove the segments from the system).  The
+store registers a GC finalizer as a safety net, so a leaked store
+cannot leak ``/dev/shm`` segments past interpreter exit, and attachers
+unregister from :mod:`multiprocessing.resource_tracker` so a dying
+worker can never tear down segments its parent still serves from.
+
+Heap backing stays the default everywhere: a database that was never
+placed simply has no store (``db.store is None``) and behaves exactly
+as before.  Placement is value-preserving — the placed database's
+columns compare bit-identical to the originals — and read-only, which
+matches the engine's copy-on-write discipline (columns are never
+mutated in place; appends/expires build new arrays/views).
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+import threading
+import weakref
+from typing import Mapping
+
+import numpy as np
+
+#: Prefix of every segment this module creates; the shm leak tests (and
+#: operators inspecting /dev/shm) identify our segments by it.
+SEGMENT_PREFIX = "osdp"
+
+#: POSIX shm names are limited (31 bytes on macOS including the
+#: leading slash); keep ours well under.
+_TOKEN_BYTES = 8
+
+
+def shm_available() -> bool:
+    """True when POSIX shared memory is usable on this platform."""
+    try:
+        from multiprocessing import shared_memory  # noqa: F401
+    except ImportError:  # pragma: no cover - platform-dependent
+        return False
+    return True
+
+
+def placeable(db) -> bool:
+    """True when every column of ``db`` has a fixed-width buffer.
+
+    Object-dtype columns (mixed-type record values) have no raw-buffer
+    form and keep the pickle path; numeric, boolean and fixed-width
+    string columns all place.
+    """
+    from repro.data.columnar import RaggedColumn
+
+    for name in db.column_names:
+        column = db[name]
+        if isinstance(column, RaggedColumn):
+            if column.flat.dtype.hasobject or column.offsets.dtype.hasobject:
+                return False
+        elif np.asarray(column).dtype.hasobject:
+            return False
+    return True
+
+
+#: Serializes segment *creation* with the pre-3.13 attach fallback
+#: below: the fallback briefly no-ops ``resource_tracker.register``,
+#: and a concurrent ``SharedMemory(create=True)`` in another thread
+#: must not land its registration inside that window (it would lose
+#: the tracker's SIGKILL safety net for a segment we own).
+_TRACKER_LOCK = threading.Lock()
+
+
+def _attach_segment(name: str):
+    """Open an existing segment without adopting its lifetime.
+
+    ``SharedMemory(name=...)`` registers the segment with this process's
+    resource tracker, which would *unlink* it when this process exits —
+    destroying data the creating process still serves (bpo-38119).
+    Python 3.13 grew ``track=False``; on older interpreters the
+    registration is suppressed instead of undone — calling
+    ``unregister`` after the fact would be wrong under ``fork``, where
+    parent and worker share one tracker and the undo would also erase
+    the *owner's* registration.
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # pragma: no cover - depends on interpreter
+        pass
+    from multiprocessing import resource_tracker
+
+    with _TRACKER_LOCK:
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+def _new_segment(nbytes: int):
+    from multiprocessing import shared_memory
+
+    # shm segments cannot be empty; 0-length columns round up to one
+    # byte (the descriptor's shape, not the segment size, is truth).
+    size = max(1, int(nbytes))
+    for _ in range(8):
+        name = f"{SEGMENT_PREFIX}_{secrets.token_hex(_TOKEN_BYTES)}"
+        try:
+            with _TRACKER_LOCK:  # see the lock's comment
+                return shared_memory.SharedMemory(
+                    name=name, create=True, size=size
+                )
+        except FileExistsError:  # pragma: no cover - 2^64 collision
+            continue
+    raise RuntimeError("could not allocate a unique shared-memory name")
+
+
+def _view(shm, dtype: np.dtype, shape: tuple[int, ...]) -> np.ndarray:
+    """A read-only ndarray over a segment's buffer."""
+    count = int(np.prod(shape)) if shape else 1
+    if count == 0:
+        arr = np.empty(shape, dtype=dtype)
+    else:
+        arr = np.frombuffer(
+            shm.buf, dtype=dtype, count=count
+        ).reshape(shape)
+    arr.flags.writeable = False
+    return arr
+
+
+def _close_quietly(shm) -> None:
+    try:
+        shm.close()
+    except BufferError:
+        # Live array views still export the mmap's buffer, so the
+        # mapping cannot be unmapped yet — it dies with the process (or
+        # when the last view does).  Release the file descriptor now
+        # and disarm the handle so SharedMemory.__del__ does not retry
+        # the doomed close at GC/interpreter exit; unlink() is
+        # independent of close() and still removes the name, so nothing
+        # leaks system-wide.
+        try:
+            if shm._fd >= 0:  # pragma: no branch
+                os.close(shm._fd)
+                shm._fd = -1
+        except OSError:  # pragma: no cover - already closed
+            pass
+        shm._mmap = None
+        shm._buf = None
+
+
+class ColumnStore:
+    """The shared-memory segments behind one columnar database.
+
+    Build with :meth:`place` (creates segments, becomes the owner) or
+    :meth:`attach` (opens an existing descriptor, never the owner);
+    read the rebuilt database from :attr:`database` and the wire form
+    from :meth:`descriptor`.  ``close()`` releases this process's
+    mappings; ``close(unlink=True)``/``unlink()`` additionally removes
+    the segments (owner only — attachers silently skip it).
+    """
+
+    def __init__(self, segments: dict[str, object], owner: bool):
+        self._segments = dict(segments)
+        self._owner = owner
+        self._closed = False
+        self.database = None  # set by place()/attach()
+        self._descriptor: dict | None = None
+        # GC safety net: a store that falls out of scope must not leak
+        # /dev/shm segments.  The finalizer captures the segment list,
+        # never the store (else it would keep the store alive forever).
+        self._finalizer = weakref.finalize(
+            self, ColumnStore._cleanup, dict(self._segments), owner
+        )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def place(cls, db) -> "ColumnStore":
+        """Copy ``db``'s column buffers into fresh shm segments.
+
+        Returns the owning store; ``store.database`` is a new
+        :class:`~repro.data.columnar.ColumnarDatabase` with the same
+        column values as read-only segment views (original record
+        objects, when present, are carried over — they live only in
+        this process).  Raises :class:`TypeError` when a column has no
+        fixed-width buffer (see :func:`placeable`).
+        """
+        from repro.data.columnar import ColumnarDatabase, RaggedColumn
+
+        if not placeable(db):
+            raise TypeError(
+                "database has object-dtype columns; shared-memory "
+                "placement needs fixed-width buffers"
+            )
+        segments: dict[str, object] = {}
+        spec: dict[str, dict] = {}
+        columns: dict[str, object] = {}
+        try:
+            for name in db.column_names:
+                column = db[name]
+                if isinstance(column, RaggedColumn):
+                    flat, flat_seg = cls._place_array(column.flat, segments)
+                    offs, offs_seg = cls._place_array(
+                        np.asarray(column.offsets), segments
+                    )
+                    columns[name] = RaggedColumn(flat=flat, offsets=offs)
+                    spec[name] = {
+                        "kind": "ragged",
+                        "flat": flat_seg,
+                        "offsets": offs_seg,
+                    }
+                else:
+                    arr, seg = cls._place_array(np.asarray(column), segments)
+                    columns[name] = arr
+                    spec[name] = {"kind": "plain", **seg}
+        except BaseException:
+            for shm in segments.values():
+                _close_quietly(shm)
+                try:
+                    shm.unlink()
+                except FileNotFoundError:  # pragma: no cover
+                    pass
+            raise
+        store = cls(segments, owner=True)
+        store._descriptor = {"v": 1, "columns": spec}
+        store.database = ColumnarDatabase(
+            columns, records=getattr(db, "_records", None)
+        )
+        store.database._store = store
+        return store
+
+    @staticmethod
+    def _place_array(arr: np.ndarray, segments: dict) -> tuple[np.ndarray, dict]:
+        arr = np.ascontiguousarray(arr)
+        shm = _new_segment(arr.nbytes)
+        segments[shm.name] = shm
+        if arr.size:
+            np.frombuffer(shm.buf, dtype=arr.dtype, count=arr.size)[
+                :
+            ] = arr.ravel()
+        view = _view(shm, arr.dtype, arr.shape)
+        return view, {
+            "segment": shm.name,
+            "dtype": arr.dtype.str,
+            "shape": list(arr.shape),
+        }
+
+    @classmethod
+    def attach(cls, descriptor: Mapping) -> "ColumnStore":
+        """Open the segments a descriptor names; zero data movement.
+
+        The returned store is **not** the owner: closing it drops this
+        process's mappings and never unlinks.  Works across ``fork``
+        and ``spawn`` alike — the descriptor is plain data and the
+        attach is by name.
+        """
+        from repro.data.columnar import ColumnarDatabase, RaggedColumn
+
+        segments: dict[str, object] = {}
+
+        def open_array(seg: Mapping) -> np.ndarray:
+            name = seg["segment"]
+            if name not in segments:
+                segments[name] = _attach_segment(name)
+            return _view(
+                segments[name],
+                np.dtype(seg["dtype"]),
+                tuple(seg["shape"]),
+            )
+
+        columns: dict[str, object] = {}
+        try:
+            for name, seg in descriptor["columns"].items():
+                if seg["kind"] == "ragged":
+                    columns[name] = RaggedColumn(
+                        flat=open_array(seg["flat"]),
+                        offsets=open_array(seg["offsets"]),
+                    )
+                else:
+                    columns[name] = open_array(seg)
+        except BaseException:
+            for shm in segments.values():
+                _close_quietly(shm)
+            raise
+        store = cls(segments, owner=False)
+        store._descriptor = {
+            "v": 1,
+            "columns": {k: dict(v) for k, v in descriptor["columns"].items()},
+        }
+        store.database = ColumnarDatabase(columns)
+        store.database._store = store
+        return store
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def owner(self) -> bool:
+        return self._owner
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def segment_names(self) -> tuple[str, ...]:
+        return tuple(self._segments)
+
+    def descriptor(self) -> dict:
+        """The ~100-bytes-per-column wire form: segment names + layouts.
+
+        Plain data (JSON-able, picklable); any process turns it back
+        into the database with :meth:`attach`.
+        """
+        if self._descriptor is None:  # pragma: no cover - defensive
+            raise RuntimeError("store has no descriptor")
+        return {
+            "v": self._descriptor["v"],
+            "columns": {
+                k: dict(v) for k, v in self._descriptor["columns"].items()
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self, unlink: bool | None = None) -> None:
+        """Release this process's mappings (idempotent).
+
+        ``unlink`` defaults to ownership: the owner removes the
+        segments from the system, attachers only drop their views.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._finalizer.detach()
+        ColumnStore._cleanup(
+            self._segments, self._owner if unlink is None else unlink
+        )
+
+    def unlink(self) -> None:
+        """Remove the segments from the system (close + unlink)."""
+        self.close(unlink=True)
+
+    @staticmethod
+    def _cleanup(segments: dict, unlink: bool) -> None:
+        for shm in segments.values():
+            _close_quietly(shm)
+            if unlink:
+                try:
+                    shm.unlink()
+                except FileNotFoundError:  # already removed
+                    pass
+
+    def __enter__(self) -> "ColumnStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        role = "owner" if self._owner else "attached"
+        return (
+            f"ColumnStore({role}, segments={len(self._segments)}, "
+            f"closed={self._closed})"
+        )

@@ -312,6 +312,71 @@ class TippersDataset:
 
 
 # ----------------------------------------------------------------------
+# Columnar policy construction (no Trajectory objects)
+# ----------------------------------------------------------------------
+
+
+def _distinct_record_ap_pairs(db, n_aps: int) -> tuple[np.ndarray, np.ndarray]:
+    """Sorted distinct ``(ap, record)`` pairs of an ``aps`` ragged column."""
+    aps = db["aps"]
+    flat = np.asarray(aps.flat, dtype=np.int64)
+    if flat.size and (flat.min() < 0 or flat.max() >= n_aps):
+        raise ValueError(f"AP values must lie in [0, {n_aps})")
+    lengths = np.diff(np.asarray(aps.offsets, dtype=np.int64))
+    rec = np.repeat(np.arange(len(lengths)), lengths)
+    keys = np.unique(flat * len(db) + rec)
+    return keys // len(db), keys % len(db)
+
+
+def ap_coverage_columnar(db, n_aps: int) -> np.ndarray:
+    """Per AP, the number of records passing through it (vectorized).
+
+    The columnar twin of :meth:`TippersDataset.ap_coverage`: one
+    ``np.unique`` over (ap, record) keys instead of a per-trajectory
+    set walk.  ``result[ap] == coverage[ap]`` for every AP.
+    """
+    ap_of, _ = _distinct_record_ap_pairs(db, n_aps)
+    return np.bincount(ap_of, minlength=n_aps)
+
+
+def policy_for_fraction_columnar(
+    db, non_sensitive_percent: float, n_aps: int
+) -> SensitiveAPPolicy:
+    """Build ``P_rho`` from columnar data — no ``Trajectory`` objects.
+
+    Replays :meth:`TippersDataset.policy_for_fraction` exactly: the
+    same least-covered-first AP order (stable sort, ties by AP index),
+    the same greedy stop rule, hence the *same chosen AP set* — so the
+    row and columnar experiment pipelines label every record
+    identically (``tests/test_ngram.py`` pins the equality).
+    """
+    if not 0.0 < non_sensitive_percent < 100.0:
+        raise ValueError("non_sensitive_percent must lie in (0, 100)")
+    target_sensitive = 1.0 - non_sensitive_percent / 100.0
+    n = len(db)
+    ap_of, rec_of = _distinct_record_ap_pairs(db, n_aps)
+    coverage = np.bincount(ap_of, minlength=n_aps)
+    # Pairs are sorted by AP; slice out each AP's record list once.
+    group_starts = np.searchsorted(ap_of, np.arange(n_aps + 1))
+    order = np.argsort(coverage, kind="stable")
+    covered = np.zeros(n, dtype=bool)
+    chosen: list[int] = []
+    n_covered = 0
+    for ap in order.tolist():
+        if n_covered / n >= target_sensitive:
+            break
+        chosen.append(ap)
+        members = rec_of[group_starts[ap] : group_starts[ap + 1]]
+        # incremental: count only the records this AP newly covers, so
+        # the greedy stays O(total distinct pairs), not O(aps * records)
+        n_covered += int(np.count_nonzero(~covered[members]))
+        covered[members] = True
+    return SensitiveAPPolicy(
+        chosen, name=f"P{non_sensitive_percent:g}"
+    )
+
+
+# ----------------------------------------------------------------------
 # Columnar layout
 # ----------------------------------------------------------------------
 

@@ -6,10 +6,19 @@ columns on every ``map_shards`` call — at million-record scale the wire
 cost dwarfs the mask kernels it parallelizes.  :class:`ShardWorkerPool`
 inverts the data flow:
 
-* **Columns cross the wire once.**  Each worker process receives its
-  shard at pool start (one pickle) and keeps it resident for the pool's
-  lifetime.  Incremental updates (:meth:`append_shard_chunk`,
-  :meth:`expire_shard_prefix`) ship only the delta.
+* **Columns cross the wire once — or not at all.**  By default (and
+  whenever the platform offers POSIX shared memory), each shard's
+  buffers are placed into :class:`repro.data.store.ColumnStore`
+  shared-memory segments and the worker receives only a ~100-byte
+  **descriptor**: it attaches the segments by name — zero copy, O(1)
+  startup bytes regardless of the record count, and co-hosted pools
+  over a shared database (``sharded.share()``) reference one physical
+  copy.  Columns that cannot place (object dtype) fall back to the
+  one-time pickle shipment; ``shm=False`` forces it.  Incremental
+  updates (:meth:`append_shard_chunk`, :meth:`expire_shard_prefix`)
+  ship only the delta either way — an shm append additionally remaps
+  the shard into fresh segments the worker re-attaches, an shm expire
+  is a pure view trim on both sides.
 * **Requests are specs.**  A mask, bin-index, histogram or
   ``(x, x_ns)`` request is a small dict built from the policy/binning
   wire format (:func:`repro.core.policy_language.policy_to_spec`,
@@ -65,6 +74,7 @@ from repro.core.policy_language import (
     policy_to_spec,
 )
 from repro.data.columnar import ColumnarDatabase
+from repro.data.store import ColumnStore, placeable, shm_available
 
 _PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
 
@@ -168,7 +178,11 @@ class _WorkerState:
             self.bin_indices(binning_spec), n_bins
         )
 
-    def append(self, chunk: ColumnarDatabase) -> int:
+    def append(
+        self,
+        chunk: ColumnarDatabase,
+        new_shard: ColumnarDatabase | None = None,
+    ) -> int:
         """Extend the resident shard and every cached array by the chunk.
 
         Masks and bin indices are per-record, so evaluating the cached
@@ -176,11 +190,18 @@ class _WorkerState:
         recomputing over the extended shard — the caches stay warm at
         O(chunk) cost.  Count pairs are additive over any record
         partition, so each cached ``(x, x_ns)`` advances by the chunk's
-        own pair.
+        own pair.  ``new_shard`` (the shm remap path) substitutes an
+        already-extended shard — freshly attached segment views whose
+        values equal ``concat(shard, chunk)`` — for the local
+        concatenation; the cache advance is the same either way.
         """
         from repro.queries.histogram import binning_from_spec, counts_from_mask
 
-        self.shard = ColumnarDatabase.concat([self.shard, chunk])
+        self.shard = (
+            ColumnarDatabase.concat([self.shard, chunk])
+            if new_shard is None
+            else new_shard
+        )
         for key, (spec, arr) in list(self.masks.items()):
             extra = policy_from_spec(spec).evaluate_batch(chunk)
             self.masks[key] = (spec, np.concatenate([arr, extra]))
@@ -228,24 +249,58 @@ class _WorkerState:
         return len(self.shard)
 
 
+def _attach_trimmed(descriptor: dict, trim: int) -> tuple:
+    """Attach a descriptor's segments; re-apply a prefix trim.
+
+    Expired prefixes never move bytes: the parent serves views past the
+    dead records and a (re)spawned worker reproduces the same view by
+    slicing its freshly attached database.  Returns ``(store, shard)``.
+    """
+    store = ColumnStore.attach(descriptor)
+    shard = store.database
+    if trim:
+        shard = shard.slice_records(trim, len(shard))
+    return store, shard
+
+
 def _worker_main(conn) -> None:
     """The worker loop: receive pickled requests, answer until 'stop'."""
     state: _WorkerState | None = None
+    store: ColumnStore | None = None
+
+    def swap_store(new_store: ColumnStore | None) -> None:
+        nonlocal store
+        if store is not None:
+            store.close()  # attached, never the owner: drops views only
+        store = new_store
+
     while True:
         try:
             msg = pickle.loads(conn.recv_bytes())
         except EOFError:
+            swap_store(None)
             return
         op = msg[0]
         if op == "stop":
+            swap_store(None)
             conn.send_bytes(pickle.dumps(("ok", None), _PICKLE_PROTOCOL))
             return
         try:
             if op == "shard":
+                swap_store(None)
                 state = _WorkerState(msg[1], *msg[2:3])
+                result = len(state.shard)
+            elif op == "shard_shm":
+                new_store, shard = _attach_trimmed(msg[1], msg[3])
+                swap_store(new_store)
+                state = _WorkerState(shard, msg[2])
                 result = len(state.shard)
             elif state is None:
                 raise RuntimeError("worker has no resident shard")
+            elif op == "append_shm":
+                new_store, shard = _attach_trimmed(msg[2], 0)
+                result = state.append(msg[1], new_shard=shard)
+                swap_store(new_store)
             elif op == "mask":
                 result = state.mask(msg[1])
             elif op == "bin_indices":
@@ -307,9 +362,12 @@ class WorkerDied(WorkerError):
 class WorkerPoolStats:
     """Wire-traffic accounting, the proof of the runtime's contract.
 
-    ``startup_bytes`` is the one-time shard shipment; ``request_bytes``
-    is everything the parent sent after startup (specs and deltas
-    only — it must not scale with the resident shard size) and
+    ``startup_bytes`` is the one-time shard shipment — a pickled copy
+    of the columns on the heap path, a ~100-byte segment descriptor per
+    shard on the shared-memory path (``shm_shards`` counts the latter,
+    so O(1)-startup claims are checkable); ``request_bytes`` is
+    everything the parent sent after startup (specs and deltas only —
+    it must not scale with the resident shard size) and
     ``response_bytes`` the result arrays that came back.
     """
 
@@ -321,9 +379,41 @@ class WorkerPoolStats:
     pickled_callables: int = 0
     last_request_bytes: int = 0
     respawns: int = 0
+    shm_shards: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return dict(self.__dict__)
+
+
+def shard_shm_eligible(shard: ColumnarDatabase, shm: bool | None) -> bool:
+    """Would the pool back this shard with shared-memory segments?
+
+    The single decision point shared by :class:`ShardWorkerPool` and
+    :class:`repro.api.backends.ShardedBackend` (which pre-shares
+    eligible shards so parent and workers reference one physical
+    copy).  ``shm=None`` (auto) requires fixed-width columns **and** no
+    attached row-record objects — records have no segment form, and
+    the pickle path ships them so per-record fallbacks (opaque
+    policies through the generic ``call`` request) keep working;
+    ``shm=True`` insists on segments (rejecting object-dtype columns
+    loudly, and knowingly dropping worker-side records — every spec
+    request is unaffected); ``shm=False`` never uses segments.
+    """
+    if shm is False or not shm_available():
+        return False
+    existing = getattr(shard, "store", None)
+    if existing is not None and not existing.closed:
+        return True
+    if not placeable(shard):
+        if shm is True:
+            raise TypeError(
+                "shard has object-dtype columns; shared-memory backing "
+                "needs fixed-width buffers"
+            )
+        return False
+    if shm is None and getattr(shard, "_records", None) is not None:
+        return False
+    return True
 
 
 class ShardWorkerPool:
@@ -345,6 +435,7 @@ class ShardWorkerPool:
         shards,
         mp_context: str | None = None,
         cache_limit: int = 128,
+        shm: bool | None = None,
     ):
         import multiprocessing
 
@@ -358,21 +449,30 @@ class ShardWorkerPool:
         self._ctx = multiprocessing.get_context(mp_context)
         self.stats = WorkerPoolStats()
         self._resident: list[ColumnarDatabase] = list(shard_list)
+        # Per-shard shared-memory state: the ColumnStore whose segments
+        # the worker attached (None on the pickle path), whether this
+        # pool created it (and must unlink it), and the prefix-trim a
+        # respawned worker must re-apply after attaching (expires are
+        # view slices, never segment rewrites).
+        self._stores: list[ColumnStore | None] = [None] * len(shard_list)
+        self._owned: list[bool] = [False] * len(shard_list)
+        self._trim: list[int] = [0] * len(shard_list)
         self._conns = []
         self._procs = []
         self._closed = False
         try:
+            self._resolve_backing(shm)
             for _ in shard_list:
                 parent_conn, proc = self._spawn_process()
                 self._conns.append(parent_conn)
                 self._procs.append(proc)
             payloads = [
-                pickle.dumps(
-                    ("shard", shard, self._cache_limit), _PICKLE_PROTOCOL
-                )
-                for shard in shard_list
+                self._startup_payload(i) for i in range(len(shard_list))
             ]
             self.stats.startup_bytes = sum(len(p) for p in payloads)
+            self.stats.shm_shards = sum(
+                store is not None for store in self._stores
+            )
             for conn, payload in zip(self._conns, payloads):
                 conn.send_bytes(payload)
             for conn in self._conns:
@@ -380,6 +480,45 @@ class ShardWorkerPool:
         except BaseException:
             self.close()
             raise
+
+    def _resolve_backing(self, shm: bool | None) -> None:
+        """Decide, per shard, how its columns reach the worker.
+
+        Eligibility is :func:`shard_shm_eligible` (auto by default,
+        forced either way by ``shm``).  A shard that is already
+        shm-backed (``shard.store``) is referenced in place — one
+        physical copy shared with the parent and any co-hosted pool —
+        and is never unlinked by this pool; anything else eligible is
+        placed into pool-owned segments.
+        """
+        if shm is True and not shm_available():  # pragma: no cover
+            raise RuntimeError(
+                "shared-memory backing requested but "
+                "multiprocessing.shared_memory is unavailable"
+            )
+        for i, shard in enumerate(self._resident):
+            if not shard_shm_eligible(shard, shm):
+                continue
+            existing = getattr(shard, "store", None)
+            if existing is not None and not existing.closed:
+                self._stores[i] = existing
+                continue
+            self._stores[i] = ColumnStore.place(shard)
+            self._owned[i] = True
+
+    def _startup_payload(self, index: int) -> bytes:
+        """The one-time shard shipment: a descriptor, or the columns."""
+        store = self._stores[index]
+        if store is not None:
+            message = (
+                "shard_shm",
+                store.descriptor(),
+                self._cache_limit,
+                self._trim[index],
+            )
+        else:
+            message = ("shard", self._resident[index], self._cache_limit)
+        return pickle.dumps(message, _PICKLE_PROTOCOL)
 
     def _spawn_process(self):
         """Start one worker process; returns its (parent pipe, process)."""
@@ -399,7 +538,13 @@ class ShardWorkerPool:
         return len(self._procs)
 
     def close(self) -> None:
-        """Stop the workers and release the pipes (idempotent)."""
+        """Stop the workers, release the pipes and the shm segments.
+
+        Idempotent.  Only the segments this pool *created* are
+        unlinked; a shard that arrived already shm-backed
+        (``sharded.share()``) belongs to its own store — co-hosted
+        pools and the parent keep serving from it.
+        """
         if self._closed:
             return
         self._closed = True
@@ -414,6 +559,9 @@ class ShardWorkerPool:
                 proc.terminate()
         for conn in self._conns:
             conn.close()
+        for store, owned in zip(self._stores, self._owned):
+            if store is not None and owned:
+                store.unlink()
 
     def __enter__(self) -> "ShardWorkerPool":
         return self
@@ -478,10 +626,7 @@ class ShardWorkerPool:
         conn, proc = self._spawn_process()
         self._conns[index] = conn
         self._procs[index] = proc
-        payload = pickle.dumps(
-            ("shard", self._resident[index], self._cache_limit),
-            _PICKLE_PROTOCOL,
-        )
+        payload = self._startup_payload(index)
         self.stats.startup_bytes += len(payload)
         conn.send_bytes(payload)
         self._receive(conn)
@@ -669,29 +814,79 @@ class ShardWorkerPool:
     # ------------------------------------------------------------------
     def append_shard_chunk(
         self, index: int, chunk: ColumnarDatabase, new_shard: ColumnarDatabase
-    ) -> None:
+    ) -> ColumnarDatabase | None:
         """Ship only the appended chunk to worker ``index``.
 
-        ``new_shard`` is the parent's extended shard object; the pool
-        records it so the residency check keeps passing after the
-        update (worker and parent extend in lockstep).
+        ``new_shard`` is the parent's extended shard; the pool records
+        the committed object so the residency check keeps passing after
+        the update (worker and parent extend in lockstep).  An
+        shm-backed shard is **remapped**: the extended columns are
+        placed into fresh segments, the worker re-attaches (receiving
+        the chunk alongside, so its spec caches still advance at
+        O(chunk) cost) and the old segments are unlinked.  The return
+        value, when not None, is the shard the database must commit —
+        the remapped, segment-backed twin of ``new_shard``.
         """
-        n = self._request_one(index, ("append", chunk))
-        if n != len(new_shard):
-            raise WorkerError(
-                f"worker {index} shard has {n} records after append, "
-                f"parent expects {len(new_shard)}"
+        if self._stores[index] is None or not placeable(new_shard):
+            n = self._request_one(index, ("append", chunk))
+            if n != len(new_shard):
+                raise WorkerError(
+                    f"worker {index} shard has {n} records after append, "
+                    f"parent expects {len(new_shard)}"
+                )
+            self._resident[index] = new_shard
+            if self._stores[index] is not None:
+                # The chunk introduced an unplaceable column; the shard
+                # demotes to the heap path (the worker concatenated
+                # locally, so its copy is already off the segments).
+                if self._owned[index]:
+                    self._stores[index].unlink()
+                self._stores[index] = None
+                self._owned[index] = False
+                self._trim[index] = 0
+                self.stats.shm_shards -= 1
+            return None
+        placed = ColumnStore.place(new_shard)
+        try:
+            n = self._request_one(
+                index, ("append_shm", chunk, placed.descriptor())
             )
-        self._resident[index] = new_shard
+            if n != len(placed.database):
+                raise WorkerError(
+                    f"worker {index} shard has {n} records after append, "
+                    f"parent expects {len(placed.database)}"
+                )
+        except BaseException:
+            placed.unlink()
+            raise
+        old_store, old_owned = self._stores[index], self._owned[index]
+        self._stores[index], self._owned[index] = placed, True
+        self._trim[index] = 0
+        self._resident[index] = placed.database
+        if old_owned:
+            # Existing mappings (this parent's views, other attachers)
+            # stay valid after unlink; only the name goes away.
+            old_store.unlink()
+        return placed.database
 
     def expire_shard_prefix(
         self, index: int, n: int, new_shard: ColumnarDatabase
     ) -> None:
-        """Drop the first ``n`` records of worker ``index``'s shard."""
+        """Drop the first ``n`` records of worker ``index``'s shard.
+
+        Pure view arithmetic on both sides: the parent's ``new_shard``
+        slices past the expired prefix and the worker slices its
+        resident (possibly segment-backed) arrays the same way — no
+        bytes move and no segments are rewritten.  The accumulated trim
+        is recorded so a respawned worker re-applies it after
+        attaching.
+        """
         remaining = self._request_one(index, ("expire", int(n)))
         if remaining != len(new_shard):
             raise WorkerError(
                 f"worker {index} shard has {remaining} records after "
                 f"expire, parent expects {len(new_shard)}"
             )
+        if self._stores[index] is not None:
+            self._trim[index] += int(n)
         self._resident[index] = new_shard

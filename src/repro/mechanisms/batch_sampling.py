@@ -33,10 +33,17 @@ to the per-trial ``release`` loop.  For bitwise reproduction of the
 paper's spawned-rng protocol, pass ``release_batch`` a *sequence* of
 generators — that mode delegates to ``release`` row by row.
 
-Not thread-safe (module-level scratch buffers).
+Thread safety: the scratch buffers are **thread-local** (each thread
+reuses its own pool), so concurrent releases — the RPC tier serves the
+read path under a shared lock — never write into each other's noise;
+the binomial/log-factorial table pools hold immutable values and only
+ever rebind or insert under the GIL, so the worst concurrent case is a
+redundant identical build.
 """
 
 from __future__ import annotations
+
+import threading
 
 import numpy as np
 
@@ -53,18 +60,26 @@ _MIN_U32 = np.float32(2.0**-24)     # rng.random(float32) lattice step
 _MIN_TSQ32 = np.float32(2.0**-46)   # (2^-23)^2: smallest nonzero t^2
 
 _MAX_SCRATCH_ENTRIES = 16
-_scratch_pool: dict[tuple, np.ndarray] = {}
+# Per-thread pools: a buffer handed to one request must never be the
+# buffer another thread is concurrently filling (concurrent releases
+# are the RPC tier's normal traffic shape).
+_scratch_local = threading.local()
 
 
 def _scratch(shape: tuple[int, ...], dtype: type, slot: int = 0) -> np.ndarray:
     """A reusable uninitialized buffer (avoids per-call mmap traffic)."""
+    pool: dict[tuple, np.ndarray] | None = getattr(
+        _scratch_local, "pool", None
+    )
+    if pool is None:
+        pool = _scratch_local.pool = {}
     key = (shape, np.dtype(dtype).str, slot)
-    buf = _scratch_pool.get(key)
+    buf = pool.get(key)
     if buf is None:
-        if len(_scratch_pool) >= _MAX_SCRATCH_ENTRIES:
-            _scratch_pool.clear()
+        if len(pool) >= _MAX_SCRATCH_ENTRIES:
+            pool.clear()
         buf = np.empty(shape, dtype=dtype)
-        _scratch_pool[key] = buf
+        pool[key] = buf
     return buf
 
 

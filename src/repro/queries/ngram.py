@@ -109,6 +109,80 @@ class NGramCounter:
                 counts[gram] = counts.get(gram, 0.0) + 1.0
         return SparseHistogram(counts=counts, domain_size=self.domain_size)
 
+    def count_columnar(self, db) -> SparseHistogram:
+        """:meth:`count` over an ``aps`` ragged column — no row objects.
+
+        Windows are encoded as base-``n_aps`` integers in one vectorized
+        pass over the flattened AP sequence; per-record *distinctness*
+        (a trajectory containing a gram twice contributes once) and the
+        first-appearance truncation order come from a single
+        ``np.unique(record * domain + code, return_index=True)`` — the
+        first flat index of each (record, gram) pair, sorted, *is* the
+        appearance order.  Counts are identical to :meth:`count` on the
+        same records, gram for gram (pinned by
+        ``tests/test_ngram.py::TestColumnarCounting``).
+        """
+        if self.truncation is not None and self.truncation <= 0:
+            raise ValueError("truncation parameter k must be positive")
+        aps = db["aps"]
+        flat = np.asarray(aps.flat, dtype=np.int64)
+        offsets = np.asarray(aps.offsets, dtype=np.int64)
+        lengths = np.diff(offsets)
+        n = self.n
+        empty = SparseHistogram(counts={}, domain_size=self.domain_size)
+        if flat.size < n:
+            return empty
+        if flat.size and (flat.min() < 0 or flat.max() >= self.n_aps):
+            raise ValueError(
+                f"AP values must lie in [0, {self.n_aps}) for the "
+                "base-encoded window codes"
+            )
+        domain = self.n_aps**n  # exact (python int)
+        if domain * max(len(lengths), 1) >= 2**62:
+            raise ValueError(
+                "n-gram domain too large for int64 window codes; use "
+                "the per-record count() path"
+            )
+        n_windows = np.maximum(lengths - n + 1, 0)
+        total_windows = int(n_windows.sum())
+        if total_windows == 0:
+            return empty
+        # Window code at every flat start position (records are
+        # contiguous, so invalid cross-record windows are simply never
+        # selected below).
+        total = len(flat) - n + 1
+        codes = np.zeros(total, dtype=np.int64)
+        for j in range(n):
+            codes = codes * self.n_aps + flat[j : j + total]
+        rec = np.repeat(np.arange(len(lengths)), n_windows)
+        window_base = np.cumsum(n_windows) - n_windows
+        starts = (
+            np.repeat(offsets[:-1], n_windows)
+            + np.arange(total_windows)
+            - np.repeat(window_base, n_windows)
+        )
+        window_codes = codes[starts]
+        # First occurrence of each (record, gram) pair, in flat order =
+        # per-record appearance order (records are contiguous).
+        _, first_pos = np.unique(rec * domain + window_codes, return_index=True)
+        first_pos.sort()
+        distinct_rec = rec[first_pos]
+        distinct_codes = window_codes[first_pos]
+        if self.truncation is not None:
+            rec_start = np.searchsorted(distinct_rec, np.arange(len(lengths)))
+            rank = np.arange(len(distinct_rec)) - rec_start[distinct_rec]
+            keep = rank < self.truncation
+            distinct_codes = distinct_codes[keep]
+        grams, gram_counts = np.unique(distinct_codes, return_counts=True)
+        counts: dict[NGram, float] = {}
+        for code, count in zip(grams.tolist(), gram_counts.tolist()):
+            gram = []
+            for _ in range(n):
+                gram.append(int(code % self.n_aps))
+                code //= self.n_aps
+            counts[tuple(reversed(gram))] = float(count)
+        return SparseHistogram(counts=counts, domain_size=self.domain_size)
+
 
 def sparse_mre(
     truth: SparseHistogram,
@@ -135,7 +209,11 @@ def sparse_mre(
     """
     support = truth.support() | set(estimate)
     total = 0.0
-    for gram in support:
+    # Sorted accumulation makes the float sum independent of set
+    # iteration order, so the row and columnar counting paths (which
+    # build the same multiset in different orders) report bit-identical
+    # MREs.
+    for gram in sorted(support):
         true_value = truth[gram]
         est_value = float(estimate.get(gram, 0.0))
         total += abs(true_value - est_value) / max(true_value, delta)

@@ -27,12 +27,20 @@ Protocol: each exchange is one framed request message
 ``budget``         remaining epsilon (None when unmetered)
 =================  ====================================================
 
-Handling is serialized with one lock — the release server's caches and
-the accountant are single-writer structures; concurrency lives in the
-sharded engine / worker pool underneath, not in request interleaving
-(budget charging *must* be sequential to be meaningful).  Responses are
-therefore bit-identical to calling ``ReleaseServer.handle`` in-process
-with the same request, which is the contract the API tests pin.
+Handling follows a **readers-writer discipline** (the one-big-lock
+serialization of PR 4 is gone): the read-path ops — ``release``,
+``release_batch``, ``true_histogram``, ``stats``, ``budget``, ``ping``,
+``mechanisms`` — run concurrently under a shared lock, because every
+release is a deterministic function of immutable column snapshots plus
+an rng seed and the release server is internally thread-safe (caches
+behind a short internal lock, noise sampling outside it, accountant
+charges atomic).  Only the data mutations — ``append_records`` and
+``expire_prefix`` — take the exclusive side, so an update never
+interleaves with an in-flight release.  ``max_readers`` optionally
+bounds read-side concurrency (the CLI's ``--max-readers``).  Responses
+remain bit-identical to calling ``ReleaseServer.handle`` in-process
+with the same request, which is the contract the API tests pin; with
+an accountant, concurrent analysts' charges compose in arrival order.
 """
 
 from __future__ import annotations
@@ -49,6 +57,78 @@ from repro.api.wire import (
     send_message,
 )
 from repro.service.server import ReleaseServer
+
+
+class ReadWriteLock:
+    """A writer-preferring readers-writer lock.
+
+    Many readers share the lock at once (optionally capped at
+    ``max_readers``); a writer waits for the active readers to drain,
+    holds the lock alone, and — being preferred — starves neither:
+    once a writer is waiting, new readers queue behind it, so a steady
+    stream of cheap reads cannot postpone an append forever.
+    """
+
+    def __init__(self, max_readers: int | None = None):
+        if max_readers is not None and max_readers < 1:
+            raise ValueError("max_readers must be at least 1")
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+        self._max_readers = max_readers
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            while (
+                self._writer
+                or self._writers_waiting
+                or (
+                    self._max_readers is not None
+                    and self._readers >= self._max_readers
+                )
+            ):
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer = False
+            self._cond.notify_all()
+
+    class _Guard:
+        def __init__(self, acquire, release):
+            self._acquire, self._release = acquire, release
+
+        def __enter__(self):
+            self._acquire()
+            return self
+
+        def __exit__(self, *exc_info):
+            self._release()
+
+    def read(self) -> "_Guard":
+        """Context manager for the shared (read) side."""
+        return self._Guard(self.acquire_read, self.release_read)
+
+    def write(self) -> "_Guard":
+        """Context manager for the exclusive (write) side."""
+        return self._Guard(self.acquire_write, self.release_write)
 
 
 class _Handler(socketserver.BaseRequestHandler):
@@ -88,9 +168,10 @@ class RpcServer:
         server: ReleaseServer,
         host: str = "127.0.0.1",
         port: int = 0,
+        max_readers: int | None = None,
     ):
         self.release_server = server
-        self._lock = threading.Lock()
+        self._lock = ReadWriteLock(max_readers=max_readers)
         self._tcp = _ThreadedTCPServer((host, port), _Handler)
         self._tcp.rpc = self  # type: ignore[attr-defined]
         self._thread: threading.Thread | None = None
@@ -136,43 +217,70 @@ class RpcServer:
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
+    #: Ops served concurrently under the shared lock: pure functions of
+    #: the current column snapshot (plus an rng seed) or counter reads.
+    READ_OPS = frozenset(
+        {
+            "ping",
+            "mechanisms",
+            "release",
+            "release_batch",
+            "true_histogram",
+            "stats",
+            "budget",
+        }
+    )
+    #: Ops that mutate the data; exclusive — no release may be mid-
+    #: flight while shards extend or trim.
+    WRITE_OPS = frozenset({"append_records", "expire_prefix"})
+
     def dispatch(self, message):
         """Serve one decoded request message; returns the ``ok`` payload."""
         if not isinstance(message, dict) or "op" not in message:
             raise ValueError("malformed message: expected {'op': ...}")
         op = message["op"]
-        server = self.release_server
-        with self._lock:
-            if op == "ping":
-                return {
-                    "server": "repro.service.rpc",
-                    "n_shards": server.n_shards,
-                    "n_records": len(server.db),
-                }
-            if op == "mechanisms":
-                return server._registry.names()
-            if op == "release":
-                request = request_from_wire(message["request"])
-                return response_to_wire(server.handle(request))
-            if op == "release_batch":
-                requests = [
-                    request_from_wire(doc) for doc in message["requests"]
-                ]
-                return [
-                    response_to_wire(r) for r in server.handle_batch(requests)
-                ]
-            if op == "true_histogram":
-                return server.true_histogram(message["binning"])
-            if op == "append_records":
-                return server.append_records(_records_from_wire(message))
-            if op == "expire_prefix":
-                return server.expire_prefix(int(message["n_records"]))
-            if op == "stats":
-                return server.stats.as_dict()
-            if op == "budget":
-                remaining = server.budget_remaining
-                return None if remaining is None else float(remaining)
+        if op in self.READ_OPS:
+            with self._lock.read():
+                return self._dispatch_read(op, message)
+        if op in self.WRITE_OPS:
+            with self._lock.write():
+                return self._dispatch_write(op, message)
         raise ValueError(f"unknown op {op!r}")
+
+    def _dispatch_read(self, op: str, message):
+        server = self.release_server
+        if op == "ping":
+            return {
+                "server": "repro.service.rpc",
+                "n_shards": server.n_shards,
+                "n_records": len(server.db),
+            }
+        if op == "mechanisms":
+            return server._registry.names()
+        if op == "release":
+            request = request_from_wire(message["request"])
+            return response_to_wire(server.handle(request))
+        if op == "release_batch":
+            requests = [
+                request_from_wire(doc) for doc in message["requests"]
+            ]
+            return [
+                response_to_wire(r) for r in server.handle_batch(requests)
+            ]
+        if op == "true_histogram":
+            return server.true_histogram(message["binning"])
+        if op == "stats":
+            return server.stats.as_dict()
+        assert op == "budget"
+        remaining = server.budget_remaining
+        return None if remaining is None else float(remaining)
+
+    def _dispatch_write(self, op: str, message):
+        server = self.release_server
+        if op == "append_records":
+            return server.append_records(_records_from_wire(message))
+        assert op == "expire_prefix"
+        return server.expire_prefix(int(message["n_records"]))
 
 
 def _records_from_wire(message):

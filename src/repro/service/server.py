@@ -47,6 +47,16 @@ are the wire format a transport would serialize):
   ``(x, x_ns)`` pair, so per-request traffic stays O(bins), not
   O(records).
 
+* **Thread safety.**  One server may be driven by many threads: the
+  caches, the sharded engine (a worker pool's pipes serve one fan-out
+  at a time) and the stats sit behind one internal lock, held only for
+  histogram assembly — a dict lookup on a warm cache — while the
+  release sampling runs outside it, and accountant charges are atomic
+  in the accountant itself.  Concurrent ``handle`` calls therefore
+  overlap their noise kernels; the RPC tier adds a readers-writer
+  discipline on top so releases run concurrently while
+  ``append_records``/``expire_prefix`` run exclusively.
+
 Caching the mask/histogram is free privacy-wise: the cached values are
 exact data-dependent intermediates, and privacy is only consumed when a
 mechanism samples a release from them.
@@ -55,6 +65,7 @@ mechanism samples a release from them.
 from __future__ import annotations
 
 import functools
+import threading
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
@@ -218,6 +229,14 @@ class ReleaseServer:
         self._counts_cache: dict[tuple, tuple[int, tuple]] = {}
         self._hist_cache: dict[tuple, tuple[tuple, HistogramInput]] = {}
         self._keyed: dict[tuple, object] = {}
+        # One reentrant lock guards every structure above *and* all
+        # access to the sharded engine/executor (a worker pool's pipes
+        # serve one fan-out at a time).  handle() holds it only for
+        # histogram assembly — on a warm cache that is a dict lookup —
+        # and samples the release outside it, so concurrent analysts
+        # overlap the expensive part (see RpcServer's readers-writer
+        # discipline on top).
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -304,23 +323,25 @@ class ReleaseServer:
 
     def shard_masks(self, policy: Policy) -> list[np.ndarray]:
         """Per-shard policy masks, cached per ``(shard, policy key)``."""
-        return self._per_shard(
-            self._mask_cache,
-            self._key(policy),
-            policy.evaluate_batch,
-            "mask_hits",
-            "mask_misses",
-        )
+        with self._lock:
+            return self._per_shard(
+                self._mask_cache,
+                self._key(policy),
+                policy.evaluate_batch,
+                "mask_hits",
+                "mask_misses",
+            )
 
     def shard_bin_indices(self, binning) -> list[np.ndarray]:
         """Per-shard bin-index arrays, cached per ``(shard, binning key)``."""
-        return self._per_shard(
-            self._index_cache,
-            self._key(binning),
-            binning.bin_indices,
-            "index_hits",
-            "index_misses",
-        )
+        with self._lock:
+            return self._per_shard(
+                self._index_cache,
+                self._key(binning),
+                binning.bin_indices,
+                "index_hits",
+                "index_misses",
+            )
 
     def _shard_counts(
         self, binning, policy: Policy, bkey: tuple, pkey: tuple
@@ -376,20 +397,21 @@ class ReleaseServer:
         the same sharded database — including after incremental
         appends/expires, where only the touched shards recompute.
         """
-        bkey, pkey = self._key(binning), self._key(policy)
-        key = (bkey, pkey)
-        versions = self._db.shard_versions
-        cached = self._hist_cache.get(key)
-        if cached is not None and cached[0] == versions:
-            self.stats.hist_hits += 1
-            return cached[1], True
-        self.stats.hist_misses += 1
-        hist = HistogramInput.from_shard_counts(
-            self._shard_counts(binning, policy, bkey, pkey)
-        )
-        hist.ns_support_sorted  # warm the release fast-path views
-        self._hist_cache[key] = (versions, hist)
-        return hist, False
+        with self._lock:
+            bkey, pkey = self._key(binning), self._key(policy)
+            key = (bkey, pkey)
+            versions = self._db.shard_versions
+            cached = self._hist_cache.get(key)
+            if cached is not None and cached[0] == versions:
+                self.stats.hist_hits += 1
+                return cached[1], True
+            self.stats.hist_misses += 1
+            hist = HistogramInput.from_shard_counts(
+                self._shard_counts(binning, policy, bkey, pkey)
+            )
+            hist.ns_support_sorted  # warm the release fast-path views
+            self._hist_cache[key] = (versions, hist)
+            return hist, False
 
     # ------------------------------------------------------------------
     # Request handling
@@ -429,7 +451,8 @@ class ReleaseServer:
             accountant=self.accountant,
             label=request.label or request.mechanism,
         )
-        self.stats.requests += 1
+        with self._lock:
+            self.stats.requests += 1
         return ReleaseResponse(
             request=request,
             estimates=estimates,
@@ -475,7 +498,8 @@ class ReleaseServer:
 
     def query_true_histogram(self, query: HistogramQuery) -> np.ndarray:
         """The exact (non-private) histogram — for offline error audits."""
-        return self._db.histogram(query.binning, query.n_bins)
+        with self._lock:
+            return self._db.histogram(query.binning, query.n_bins)
 
     def true_histogram(self, binning) -> np.ndarray:
         """The exact histogram for a binning object *or* its wire spec.
@@ -486,7 +510,8 @@ class ReleaseServer:
         """
         if isinstance(binning, Mapping):
             binning = binning_from_spec(binning)
-        return self._db.histogram(binning, binning.n_bins)
+        with self._lock:
+            return self._db.histogram(binning, binning.n_bins)
 
     # ------------------------------------------------------------------
     # Incremental data updates
@@ -507,7 +532,8 @@ class ReleaseServer:
         as in the paper's continual-observation setting, the accountant
         keeps charging cumulatively — budget never resets on ingest.
         """
-        return self._db.append_records(records)
+        with self._lock:
+            return self._db.append_records(records)
 
     def expire_prefix(self, n_records: int) -> list[int]:
         """Drop the ``n_records`` oldest records (retention enforcement).
@@ -516,4 +542,5 @@ class ReleaseServer:
         miss lazily and everything else keeps serving.  Returns the
         touched shard indices.
         """
-        return self._db.expire_prefix(n_records)
+        with self._lock:
+            return self._db.expire_prefix(n_records)

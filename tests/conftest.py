@@ -19,6 +19,44 @@ from repro.core.policy import AttributePolicy, LambdaPolicy, OptInPolicy
 from repro.queries.histogram import HistogramInput
 
 
+def _live_shm_segments() -> list[str]:
+    """Names of this repo's shared-memory segments currently on disk."""
+    import os
+
+    from repro.data.store import SEGMENT_PREFIX
+
+    shm_dir = "/dev/shm"
+    if not os.path.isdir(shm_dir):  # non-Linux: nothing to enumerate
+        return []
+    try:
+        return sorted(
+            name
+            for name in os.listdir(shm_dir)
+            if name.startswith(SEGMENT_PREFIX)
+        )
+    except OSError:  # pragma: no cover - permissions
+        return []
+
+
+@pytest.fixture(scope="session", autouse=True)
+def no_leaked_shm_segments_at_suite_exit():
+    """The whole suite must leave /dev/shm as it found it.
+
+    Every ColumnStore the tests create — through pools, servers,
+    backends, killed workers, GC'd databases — must be unlinked by the
+    time the session ends; a lingering segment is storage leaked past
+    process death, the failure mode the explicit close()/unlink()
+    lifecycle plus GC finalizers exist to prevent.
+    """
+    import gc
+
+    before = set(_live_shm_segments())
+    yield
+    gc.collect()  # run any pending store finalizers first
+    leaked = [name for name in _live_shm_segments() if name not in before]
+    assert not leaked, f"leaked shared-memory segments: {leaked}"
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(12345)

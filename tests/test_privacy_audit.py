@@ -28,10 +28,13 @@ import pytest
 
 from repro.distributions.one_sided_laplace import OneSidedLaplace
 from repro.evaluation.audit import (
+    audit_composed_release,
     audit_release_mechanism,
     discretize_outputs,
     empirical_odds_ratio_audit,
+    joint_zero_estimate_codes,
 )
+from repro.mechanisms.dawaz import DawaZ
 from repro.mechanisms.osdp_laplace import (
     OsdpLaplaceHistogram,
     OsdpLaplaceL1Histogram,
@@ -172,6 +175,87 @@ class TestBrokenMechanismsAreFlagged:
         )
         assert audit.violates(EPSILON, slack=MARGIN)
         assert audit.epsilon_lower_bound > 1.5 * EPSILON
+
+
+def _composed_neighbor_pair() -> tuple[HistogramInput, HistogramInput]:
+    """A multi-bin pair for the two-phase (DAWAz) joint-event audit.
+
+    Totals are large relative to the DP noise so the DAWA phase almost
+    never clips an estimate to an exact zero — exact zeros then come
+    (essentially only) from the zero-detection phase, which keeps the
+    joint zero-event sharp.  As in ``_neighbor_pair``, the one-sided
+    neighbor grows ``x_ns`` of the audited bin by one.
+    """
+    x = np.array([60.0, 90.0, 45.0, 30.0, 55.0, 80.0, 35.0, 50.0])
+    x_ns = np.array([2.0, 15.0, 9.0, 6.0, 12.0, 18.0, 4.0, 10.0])
+    x_ns_prime = x_ns.copy()
+    x_ns_prime[0] += 1.0
+    return (
+        HistogramInput(x=x, x_ns=x_ns),
+        HistogramInput(x=x, x_ns=x_ns_prime),
+    )
+
+
+class _LeakyZeroDawaZ(DawaZ):
+    """Zero detection spending 2*eps while the ledger claims rho*eps.
+
+    The composed-mechanism analog of the scale/2 mutants: the DP phase
+    is untouched (its marginal stays healthy), only the zero-set
+    distribution leaks — the failure mode a joint-event audit exists to
+    catch.
+    """
+
+    def __init__(self, epsilon: float, **kwargs):
+        super().__init__(epsilon, **kwargs)
+        self.epsilon_zero = 2.0 * epsilon
+
+
+class TestComposedMechanismAudit:
+    """The joint (zero-set, estimate) audit over DAWAz (Algorithm 3)."""
+
+    # DAWAz trials pay a full two-phase release each; 40k keeps the
+    # worst joint event above min_count in both worlds at a quarter of
+    # the primitive audits' cost (values are seed-deterministic).
+    N_COMPOSED = 40_000
+
+    def test_healthy_dawaz_respects_the_composed_budget(self):
+        d, d_prime = _composed_neighbor_pair()
+        audit = audit_composed_release(
+            DawaZ(EPSILON), d, d_prime, self.N_COMPOSED, seed=11,
+            min_count=200,
+        )
+        assert audit.epsilon_lower_bound <= EPSILON + MARGIN
+        # The two worlds differ only through the zero phase (the DP
+        # phase sees identical x), so a healthy joint audit lands near
+        # the zero phase's rho * eps share — and must not lose that
+        # signal entirely (audit power).
+        rho_share = DawaZ(EPSILON).epsilon_zero
+        assert audit.epsilon_lower_bound >= rho_share - 0.05
+        assert audit.epsilon_lower_bound <= rho_share + 0.05
+        # The worst joint event is zero-set membership: code 1 is
+        # (discretized estimate 0, in Z).
+        assert audit.event == 1
+
+    def test_leaky_zero_detector_is_flagged(self):
+        d, d_prime = _composed_neighbor_pair()
+        audit = audit_composed_release(
+            _LeakyZeroDawaZ(EPSILON), d, d_prime, self.N_COMPOSED, seed=11,
+            min_count=200,
+        )
+        assert audit.violates(EPSILON, slack=MARGIN)
+        # ...decisively: the joint bound recovers the detector's true
+        # 2*eps spend.
+        assert audit.epsilon_lower_bound > 1.5 * EPSILON
+
+    def test_joint_codes_separate_zeroed_from_released(self):
+        estimates = np.array([[0.0, 3.2], [0.3, 3.2], [-0.2, 0.0]])
+        codes = joint_zero_estimate_codes(estimates, 0, width=0.5)
+        assert codes.tolist() == [1, 0, -2]  # in-Z, released-0.3, released–0.2
+        assert joint_zero_estimate_codes(estimates, 1, width=0.5).tolist() == [
+            12,
+            12,
+            1,
+        ]
 
 
 class TestAuditEstimator:

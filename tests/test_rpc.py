@@ -275,6 +275,194 @@ class TestRemoteLiveData:
         )
 
 
+class TestConcurrentReadPath:
+    """PR-5: many analysts, one server — shared-lock reads stay exact.
+
+    Load-insensitive correctness only (the ≥2× aggregate-throughput bar
+    lives in ``benchmarks/test_pool_startup.py`` under
+    ``-m bench_regression``): concurrent seeded releases through one
+    *shared* client must be bit-identical to their serial twins, and a
+    metered server must never over-subscribe its budget under
+    concurrent charging.
+    """
+
+    def test_shared_client_concurrent_releases_bit_identical(self):
+        import threading
+
+        db = _db(2_000, seed=3)
+        server = ReleaseServer(db.shard(2))
+        mirror = ReleaseServer(_db(2_000, seed=3).shard(2))
+        requests = [_request(seed=s, n_trials=2) for s in range(8)]
+        expected = [mirror.handle(r).estimates for r in requests]
+        with RpcServer(server).start() as rpc:
+            with OsdpClient.connect(*rpc.address) as client:
+                results: list = [None] * len(requests)
+
+                def run(i: int) -> None:
+                    # one OsdpClient shared across threads: each thread
+                    # gets its own connection under the hood
+                    results[i] = client.release(requests[i]).estimates
+
+                threads = [
+                    threading.Thread(target=run, args=(i,))
+                    for i in range(len(requests))
+                ]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join(timeout=30)
+        for got, want in zip(results, expected):
+            assert got is not None
+            assert np.array_equal(got, want)
+
+    def test_concurrent_charges_never_oversubscribe_the_budget(self):
+        import threading
+
+        total = 1.0
+        server = ReleaseServer(
+            _db(600).shard(1),
+            accountant=PrivacyAccountant(total_epsilon=total),
+        )
+        n_threads, eps = 8, 0.3  # only 3 of 8 can be afforded
+        with RpcServer(server).start() as rpc:
+            with OsdpClient.connect(*rpc.address) as client:
+                outcomes: list = [None] * n_threads
+
+                def run(i: int) -> None:
+                    try:
+                        client.release(_request(epsilon=eps, seed=i))
+                        outcomes[i] = "ok"
+                    except BudgetExceededError:
+                        outcomes[i] = "rejected"
+
+                threads = [
+                    threading.Thread(target=run, args=(i,))
+                    for i in range(n_threads)
+                ]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join(timeout=30)
+        assert outcomes.count("ok") == 3, outcomes
+        assert outcomes.count("rejected") == 5
+        assert server.accountant.spent == pytest.approx(3 * eps)
+
+    def test_release_after_concurrent_append_sees_consistent_data(self):
+        import threading
+
+        db = _db(1_000, seed=4)
+        server = ReleaseServer(db.shard(2))
+        with RpcServer(server).start() as rpc:
+            with OsdpClient.connect(*rpc.address) as client:
+                stop = threading.Event()
+                failures: list = []
+
+                def reader() -> None:
+                    while not stop.is_set():
+                        try:
+                            hist = client.true_histogram(BINNING)
+                        except Exception as exc:  # pragma: no cover
+                            failures.append(exc)
+                            return
+                        # appends land 10 records at a time, so any
+                        # snapshot a reader observes is a multiple of 10
+                        assert hist.sum() % 10 == 0
+
+                threads = [
+                    threading.Thread(target=reader) for _ in range(3)
+                ]
+                for t in threads:
+                    t.start()
+                chunk = [{"age": 5, "opt_in": True}] * 10
+                for _ in range(5):
+                    client.append_records(chunk)
+                stop.set()
+                for t in threads:
+                    t.join(timeout=30)
+                assert not failures
+                assert client.true_histogram(BINNING).sum() == 1_050
+
+
+class TestReadWriteLock:
+    def test_readers_share_writers_exclude(self):
+        import threading
+
+        from repro.service.rpc import ReadWriteLock
+
+        lock = ReadWriteLock()
+        state = {"readers": 0, "max_readers": 0, "writer_during_read": False}
+        gate = threading.Barrier(3)
+
+        def reader() -> None:
+            with lock.read():
+                state["readers"] += 1
+                state["max_readers"] = max(
+                    state["max_readers"], state["readers"]
+                )
+                gate.wait(timeout=10)  # both readers inside at once
+                state["readers"] -= 1
+
+        readers = [threading.Thread(target=reader) for _ in range(2)]
+        for t in readers:
+            t.start()
+        gate.wait(timeout=10)
+        for t in readers:
+            t.join(timeout=10)
+        assert state["max_readers"] == 2
+
+        with lock.write():
+            acquired = []
+
+            def late_reader() -> None:
+                with lock.read():
+                    acquired.append(True)
+
+            t = threading.Thread(target=late_reader)
+            t.start()
+            t.join(timeout=0.2)
+            assert not acquired  # reader blocked behind the writer
+        t.join(timeout=10)
+        assert acquired
+
+    def test_max_readers_bounds_concurrency(self):
+        import threading
+
+        from repro.service.rpc import ReadWriteLock
+
+        lock = ReadWriteLock(max_readers=1)
+        inside = threading.Event()
+        release = threading.Event()
+
+        def holder() -> None:
+            with lock.read():
+                inside.set()
+                release.wait(timeout=10)
+
+        second_done = threading.Event()
+
+        def second() -> None:
+            with lock.read():
+                second_done.set()
+
+        a = threading.Thread(target=holder)
+        a.start()
+        assert inside.wait(timeout=10)
+        b = threading.Thread(target=second)
+        b.start()
+        b.join(timeout=0.2)
+        assert not second_done.is_set()  # capped at one reader
+        release.set()
+        a.join(timeout=10)
+        b.join(timeout=10)
+        assert second_done.is_set()
+
+    def test_max_readers_validation(self):
+        from repro.service.rpc import ReadWriteLock
+
+        with pytest.raises(ValueError):
+            ReadWriteLock(max_readers=0)
+
+
 class TestWorkerFailover:
     def test_killed_worker_respawns_and_request_is_bit_identical(self):
         """The acceptance scenario: kill one pool worker mid-run."""

@@ -66,6 +66,11 @@ def _policy():
 BINNING = IntegerBinning("age", 0, 100, 10)
 
 
+def _long_trajectory_sensitive(record) -> bool:
+    """Module-level (picklable) per-record predicate over Trajectory."""
+    return record.duration_slots > 2
+
+
 @pytest.fixture(scope="module")
 def pooled():
     """One pool + serially-evaluated twin shared by the equivalence tests."""
@@ -122,6 +127,35 @@ class TestEquivalence:
                 sharded.with_executor(pool).mask(policy), reference
             )
 
+    def test_record_carrying_shards_keep_the_pickle_path(self):
+        """Auto shm must not drop row-record objects: a shard with
+        attached records ships pickled (records intact), so per-record
+        fallbacks — opaque policies through the generic call request —
+        keep working exactly as before shm existed."""
+        from repro.data.workers import shard_shm_eligible
+
+        trajs = [
+            Trajectory(
+                user_id=i, day=0, slots=tuple((j, (i + j) % 5) for j in range(2))
+            )
+            for i in range(30)
+        ]
+        db = ColumnarDatabase(trajectory_columns(trajs), records=trajs)
+        sharded = db.shard(2)
+        assert not shard_shm_eligible(sharded.shards[0], None)
+        # a picklable per-record policy: no spec, no batch form — it
+        # reaches the worker as a pickled callable and iterates the
+        # shipped record objects (which an shm descriptor cannot carry)
+        from repro.core.policy import LambdaPolicy
+
+        opaque = LambdaPolicy(_long_trajectory_sensitive, name="per-record")
+        reference = sharded.mask(opaque)
+        with ShardWorkerPool(sharded.shards) as pool:
+            assert pool.stats.shm_shards == 0
+            assert np.array_equal(
+                sharded.with_executor(pool).mask(opaque), reference
+            )
+
     def test_generic_callable_fallback(self, pooled):
         serial, on_pool, pool = pooled
         before = pool.stats.pickled_callables
@@ -132,8 +166,10 @@ class TestEquivalence:
 class TestWireDiscipline:
     def test_request_bytes_independent_of_record_count(self):
         """Per-request wire traffic is specs only: the same request
-        costs the same bytes on a 100x larger database, while the
-        one-time startup shipment scales with the data."""
+        costs the same bytes on a 100x larger database.  On the default
+        shared-memory path the one-time startup shipment is a segment
+        descriptor, so it does not scale with the data either — O(1)
+        bytes per worker, the PR-5 acceptance bar."""
         policy = _policy()
         sizes = {}
         for n in (300, 30_000):
@@ -143,10 +179,43 @@ class TestWireDiscipline:
                 sizes[n] = pool.stats.as_dict()
         small, large = sizes[300], sizes[30_000]
         assert large["request_bytes"] == small["request_bytes"]
-        assert large["startup_bytes"] > 50 * small["startup_bytes"]
+        if small["shm_shards"]:
+            # zero-copy attach: descriptors only, whatever the size
+            # (the few-byte wiggle is the shape integers' digit count)
+            assert abs(large["startup_bytes"] - small["startup_bytes"]) < 100
+            assert large["startup_bytes"] < 2_000
         # a mask request is a ~hundreds-of-bytes spec
         assert small["request_bytes"] < 2_000
         assert small["pickled_callables"] == 0
+
+    def test_pickle_startup_scales_with_data_shm_startup_does_not(self):
+        """The forced pickle path still ships the columns once (its
+        startup scales with the table); the shm path ships descriptors
+        regardless of scale — both serve bit-identical masks."""
+        policy = _policy()
+        stats = {}
+        for n in (300, 30_000):
+            sharded = _db(n).shard(2)
+            reference = sharded.mask(policy)
+            for shm in (False, None):
+                with ShardWorkerPool(sharded.shards, shm=shm) as pool:
+                    got = sharded.with_executor(pool).mask(policy)
+                    assert np.array_equal(got, reference)
+                    stats[(n, shm)] = pool.stats.as_dict()
+        assert (
+            stats[(30_000, False)]["startup_bytes"]
+            > 50 * stats[(300, False)]["startup_bytes"]
+        )
+        assert stats[(30_000, False)]["shm_shards"] == 0
+        if stats[(300, None)]["shm_shards"]:
+            assert (
+                abs(
+                    stats[(30_000, None)]["startup_bytes"]
+                    - stats[(300, None)]["startup_bytes"]
+                )
+                < 100
+            )
+            assert stats[(30_000, None)]["startup_bytes"] < 2_000
 
     def test_spec_requests_counted(self, pooled):
         _, on_pool, pool = pooled
