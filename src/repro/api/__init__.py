@@ -7,8 +7,12 @@ protocol-first Python surface:
   ``release_batch`` / ``true_histogram`` plus live-data updates.
 * :class:`Backend` — the substrate protocol, with
   :class:`InProcessBackend`, :class:`ShardedBackend` (optionally on
-  the shard-resident worker pool) and :class:`RemoteBackend` (socket
-  client for :class:`repro.service.rpc.RpcServer`).
+  the shard-resident worker pool), :class:`RemoteBackend` (socket
+  client for :class:`repro.service.rpc.RpcServer`) and
+  :class:`ClusterBackend` (replicated shard-range fleet with
+  failover; see :mod:`repro.api.cluster` and ``docs/OPERATIONS.md``).
+* :mod:`repro.api.resilience` — retry/backoff/deadline, circuit
+  breaker and endpoint-health primitives the remote tiers build on.
 * :mod:`repro.api.wire` — the canonical JSON / length-prefixed-frame
   wire format of :class:`~repro.service.server.ReleaseRequest` and
   :class:`~repro.service.server.ReleaseResponse`.
@@ -23,6 +27,12 @@ from repro.api.backends import (
     ShardedBackend,
 )
 from repro.api.client import OsdpClient
+from repro.api.cluster import (
+    ClusterBackend,
+    ClusterEndpoint,
+    PartialClusterError,
+)
+from repro.api.resilience import DeadlineExceeded, RetryPolicy
 from repro.service.server import (
     BatchBudgetExceededError,
     ReleaseRequest,
@@ -32,10 +42,15 @@ from repro.service.server import (
 __all__ = [
     "Backend",
     "BatchBudgetExceededError",
+    "ClusterBackend",
+    "ClusterEndpoint",
+    "DeadlineExceeded",
     "InProcessBackend",
     "OsdpClient",
+    "PartialClusterError",
     "ReleaseRequest",
     "ReleaseResponse",
     "RemoteBackend",
+    "RetryPolicy",
     "ShardedBackend",
 ]

@@ -25,15 +25,32 @@ histogram pipeline runs, never in *what* it computes.
 from __future__ import annotations
 
 import threading
+import uuid
 from typing import Mapping, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
+from repro.api.resilience import (
+    Deadline,
+    DeadlineExceeded,
+    RetryPolicy,
+    call_with_retries,
+)
 from repro.service.server import (
     ReleaseRequest,
     ReleaseResponse,
     ReleaseServer,
 )
+
+#: Default connect behavior: a handful of quick retries so a client
+#: starting up in a race against ``repro.cli serve`` does not fail on
+#: one spurious ECONNREFUSED.  Pass ``connect_retry=None`` to fail on
+#: the first refusal (the fail-fast mode the cluster tier uses).
+DEFAULT_CONNECT_RETRY = RetryPolicy(
+    max_attempts=5, base_delay=0.05, multiplier=2.0, max_delay=0.5
+)
+
+_UNSET = object()
 
 
 @runtime_checkable
@@ -76,6 +93,9 @@ class _ServerBackend:
 
     def true_histogram(self, binning) -> np.ndarray:
         return self.server.true_histogram(binning)
+
+    def histogram_counts(self, binning, policy) -> tuple[np.ndarray, np.ndarray]:
+        return self.server.histogram_counts(binning, policy)
 
     def append_records(self, records) -> int:
         return self.server.append_records(records)
@@ -244,11 +264,42 @@ class RemoteBackend:
     (timeout, reset, truncated frame) leaves a stream unsynchronized,
     so it poisons the whole backend: every subsequent call raises
     rather than risk pairing a reply with the wrong request.
+
+    ``connect_retry`` (on by default) retries the initial TCP connect
+    with backoff, so client startup racing a ``repro.cli serve`` does
+    not fail on one refused connection.  ``retry`` (off by default)
+    upgrades *exchanges*: on a transport failure the thread's socket is
+    dropped and the call re-sent on a fresh connection under the
+    policy's backoff/deadline, instead of poisoning the backend.
+    Every retried effectful op (release, batch, append, expire)
+    carries a stable ``req_id``, and the server's idempotent-reply
+    cache guarantees a retry after an *ambiguous* failure (request
+    executed, reply lost) re-serves the cached response — the
+    accountant is charged exactly once no matter how many resends it
+    takes.
     """
 
-    def __init__(self, host: str, port: int, timeout: float | None = None):
+    #: Ops that must not run twice across a retry — they charge the
+    #: accountant or mutate data — so their resends carry a stable
+    #: idempotency key.
+    _EFFECTFUL_OPS = frozenset(
+        {"release", "release_batch", "append_records", "expire_prefix"}
+    )
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float | None = None,
+        retry: RetryPolicy | None = None,
+        connect_retry: RetryPolicy | None = _UNSET,  # type: ignore[assignment]
+    ):
         self.address = (host, port)
         self._timeout = timeout
+        self._retry = retry
+        self._connect_retry = (
+            DEFAULT_CONNECT_RETRY if connect_retry is _UNSET else connect_retry
+        )
         self._local = threading.local()
         self._registry_lock = threading.Lock()
         self._socks: list = []
@@ -257,12 +308,22 @@ class RemoteBackend:
         # address fails here, not at the first release.
         self._local.sock = self._connect()
 
+    def _open_socket(self):
+        from repro.service.rpc import connect
+
+        if self._connect_retry is None:
+            return connect(*self.address, timeout=self._timeout)
+        return call_with_retries(
+            lambda: connect(*self.address, timeout=self._timeout),
+            self._connect_retry,
+            retryable=(OSError,),
+            describe=f"connect to {self.address[0]}:{self.address[1]}",
+        )
+
     def _connect(self):
         import threading as _threading
 
-        from repro.service.rpc import connect
-
-        sock = connect(*self.address, timeout=self._timeout)
+        sock = self._open_socket()
         with self._registry_lock:
             if self._closed:
                 sock.close()
@@ -293,21 +354,57 @@ class RemoteBackend:
             sock = self._local.sock = self._connect()
         return sock
 
+    def _invalidate_thread_sock(self) -> None:
+        """Drop only the calling thread's socket (the retry path).
+
+        Unlike :meth:`close`, other threads' healthy connections keep
+        serving; this thread reconnects on its next exchange.
+        """
+        import threading as _threading
+
+        sock = getattr(self._local, "sock", None)
+        self._local.sock = None
+        if sock is None:
+            return
+        me = _threading.current_thread()
+        with self._registry_lock:
+            self._socks = [
+                (thread, s)
+                for thread, s in self._socks
+                if not (thread is me and s is sock)
+            ]
+        _close_socket(sock)
+
     # ------------------------------------------------------------------
     # One exchange
     # ------------------------------------------------------------------
     def _call(self, op: str, **payload):
+        message = {"op": op, **payload}
+        if self._retry is None:
+            return self._exchange_poisoning(message)
+        return self._exchange_with_retries(message)
+
+    def _exchange_once(self, message):
         from repro.api.wire import (
             exception_from_wire,
             recv_message,
             send_message,
         )
 
-        message = {"op": op, **payload}
         sock = self._thread_sock()
+        send_message(sock, message)
+        reply = recv_message(sock)
+        if not isinstance(reply, dict) or ("ok" not in reply) == (
+            "err" not in reply
+        ):
+            raise RuntimeError(f"malformed rpc reply: {reply!r}")
+        if "err" in reply:
+            raise exception_from_wire(reply["err"])
+        return reply["ok"]
+
+    def _exchange_poisoning(self, message):
         try:
-            send_message(sock, message)
-            reply = recv_message(sock)
+            return self._exchange_once(message)
         except (OSError, EOFError) as exc:
             # A mid-exchange failure desynchronizes the stream — the
             # server's eventual reply would pair with the *next*
@@ -318,13 +415,51 @@ class RemoteBackend:
                 f"rpc exchange failed mid-flight ({exc}); the "
                 "connection has been closed"
             ) from exc
-        if not isinstance(reply, dict) or ("ok" not in reply) == (
-            "err" not in reply
-        ):
-            raise RuntimeError(f"malformed rpc reply: {reply!r}")
-        if "err" in reply:
-            raise exception_from_wire(reply["err"])
-        return reply["ok"]
+
+    def _exchange_with_retries(self, message):
+        from repro.api.wire import WireError
+
+        policy = self._retry
+        if message["op"] in self._EFFECTFUL_OPS:
+            # A stable id across every resend of this logical request:
+            # the server runs the op once and replays the cached reply.
+            message = {**message, "req_id": uuid.uuid4().hex}
+        deadline = Deadline(policy.deadline)
+        last: BaseException | None = None
+        for attempt in range(policy.max_attempts):
+            if deadline.expired():
+                break
+            remaining = deadline.remaining()
+            if remaining is not None:
+                message["deadline"] = remaining
+            try:
+                return self._exchange_once(message)
+            except (OSError, EOFError, WireError) as exc:
+                # This thread's stream is unsynchronized; drop it and
+                # retry on a fresh connection (other threads' sockets
+                # stay live).
+                last = exc
+                self._invalidate_thread_sock()
+                if self._closed or attempt + 1 >= policy.max_attempts:
+                    break
+                pause = policy.delay(attempt)
+                if remaining is not None:
+                    pause = min(pause, deadline.remaining() or 0.0)
+                if pause > 0:
+                    import time as _time
+
+                    _time.sleep(pause)
+        if deadline.expired():
+            raise DeadlineExceeded(
+                f"rpc {message['op']!r} to {self.address[0]}:"
+                f"{self.address[1]} exceeded its {policy.deadline}s deadline"
+            ) from last
+        assert last is not None
+        self.close()
+        raise ConnectionError(
+            f"rpc {message['op']!r} failed after {policy.max_attempts} "
+            f"attempts ({last}); the connection has been closed"
+        ) from last
 
     # ------------------------------------------------------------------
     # The Backend surface
@@ -356,6 +491,25 @@ class RemoteBackend:
         )
         return np.asarray(self._call("true_histogram", binning=spec))
 
+    def histogram_counts(self, binning, policy) -> tuple[np.ndarray, np.ndarray]:
+        """This endpoint's merged ``(x, x_ns)`` pair — the cluster's
+        merge input (see :mod:`repro.api.cluster`)."""
+        from repro.core.policy_language import policy_to_spec
+        from repro.queries.histogram import binning_to_spec
+
+        bspec = (
+            dict(binning)
+            if isinstance(binning, Mapping)
+            else binning_to_spec(binning)
+        )
+        pspec = (
+            dict(policy)
+            if isinstance(policy, Mapping)
+            else policy_to_spec(policy)
+        )
+        doc = self._call("hist_counts", binning=bspec, policy=pspec)
+        return np.asarray(doc["x"]), np.asarray(doc["x_ns"])
+
     def append_records(self, records) -> int:
         return int(self._call("append_records", **_append_payload(records)))
 
@@ -375,6 +529,9 @@ class RemoteBackend:
 
     def stats(self) -> dict:
         return self._call("stats")
+
+    def transport_stats(self) -> dict:
+        return self._call("transport_stats")
 
     @property
     def budget_remaining(self) -> float | None:

@@ -62,10 +62,30 @@ class OsdpClient:
 
     @classmethod
     def connect(
-        cls, host: str, port: int, timeout: float | None = None
+        cls, host: str, port: int, timeout: float | None = None, **kwargs
     ) -> "OsdpClient":
-        """A client over a live :class:`repro.service.rpc.RpcServer`."""
-        return cls(RemoteBackend(host, port, timeout=timeout))
+        """A client over a live :class:`repro.service.rpc.RpcServer`.
+
+        Extra keywords reach :class:`RemoteBackend` — e.g.
+        ``retry=RetryPolicy(...)`` for transparent resend-with-
+        idempotency after transport failures.
+        """
+        return cls(RemoteBackend(host, port, timeout=timeout, **kwargs))
+
+    @classmethod
+    def cluster(cls, endpoints, **kwargs) -> "OsdpClient":
+        """A client over a replicated endpoint fleet (read path only).
+
+        ``endpoints`` is a sequence of
+        :class:`repro.api.cluster.ClusterEndpoint`; keywords reach
+        :class:`~repro.api.cluster.ClusterBackend` (``accountant=``,
+        ``retry=``, ``health_interval=``, ...).  Noise is sampled once
+        at this coordinator, so responses are bit-identical to a
+        single server holding all the shards.
+        """
+        from repro.api.cluster import ClusterBackend
+
+        return cls(ClusterBackend(endpoints, **kwargs))
 
     @property
     def backend(self) -> Backend:

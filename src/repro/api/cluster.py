@@ -1,0 +1,502 @@
+"""Fault-tolerant multi-endpoint serving: one client, N curators.
+
+The single :class:`repro.service.rpc.RpcServer` owning every shard is
+the scale-out blocker ROADMAP item 1 names: one process is both the
+whole serving capacity and a single point of failure.  This module
+splits the data plane across N ``repro.cli serve`` endpoints — each
+owning a contiguous **shard range**, each range served by one or more
+**replicas** — and keeps the trust plane (noise sampling, budget
+accounting) in one place, the coordinator:
+
+* Each release resolves to one ``hist_counts`` call per shard range:
+  the endpoint answers with its merged ``(x, x_ns)`` int64 pair.
+* The coordinator sums the per-range pairs —
+  :meth:`repro.queries.histogram.HistogramInput.from_shard_counts`,
+  the exact integer merge the in-process path performs over local
+  shards — and samples noise **once** at the merge tier.  Integer
+  addition is associative, so for the same request and seed a
+  clustered release is **bit-identical** to a single server holding
+  all the shards; the accountant (the coordinator's) is charged
+  exactly once per release, just as in-process.
+* When an endpoint fails mid-call (refused, reset, truncated frame,
+  killed process), its range is re-served from a replica: failures
+  demote the endpoint in the :class:`repro.api.resilience.HealthMonitor`
+  state machine (healthy → suspect → dead), a per-endpoint
+  :class:`~repro.api.resilience.CircuitBreaker` stops paying connect
+  timeouts to an endpoint that keeps failing, and an optional
+  background health-check thread pings demoted endpoints back into
+  rotation.  A range with **no** reachable replica degrades to an
+  explicit :class:`PartialClusterError` — carrying any already-charged
+  responses — never a hang.
+
+The cluster tier is read-path only: ``release``/``release_batch``/
+``true_histogram`` fan out; data mutations must go to the endpoint
+that owns the shard range (replicas are independent processes — a
+coordinator-side write could not keep them bit-identical atomically).
+See ``docs/OPERATIONS.md`` for topology and failure-mode reference.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.api.backends import RemoteBackend
+from repro.api.resilience import (
+    CircuitBreaker,
+    Deadline,
+    HealthMonitor,
+    RetryPolicy,
+)
+from repro.api.wire import RemoteError, WireError, dumps
+from repro.core.accountant import BudgetExceededError, PrivacyAccountant
+from repro.core.policy_language import policy_to_spec
+from repro.queries.histogram import HistogramInput, binning_to_spec
+from repro.service.server import (
+    BatchBudgetExceededError,
+    MechanismRegistry,
+    ReleaseRequest,
+    ReleaseResponse,
+    ReleaseServer,
+    default_registry,
+)
+
+#: Errors that mean "this endpoint, not this request": the range fails
+#: over to a replica.  Application errors (bad spec, unknown mechanism,
+#: budget) propagate — they would fail identically everywhere.
+FAILOVER_ERRORS = (ConnectionError, OSError, EOFError, WireError, RemoteError)
+
+#: Default range-level sweep retry: each attempt tries every candidate
+#: replica once (health-ranked), with backoff between sweeps.
+DEFAULT_CLUSTER_RETRY = RetryPolicy(
+    max_attempts=3, base_delay=0.05, multiplier=2.0, max_delay=0.5
+)
+
+
+@dataclass(frozen=True)
+class ClusterEndpoint:
+    """One ``repro.cli serve`` process in the topology.
+
+    ``shard_range`` is the label of the data slice this endpoint owns —
+    any hashable (a ``(lo, hi)`` tuple, a string); endpoints sharing a
+    label are replicas of each other and **must** serve identical data
+    (the bit-identity contract is theirs to keep).
+    """
+
+    host: str
+    port: int
+    shard_range: object = 0
+    name: str = ""
+
+    @property
+    def key(self) -> str:
+        """The endpoint's identity in health/breaker bookkeeping."""
+        return self.name or f"{self.host}:{self.port}"
+
+
+class PartialClusterError(RuntimeError):
+    """A shard range had no serving replica; the request degraded.
+
+    ``shard_range`` names the unserved range, ``responses`` holds any
+    already-produced (and already-charged) batch prefix — charged
+    noise is never silently discarded, mirroring
+    :class:`~repro.service.server.BatchBudgetExceededError` — and
+    ``failed_request`` is the request that could not be completed.
+    """
+
+    def __init__(
+        self, message: str, shard_range, responses=(), failed_request=None
+    ):
+        super().__init__(message)
+        self.shard_range = shard_range
+        self.responses = list(responses)
+        self.failed_request = failed_request
+
+
+@dataclass
+class ClusterStats:
+    """Coordinator-side counters (see also :meth:`ClusterBackend.health`)."""
+
+    requests: int = 0
+    range_calls: int = 0
+    failovers: int = 0
+    sweep_retries: int = 0
+    breaker_skips: int = 0
+    unserved_ranges: int = 0
+    hist_merges: int = 0
+    hist_memo_hits: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self.__dict__)
+
+
+class ClusterBackend:
+    """Route one :class:`~repro.api.OsdpClient` across N endpoints.
+
+    Implements the read side of the :class:`~repro.api.Backend`
+    protocol over a replicated topology; noise sampling and budget
+    accounting happen here, at the merge tier, with this backend's
+    ``registry``/``accountant`` — endpoints only ever answer exact
+    count queries, so an endpoint crash can never half-charge a
+    budget.
+
+    ``retry`` paces the per-range failover sweep (each attempt walks
+    every candidate replica, healthiest first); ``health_interval``
+    (seconds) turns on the background ping loop that returns demoted
+    endpoints to rotation.
+    """
+
+    def __init__(
+        self,
+        endpoints: Sequence[ClusterEndpoint],
+        registry: MechanismRegistry | None = None,
+        accountant: PrivacyAccountant | None = None,
+        retry: RetryPolicy | None = None,
+        timeout: float | None = 5.0,
+        health_interval: float | None = None,
+        probe_timeout: float = 1.0,
+        breaker_threshold: int = 3,
+        breaker_reset: float = 1.0,
+        dead_after: int = 3,
+    ):
+        if not endpoints:
+            raise ValueError("a cluster needs at least one endpoint")
+        keys = [ep.key for ep in endpoints]
+        if len(set(keys)) != len(keys):
+            raise ValueError(f"duplicate endpoint keys in {keys}")
+        self.endpoints = list(endpoints)
+        self._by_key = {ep.key: ep for ep in self.endpoints}
+        self._replicas: dict[object, list[ClusterEndpoint]] = {}
+        for ep in self.endpoints:
+            self._replicas.setdefault(ep.shard_range, []).append(ep)
+        # Deterministic range order (merge addition is commutative, so
+        # this is for readable errors/stats, not bit-identity).
+        self._ranges = sorted(self._replicas, key=repr)
+        self._registry = registry or default_registry()
+        self.accountant = accountant
+        self._retry = retry or DEFAULT_CLUSTER_RETRY
+        self._timeout = timeout
+        self._probe_timeout = probe_timeout
+        self.stats = ClusterStats()
+        self._stats_lock = threading.Lock()
+        self._clients: dict[str, RemoteBackend] = {}
+        self._clients_lock = threading.Lock()
+        self._closed = False
+        self._breakers = {
+            key: CircuitBreaker(
+                failure_threshold=breaker_threshold, reset_after=breaker_reset
+            )
+            for key in keys
+        }
+        self._health = HealthMonitor(
+            keys,
+            probe=self._probe,
+            interval=health_interval or 0.5,
+            dead_after=dead_after,
+        )
+        if health_interval is not None:
+            self._health.start()
+
+    # ------------------------------------------------------------------
+    # Endpoint plumbing
+    # ------------------------------------------------------------------
+    def _client(self, endpoint: ClusterEndpoint) -> RemoteBackend:
+        """The cached fail-fast connection to one endpoint.
+
+        Deliberately ``retry=None, connect_retry=None``: the cluster's
+        range-level sweep is the retry layer, and stacking per-endpoint
+        retries under it would multiply every dead endpoint's cost.
+        """
+        with self._clients_lock:
+            if self._closed:
+                raise ConnectionError("cluster backend is closed")
+            client = self._clients.get(endpoint.key)
+        if client is not None:
+            return client
+        client = RemoteBackend(
+            endpoint.host,
+            endpoint.port,
+            timeout=self._timeout,
+            retry=None,
+            connect_retry=None,
+        )
+        with self._clients_lock:
+            if self._closed:
+                client.close()
+                raise ConnectionError("cluster backend is closed")
+            other = self._clients.setdefault(endpoint.key, client)
+        if other is not client:
+            client.close()
+        return other
+
+    def _drop_client(self, endpoint: ClusterEndpoint) -> None:
+        with self._clients_lock:
+            client = self._clients.pop(endpoint.key, None)
+        if client is not None:
+            client.close()
+
+    def _probe(self, key: str) -> None:
+        """One health-check ping (short-lived connection, fail fast)."""
+        endpoint = self._by_key[key]
+        probe = RemoteBackend(
+            endpoint.host,
+            endpoint.port,
+            timeout=self._probe_timeout,
+            retry=None,
+            connect_retry=None,
+        )
+        try:
+            probe.ping()
+        finally:
+            probe.close()
+
+    def _bump(self, counter: str, by: int = 1) -> None:
+        with self._stats_lock:
+            setattr(self.stats, counter, getattr(self.stats, counter) + by)
+
+    # ------------------------------------------------------------------
+    # The failover core: call one shard range, walking its replicas
+    # ------------------------------------------------------------------
+    def _range_call(self, shard_range, fn, describe: str):
+        """Run ``fn(client)`` against the healthiest live replica.
+
+        Each sweep tries every candidate once, healthiest first (a
+        stale "dead" verdict never *excludes* a replica — it only
+        deprioritizes it); open circuit breakers are skipped unless
+        they would leave no candidate at all.  Failed sweeps back off
+        under the cluster retry policy; exhaustion raises
+        :class:`PartialClusterError` — bounded time, never a hang.
+        """
+        policy = self._retry
+        deadline = Deadline(policy.deadline)
+        last: BaseException | None = None
+        for attempt in range(policy.max_attempts):
+            if deadline.expired():
+                break
+            ranked = self._health.ranked(
+                self._replicas[shard_range], key=lambda ep: ep.key
+            )
+            candidates = [
+                ep for ep in ranked if self._breakers[ep.key].allow()
+            ]
+            if not candidates:
+                # Every breaker is open: force-try the healthiest one
+                # anyway — fail-fast must not become fail-always.
+                self._bump("breaker_skips")
+                candidates = ranked[:1]
+            for endpoint in candidates:
+                deadline.require(describe)
+                self._bump("range_calls")
+                try:
+                    result = fn(self._client(endpoint))
+                except FAILOVER_ERRORS as exc:
+                    last = exc
+                    self._bump("failovers")
+                    self._health.record_failure(endpoint.key, exc)
+                    self._breakers[endpoint.key].record_failure()
+                    self._drop_client(endpoint)
+                    continue
+                self._health.record_success(endpoint.key)
+                self._breakers[endpoint.key].record_success()
+                return result
+            if attempt + 1 < policy.max_attempts:
+                self._bump("sweep_retries")
+                pause = policy.delay(attempt)
+                remaining = deadline.remaining()
+                if remaining is not None:
+                    pause = min(pause, remaining)
+                if pause > 0:
+                    time.sleep(pause)
+        self._bump("unserved_ranges")
+        raise PartialClusterError(
+            f"shard range {shard_range!r} has no serving replica for "
+            f"{describe} (replicas: "
+            f"{[ep.key for ep in self._replicas[shard_range]]}; "
+            f"last error: {type(last).__name__ if last else None}: {last})",
+            shard_range,
+        ) from last
+
+    # ------------------------------------------------------------------
+    # The merge tier
+    # ------------------------------------------------------------------
+    def _merged_histogram(self, request: ReleaseRequest, memo: dict | None):
+        """The cluster-wide :class:`HistogramInput` for one request.
+
+        One ``hist_counts`` per shard range, then the canonical
+        :meth:`HistogramInput.from_shard_counts` merge.  ``memo``
+        (per-batch) plays the role of the single server's histogram
+        cache: requests sharing a ``(binning, policy)`` pair pay the
+        fan-out once and report ``cache_hit`` like the in-process path.
+        """
+        binning, policy = ReleaseServer._resolve(request)
+        bspec = (
+            dict(request.binning)
+            if isinstance(request.binning, Mapping)
+            else binning_to_spec(binning)
+        )
+        pspec = (
+            dict(request.policy)
+            if isinstance(request.policy, Mapping)
+            else policy_to_spec(policy)
+        )
+        key = dumps({"binning": bspec, "policy": pspec})
+        if memo is not None and key in memo:
+            self._bump("hist_memo_hits")
+            return memo[key], policy, True
+        pairs = [
+            self._range_call(
+                shard_range,
+                lambda client: client.histogram_counts(bspec, pspec),
+                describe=f"hist_counts({request.label or request.mechanism})",
+            )
+            for shard_range in self._ranges
+        ]
+        hist = HistogramInput.from_shard_counts(pairs)
+        hist.ns_support_sorted  # warm the release fast-path views
+        self._bump("hist_merges")
+        if memo is not None:
+            memo[key] = hist
+        return hist, policy, False
+
+    def _handle_one(
+        self, request: ReleaseRequest, memo: dict | None
+    ) -> ReleaseResponse:
+        # Mirrors ReleaseServer.handle step for step: same merge
+        # product, same registry.create, same rng construction and
+        # mechanism.run call — the bit-identity contract.
+        if request.n_trials < 1:
+            raise ValueError("n_trials must be at least 1")
+        hist, policy, cache_hit = self._merged_histogram(request, memo)
+        mechanism = self._registry.create(request.mechanism, request.epsilon)
+        estimates = mechanism.run(
+            hist,
+            np.random.default_rng(request.seed),
+            n_trials=request.n_trials,
+            policy=policy,
+            accountant=self.accountant,
+            label=request.label or request.mechanism,
+        )
+        self._bump("requests")
+        return ReleaseResponse(
+            request=request,
+            estimates=estimates,
+            epsilon_spent=request.epsilon,
+            budget_remaining=self.budget_remaining,
+            cache_hit=cache_hit,
+        )
+
+    # ------------------------------------------------------------------
+    # The Backend surface (read path)
+    # ------------------------------------------------------------------
+    def handle(self, request: ReleaseRequest) -> ReleaseResponse:
+        return self._handle_one(request, memo=None)
+
+    def handle_batch(
+        self, requests: Sequence[ReleaseRequest]
+    ) -> list[ReleaseResponse]:
+        """Serve a batch in order, with the single server's semantics.
+
+        Same upfront validation (no budget is charged on a batch
+        doomed by a typo), same :class:`BatchBudgetExceededError` with
+        the charged prefix on overrun; an unserved shard range raises
+        :class:`PartialClusterError` carrying the prefix instead.
+        """
+        for request in requests:
+            if request.mechanism not in self._registry:
+                raise KeyError(
+                    f"unknown mechanism {request.mechanism!r}; registered: "
+                    f"{self._registry.names()}"
+                )
+            if request.n_trials < 1:
+                raise ValueError("n_trials must be at least 1")
+            if request.epsilon <= 0:
+                raise ValueError("epsilon must be positive")
+        responses: list[ReleaseResponse] = []
+        memo: dict = {}
+        for request in requests:
+            try:
+                responses.append(self._handle_one(request, memo))
+            except BudgetExceededError as exc:
+                raise BatchBudgetExceededError(
+                    str(exc), responses, request
+                ) from exc
+            except PartialClusterError as exc:
+                raise PartialClusterError(
+                    str(exc), exc.shard_range, responses, request
+                ) from exc
+        return responses
+
+    def true_histogram(self, binning) -> np.ndarray:
+        spec = (
+            dict(binning)
+            if isinstance(binning, Mapping)
+            else binning_to_spec(binning)
+        )
+        totals = [
+            self._range_call(
+                shard_range,
+                lambda client: client.true_histogram(spec),
+                describe="true_histogram",
+            )
+            for shard_range in self._ranges
+        ]
+        return np.sum(totals, axis=0)
+
+    def append_records(self, records) -> int:
+        raise NotImplementedError(
+            "the cluster tier is read-path only: append via the endpoint "
+            "that owns the shard range (replicas are independent "
+            "processes; a coordinator-side write could not update them "
+            "atomically)"
+        )
+
+    def expire_prefix(self, n_records: int) -> list[int]:
+        raise NotImplementedError(
+            "the cluster tier is read-path only: expire via the endpoint "
+            "that owns the shard range"
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def mechanisms(self) -> list[str]:
+        return self._registry.names()
+
+    @property
+    def budget_remaining(self) -> float | None:
+        return self.accountant.remaining if self.accountant else None
+
+    def health(self) -> dict[str, dict]:
+        """Per-endpoint health snapshot (state, failures, last error)."""
+        snapshot = self._health.status()
+        for key, doc in snapshot.items():
+            doc["breaker"] = self._breakers[key].state
+            doc["shard_range"] = self._by_key[key].shard_range
+        return snapshot
+
+    def cluster_stats(self) -> dict:
+        with self._stats_lock:
+            return self.stats.as_dict()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self._health.close()
+        with self._clients_lock:
+            if self._closed:
+                return
+            self._closed = True
+            clients, self._clients = list(self._clients.values()), {}
+        for client in clients:
+            client.close()
+
+    def __enter__(self) -> "ClusterBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,367 @@
+"""Reusable resilience primitives for the serving tier.
+
+Production OSDP serving lives or dies on operational reliability: a
+release request must come back, degrade explicitly, or fail loudly —
+never hang, and never charge the privacy accountant twice.  This
+module is the transport-agnostic toolkit the client/cluster layers
+build that behavior from:
+
+* :class:`RetryPolicy` — bounded exponential backoff with jitter and an
+  optional per-request **deadline**.  The deadline is a wall-clock
+  budget for the whole logical request: every retry attempt deducts
+  from it, the remaining budget rides the wire header (see
+  :mod:`repro.service.rpc`), and a server refuses to start work — and
+  charge budget — for a caller that has already given up.
+* :class:`Deadline` — a monotonic-clock countdown shared by retry
+  loops and socket timeouts.
+* :class:`CircuitBreaker` — a per-endpoint fail-fast gate: after
+  ``failure_threshold`` consecutive failures the breaker *opens* and
+  calls skip the endpoint without paying a connect timeout; after
+  ``reset_after`` seconds one probe is let through (half-open) and a
+  success closes it again.
+* :class:`HealthMonitor` — the healthy/suspect/dead endpoint state
+  machine.  Call-path failures demote an endpoint (healthy → suspect →
+  dead after ``dead_after`` consecutive failures); a background thread
+  re-probes non-healthy endpoints (the RPC ``ping`` op in practice)
+  and one successful probe restores it.  :meth:`HealthMonitor.ranked`
+  orders candidate endpoints so live replicas are tried before
+  suspects, and dead endpoints only as a last resort.
+
+None of these classes know about sockets or the wire format;
+:class:`repro.api.backends.RemoteBackend` and
+:class:`repro.api.cluster.ClusterBackend` wire them to the transport.
+"""
+
+from __future__ import annotations
+
+import random as _random_module
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+
+class DeadlineExceeded(RuntimeError):
+    """A request's wall-clock budget ran out before it completed.
+
+    Raised client-side when retries exhaust the deadline, and
+    server-side (then re-raised across the wire) when a request
+    arrives with its carried deadline already expired — serving it
+    would spend privacy budget on a response nobody will read.
+    """
+
+
+class Deadline:
+    """A monotonic countdown; ``seconds=None`` means no deadline."""
+
+    def __init__(self, seconds: float | None, clock=time.monotonic):
+        self._clock = clock
+        self.total = seconds
+        self._expires = None if seconds is None else clock() + seconds
+
+    def remaining(self) -> float | None:
+        """Seconds left (never negative); None when unbounded."""
+        if self._expires is None:
+            return None
+        return max(0.0, self._expires - self._clock())
+
+    def expired(self) -> bool:
+        return self._expires is not None and self._clock() >= self._expires
+
+    def require(self, what: str) -> None:
+        """Raise :class:`DeadlineExceeded` if the budget is spent."""
+        if self.expired():
+            raise DeadlineExceeded(
+                f"{what} exceeded its {self.total}s deadline"
+            )
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with jitter and an optional deadline.
+
+    ``delay(attempt)`` for attempts 0, 1, 2, ... grows as
+    ``base_delay * multiplier**attempt`` capped at ``max_delay``, then
+    spread by ``jitter`` (a fraction: 0.25 means ±25%) so a fleet of
+    retrying clients does not re-arrive in lockstep.  ``deadline`` is
+    the whole logical request's wall-clock budget in seconds — not a
+    per-attempt timeout.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.25
+    deadline: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be within [0, 1]")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be positive (or None)")
+
+    def delay(self, attempt: int, rng=None) -> float:
+        """The backoff before retry number ``attempt + 1``."""
+        base = min(self.max_delay, self.base_delay * self.multiplier**attempt)
+        if not self.jitter or base == 0.0:
+            return base
+        u = (rng or _random_module).random()
+        return base * (1.0 - self.jitter + 2.0 * self.jitter * u)
+
+
+def call_with_retries(
+    fn: Callable,
+    policy: RetryPolicy,
+    retryable: tuple[type[BaseException], ...] = (OSError,),
+    rng=None,
+    sleep: Callable[[float], None] = time.sleep,
+    describe: str = "call",
+    deadline: Deadline | None = None,
+):
+    """Run ``fn`` under ``policy``; re-raise the last failure when spent.
+
+    Only ``retryable`` exception types are retried — anything else
+    propagates immediately (an application error will fail the same
+    way on every attempt).  ``deadline`` may be passed in to share one
+    countdown across several retried calls; by default the policy's
+    own deadline (if any) starts now.
+    """
+    deadline = deadline or Deadline(policy.deadline)
+    last: BaseException | None = None
+    for attempt in range(policy.max_attempts):
+        if deadline.expired():
+            break
+        try:
+            return fn()
+        except retryable as exc:
+            last = exc
+            if attempt + 1 >= policy.max_attempts:
+                break
+            pause = policy.delay(attempt, rng)
+            remaining = deadline.remaining()
+            if remaining is not None:
+                pause = min(pause, remaining)
+            if pause > 0:
+                sleep(pause)
+    if deadline.expired():
+        raise DeadlineExceeded(
+            f"{describe} exceeded its {deadline.total}s deadline"
+        ) from last
+    assert last is not None
+    raise last
+
+
+class CircuitBreaker:
+    """Consecutive-failure fail-fast gate with timed half-open probes.
+
+    Thread-safe.  ``allow()`` answers "should a call be attempted right
+    now": always while closed; while open, only once per
+    ``reset_after`` window (the half-open probe).  Callers report the
+    outcome back via :meth:`record_success` / :meth:`record_failure`.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_after: float = 1.0,
+        clock=time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        if reset_after < 0:
+            raise ValueError("reset_after must be non-negative")
+        self._threshold = failure_threshold
+        self._reset_after = reset_after
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._failures = 0
+        self._opened_at: float | None = None
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            if self._opened_at is None:
+                return "closed"
+            if self._clock() - self._opened_at >= self._reset_after:
+                return "half-open"
+            return "open"
+
+    def allow(self) -> bool:
+        with self._lock:
+            if self._opened_at is None:
+                return True
+            if self._clock() - self._opened_at >= self._reset_after:
+                # Half-open: let exactly one probe through per window
+                # by pushing the window forward before releasing the
+                # lock — concurrent callers stay blocked.
+                self._opened_at = self._clock()
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._opened_at = None
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            if self._failures >= self._threshold:
+                self._opened_at = self._clock()
+
+
+# ----------------------------------------------------------------------
+# Endpoint health state machine
+# ----------------------------------------------------------------------
+
+HEALTHY = "healthy"
+SUSPECT = "suspect"
+DEAD = "dead"
+
+_STATE_ORDER = {HEALTHY: 0, SUSPECT: 1, DEAD: 2}
+
+
+@dataclass
+class EndpointStatus:
+    """One endpoint's view in the health state machine."""
+
+    state: str = HEALTHY
+    consecutive_failures: int = 0
+    last_error: str | None = None
+    probes: int = 0
+    transitions: int = 0
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+class HealthMonitor:
+    """healthy/suspect/dead tracking plus background re-probing.
+
+    Call-path outcomes drive the machine passively
+    (:meth:`record_success` / :meth:`record_failure`); when a ``probe``
+    callable is given and :meth:`start` is called, a daemon thread
+    additionally probes every *non-healthy* endpoint each ``interval``
+    seconds — healthy endpoints are validated by live traffic, so
+    probing them would be redundant load — and one successful probe
+    restores the endpoint to healthy.  A dead endpoint is therefore
+    never abandoned: it re-enters rotation the moment it answers a
+    ping again.
+    """
+
+    def __init__(
+        self,
+        keys: Iterable[str],
+        probe: Callable[[str], None] | None = None,
+        interval: float = 0.5,
+        dead_after: int = 3,
+    ):
+        if dead_after < 1:
+            raise ValueError("dead_after must be at least 1")
+        self._status = {key: EndpointStatus() for key in keys}
+        self._probe = probe
+        self._interval = interval
+        self._dead_after = dead_after
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- passive transitions (driven by real traffic) -------------------
+    def record_success(self, key: str) -> None:
+        with self._lock:
+            status = self._status[key]
+            if status.state != HEALTHY:
+                status.transitions += 1
+            status.state = HEALTHY
+            status.consecutive_failures = 0
+            status.last_error = None
+
+    def record_failure(self, key: str, error: object = None) -> None:
+        with self._lock:
+            status = self._status[key]
+            status.consecutive_failures += 1
+            new_state = (
+                DEAD
+                if status.consecutive_failures >= self._dead_after
+                else SUSPECT
+            )
+            if status.state != new_state:
+                status.transitions += 1
+            status.state = new_state
+            if error is not None:
+                status.last_error = f"{type(error).__name__}: {error}" if isinstance(
+                    error, BaseException
+                ) else str(error)
+
+    # -- queries --------------------------------------------------------
+    def state(self, key: str) -> str:
+        with self._lock:
+            return self._status[key].state
+
+    def status(self) -> dict[str, dict]:
+        """A snapshot of every endpoint's status (for operators)."""
+        with self._lock:
+            return {key: s.as_dict() for key, s in self._status.items()}
+
+    def ranked(self, items: Sequence, key=lambda item: item) -> list:
+        """``items`` stably sorted healthy-first, dead-last.
+
+        The selection order of the failover path: live replicas are
+        tried before suspects, and dead endpoints only when nothing
+        better remains (a stale "dead" verdict must not turn a
+        servable request into a failure).
+        """
+        with self._lock:
+            return sorted(
+                items,
+                key=lambda item: _STATE_ORDER[self._status[key(item)].state],
+            )
+
+    # -- background probing ---------------------------------------------
+    def start(self) -> "HealthMonitor":
+        if self._probe is None:
+            raise ValueError("no probe callable; cannot start the monitor")
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-health-monitor", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self._interval):
+            with self._lock:
+                unhealthy = [
+                    key
+                    for key, status in self._status.items()
+                    if status.state != HEALTHY
+                ]
+            for key in unhealthy:
+                if self._stop.is_set():
+                    return
+                with self._lock:
+                    self._status[key].probes += 1
+                try:
+                    self._probe(key)
+                except Exception as exc:
+                    self.record_failure(key, exc)
+                else:
+                    self.record_success(key)
+
+    def close(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "HealthMonitor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -39,6 +39,7 @@ from typing import Mapping
 
 import numpy as np
 
+from repro.api.resilience import DeadlineExceeded
 from repro.core.accountant import BudgetExceededError
 from repro.core.policy_language import PolicySpecError, policy_to_spec
 from repro.queries.histogram import binning_to_spec
@@ -209,6 +210,8 @@ _EXCEPTION_KINDS: dict[str, type[Exception]] = {
     "ValueError": ValueError,
     "TypeError": TypeError,
     "PolicySpecError": PolicySpecError,
+    "WireError": WireError,
+    "DeadlineExceeded": DeadlineExceeded,
 }
 
 
@@ -331,26 +334,74 @@ def send_message(sock, obj) -> None:
     sock.sendall(encode_message(obj))
 
 
-def recv_message(sock):
-    """Read one framed message; raises ``EOFError`` on a closed peer."""
+def recv_frame_prefix(sock) -> int:
+    """Block for the next message's 4-byte length prefix.
+
+    This is the *idle* blocking point of a connection: until the prefix
+    arrives, no part of a message has been committed to the stream, so
+    a server may safely shut the connection down here (the graceful-
+    drain path in :mod:`repro.service.rpc` relies on that split).
+    Returns the header length; raises ``EOFError`` on a closed peer and
+    :class:`WireError` on a prefix beyond :data:`MAX_FRAME_BYTES`.
+    """
     (header_len,) = _U32.unpack(_recv_exact(sock, _U32.size))
     if header_len > MAX_FRAME_BYTES:
         raise WireError(f"header frame of {header_len} bytes exceeds bound")
-    header = json.loads(_recv_exact(sock, header_len).decode("utf-8"))
+    return header_len
+
+
+def recv_message_body(sock, header_len: int):
+    """Read the rest of a message whose prefix announced ``header_len``.
+
+    Every way a corrupt or hostile stream can fail decoding — header
+    bytes that are not UTF-8 JSON, an unknown dtype, a shape that does
+    not match the byte count, a negative or oversized array frame —
+    raises :class:`WireError` (truncation still raises ``EOFError``).
+    Nothing is silently skipped: after any of these the stream position
+    is unknown and the caller must drop the connection.
+    """
+    raw_header = _recv_exact(sock, header_len)
+    try:
+        header = json.loads(raw_header.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireError(f"undecodable header frame: {exc}") from exc
+    if not isinstance(header, dict):
+        raise WireError(
+            f"header frame is {type(header).__name__}, expected an object"
+        )
     if header.get("v") != WIRE_VERSION:
         raise WireError(
             f"peer speaks wire version {header.get('v')!r}, "
             f"this client speaks {WIRE_VERSION}"
         )
     arrays = []
-    for descriptor in header.get("arrays", ()):
-        nbytes = int(descriptor["nbytes"])
-        if nbytes > MAX_FRAME_BYTES:
+    descriptors = header.get("arrays", ())
+    if not isinstance(descriptors, list):
+        raise WireError("header 'arrays' is not a list")
+    for descriptor in descriptors:
+        try:
+            nbytes = int(descriptor["nbytes"])
+            dtype = np.dtype(descriptor["dtype"])
+            shape = tuple(int(s) for s in descriptor["shape"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise WireError(f"malformed array descriptor: {exc}") from exc
+        if nbytes < 0 or nbytes > MAX_FRAME_BYTES:
             raise WireError(f"array frame of {nbytes} bytes exceeds bound")
         raw = _recv_exact(sock, nbytes)
-        arrays.append(
-            np.frombuffer(raw, dtype=np.dtype(descriptor["dtype"]))
-            .reshape(tuple(descriptor["shape"]))
-            .copy()
-        )
-    return _reinflate(header.get("body"), arrays)
+        try:
+            arrays.append(
+                np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
+            )
+        except (ValueError, TypeError) as exc:
+            raise WireError(
+                f"array frame does not match its descriptor: {exc}"
+            ) from exc
+    try:
+        return _reinflate(header.get("body"), arrays)
+    except (IndexError, TypeError) as exc:
+        raise WireError(f"malformed message body: {exc}") from exc
+
+
+def recv_message(sock):
+    """Read one framed message; raises ``EOFError`` on a closed peer."""
+    return recv_message_body(sock, recv_frame_prefix(sock))

@@ -252,6 +252,7 @@ def cmd_serve(args: argparse.Namespace) -> None:
         host=args.host,
         port=args.port,
         max_readers=args.max_readers,
+        read_timeout=args.read_timeout,
     )
     host, port = rpc.address
     store_lines = {
@@ -288,10 +289,20 @@ def cmd_serve(args: argparse.Namespace) -> None:
     try:
         rpc.serve_forever()
     except KeyboardInterrupt:
-        print("\nshutting down")
+        # Graceful drain: in-flight requests get their replies (up to
+        # --drain-grace seconds), new ones are refused.  Running it
+        # here — after serve_forever has unwound — rather than inside
+        # the signal handler keeps shutdown() from deadlocking against
+        # the interrupted serve loop.
+        print("\ndraining (in-flight requests finish, new ones refused)")
+        rpc.drain(grace=args.drain_grace)
+        aborted = rpc.transport_stats["aborted_in_flight"]
+        if aborted:
+            print(f"drain grace expired with {aborted} request(s) aborted")
     finally:
         rpc.close()
         backend.close()
+        print("shutdown complete")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -377,6 +388,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--budget", type=float, default=None,
         help="total epsilon; omit for an unmetered server",
+    )
+    p_serve.add_argument(
+        "--read-timeout", type=float, default=None,
+        help="per-connection socket read timeout in seconds: a peer "
+        "stalling mid-frame loses its connection instead of pinning a "
+        "handler thread; omit for no timeout",
+    )
+    p_serve.add_argument(
+        "--drain-grace", type=float, default=5.0,
+        help="seconds SIGTERM/Ctrl-C waits for in-flight requests to "
+        "finish before cutting connections (default 5)",
     )
     p_serve.set_defaults(func=cmd_serve)
 

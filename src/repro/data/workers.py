@@ -380,6 +380,7 @@ class WorkerPoolStats:
     last_request_bytes: int = 0
     respawns: int = 0
     shm_shards: int = 0
+    forced_kills: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return dict(self.__dict__)
@@ -554,9 +555,7 @@ class ShardWorkerPool:
             except (BrokenPipeError, OSError):
                 pass
         for proc in self._procs:
-            proc.join(timeout=5)
-            if proc.is_alive():  # pragma: no cover - defensive
-                proc.terminate()
+            self._reap(proc)
         for conn in self._conns:
             conn.close()
         for store, owned in zip(self._stores, self._owned):
@@ -608,6 +607,27 @@ class ShardWorkerPool:
         self.stats.response_bytes += len(raw)
         return pickle.loads(raw)
 
+    def _reap(self, proc, grace: float = 5.0, polite: bool = True) -> None:
+        """Collect one worker process, escalating instead of leaking.
+
+        [polite] join → terminate (SIGTERM) → kill (SIGKILL), each
+        bounded by ``grace`` seconds, so a wedged worker can never
+        linger as a silent zombie holding its pipe and shm
+        attachments; an escalation to SIGKILL is surfaced in
+        ``stats.forced_kills``.  ``polite=False`` (the respawn path,
+        where the worker is already presumed dead or wedged) skips the
+        initial wait.
+        """
+        if polite:
+            proc.join(timeout=grace)
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=grace)
+        if proc.is_alive():  # pragma: no cover - needs a SIGTERM-immune child
+            proc.kill()
+            proc.join(timeout=grace)
+            self.stats.forced_kills += 1
+
     def _respawn(self, index: int) -> None:
         """Replace a dead worker with a fresh process holding its shard.
 
@@ -619,10 +639,7 @@ class ShardWorkerPool:
             self._conns[index].close()
         except OSError:  # pragma: no cover - platform-dependent
             pass
-        old = self._procs[index]
-        if old.is_alive():
-            old.terminate()
-        old.join(timeout=5)
+        self._reap(self._procs[index], polite=False)
         conn, proc = self._spawn_process()
         self._conns[index] = conn
         self._procs[index] = proc

@@ -20,12 +20,23 @@ Protocol: each exchange is one framed request message
                    a mid-batch budget overrun ships the charged prefix
                    (see ``BatchBudgetExceededError``) in the error
 ``true_histogram`` a binning spec -> the exact histogram (audit path)
+``hist_counts``    a (binning, policy) spec pair -> this server's
+                   merged ``{"x", "x_ns"}`` int64 count arrays (the
+                   cluster coordinator's merge input)
 ``append_records`` new rows (list of records, or a columns mapping of
                    arrays) -> tail shard index
 ``expire_prefix``  drop the n oldest records -> touched shard indices
 ``stats``          the server's cache counters
+``transport_stats`` the socket tier's counters (timeouts, replays,
+                   drains, ...)
 ``budget``         remaining epsilon (None when unmetered)
 =================  ====================================================
+
+Any request may additionally carry ``req_id`` (idempotency key: the
+reply is cached and a retried id re-serves it without re-running the
+op) and ``deadline`` (the client's remaining seconds of patience; an
+op that would start after that budget has elapsed is refused with
+``DeadlineExceeded`` instead of spending privacy budget).
 
 Handling follows a **readers-writer discipline** (the one-big-lock
 serialization of PR 4 is gone): the read-path ops — ``release``,
@@ -48,10 +59,15 @@ from __future__ import annotations
 import socket
 import socketserver
 import threading
+import time
+from collections import OrderedDict
 
+from repro.api.resilience import DeadlineExceeded
 from repro.api.wire import (
+    WireError,
     error_to_wire,
-    recv_message,
+    recv_frame_prefix,
+    recv_message_body,
     request_from_wire,
     response_to_wire,
     send_message,
@@ -132,26 +148,82 @@ class ReadWriteLock:
 
 
 class _Handler(socketserver.BaseRequestHandler):
-    def handle(self) -> None:  # one connection, many exchanges
+    """One connection, many exchanges.
+
+    Each exchange splits the read in two: blocking for the 4-byte
+    length prefix is the connection's *idle* state (no message has been
+    committed yet — a drain may cut the connection here), while reading
+    the body after the prefix marks the exchange **in-flight** (the
+    drain path lets it finish and be answered).  A corrupt frame gets
+    an error reply and then drops the connection — after a framing
+    failure the stream position is unknown, so continuing would desync
+    silently.  Read timeouts bound how long a half-sent request may
+    pin a handler thread.
+    """
+
+    def setup(self) -> None:
+        super().setup()
         rpc: "RpcServer" = self.server.rpc  # type: ignore[attr-defined]
+        if rpc.read_timeout is not None:
+            self.request.settimeout(rpc.read_timeout)
+        rpc._register_connection(self.request)
+
+    def finish(self) -> None:
+        self.server.rpc._unregister_connection(  # type: ignore[attr-defined]
+            self.request
+        )
+        super().finish()
+
+    def handle(self) -> None:
+        rpc: "RpcServer" = self.server.rpc  # type: ignore[attr-defined]
+        sock = self.request
         while True:
             try:
-                message = recv_message(self.request)
-            except (EOFError, ConnectionError, OSError):
+                header_len = recv_frame_prefix(sock)
+            except TimeoutError:
+                rpc._bump("read_timeouts")
                 return
-            try:
-                reply = {"ok": rpc.dispatch(message)}
-            except BaseException as exc:  # ship the failure, keep serving
-                reply = {"err": error_to_wire(exc)}
-            try:
-                send_message(self.request, reply)
-            except (BrokenPipeError, ConnectionError, OSError):
+            except (WireError, EOFError, ConnectionError, OSError):
                 return
+            if not rpc._begin_exchange():
+                return  # draining: refuse work that arrives now
+            try:
+                try:
+                    message = recv_message_body(sock, header_len)
+                except TimeoutError:
+                    rpc._bump("read_timeouts")
+                    return
+                except WireError as exc:
+                    rpc._bump("wire_errors")
+                    try:
+                        send_message(sock, {"err": error_to_wire(exc)})
+                    except OSError:
+                        pass
+                    return
+                except (EOFError, ConnectionError, OSError):
+                    return
+                reply = rpc.serve_message(message, time.monotonic())
+                try:
+                    send_message(sock, reply)
+                except (BrokenPipeError, ConnectionError, OSError):
+                    return
+            finally:
+                rpc._end_exchange()
 
 
 class _ThreadedTCPServer(socketserver.ThreadingTCPServer):
     allow_reuse_address = True
     daemon_threads = True
+
+
+class _IdemEntry:
+    """A single-flight slot in the idempotent-reply cache."""
+
+    __slots__ = ("done", "reply")
+
+    def __init__(self):
+        self.done = threading.Event()
+        self.reply = None
 
 
 class RpcServer:
@@ -161,6 +233,28 @@ class RpcServer:
     read the actual address back from :attr:`address`.  Use
     :meth:`start` for a background thread (tests, embedding) or
     :meth:`serve_forever` to block (the CLI).
+
+    Hardening knobs (all off/neutral by default so embedded and test
+    uses are unchanged):
+
+    * ``read_timeout`` — per-connection socket timeout: a peer that
+      stalls mid-frame loses its connection after this many seconds
+      instead of pinning a handler thread forever.
+    * Requests may carry ``req_id`` (any string): the reply is cached
+      and an identical ``req_id`` seen again — a client retry after an
+      ambiguous transport failure — re-serves the cached reply instead
+      of re-running the op, so a retried ``release`` never charges the
+      accountant twice.  Concurrent duplicates are single-flighted.
+      The cache keeps the most recent ``idempotency_limit`` settled
+      replies.
+    * Requests may carry ``deadline`` (seconds, the client's remaining
+      budget at send time): if that much time has passed by the moment
+      the op would start running, the server answers
+      ``DeadlineExceeded`` instead of spending privacy budget on a
+      response the caller has already abandoned.
+    * :meth:`drain` — graceful shutdown: stop accepting, let in-flight
+      exchanges finish (up to a grace period), then cut idle
+      connections.  The CLI wires SIGTERM to this.
     """
 
     def __init__(
@@ -169,12 +263,73 @@ class RpcServer:
         host: str = "127.0.0.1",
         port: int = 0,
         max_readers: int | None = None,
+        read_timeout: float | None = None,
+        idempotency_limit: int = 1024,
     ):
+        if read_timeout is not None and read_timeout <= 0:
+            raise ValueError("read_timeout must be positive (or None)")
+        if idempotency_limit < 1:
+            raise ValueError("idempotency_limit must be at least 1")
         self.release_server = server
+        self.read_timeout = read_timeout
         self._lock = ReadWriteLock(max_readers=max_readers)
         self._tcp = _ThreadedTCPServer((host, port), _Handler)
         self._tcp.rpc = self  # type: ignore[attr-defined]
         self._thread: threading.Thread | None = None
+        self._serving = False
+        self._closed = False
+        # -- connection / in-flight bookkeeping (drain support) --------
+        self._conn_cond = threading.Condition()
+        self._connections: set = set()
+        self._inflight = 0
+        self._draining = False
+        # -- idempotent replies ----------------------------------------
+        self._idem_limit = idempotency_limit
+        self._idem_lock = threading.Lock()
+        self._idem: OrderedDict[str, _IdemEntry] = OrderedDict()
+        # -- transport counters ----------------------------------------
+        self._stats_lock = threading.Lock()
+        self.transport_stats: dict[str, int] = {
+            "connections": 0,
+            "exchanges": 0,
+            "read_timeouts": 0,
+            "wire_errors": 0,
+            "idempotent_replays": 0,
+            "deadline_rejections": 0,
+            "drains": 0,
+            "aborted_in_flight": 0,
+            "stuck_serve_threads": 0,
+        }
+
+    def _bump(self, counter: str, by: int = 1) -> None:
+        with self._stats_lock:
+            self.transport_stats[counter] += by
+
+    # ------------------------------------------------------------------
+    # Connection / exchange accounting (the drain machinery)
+    # ------------------------------------------------------------------
+    def _register_connection(self, sock) -> None:
+        self._bump("connections")
+        with self._conn_cond:
+            self._connections.add(sock)
+
+    def _unregister_connection(self, sock) -> None:
+        with self._conn_cond:
+            self._connections.discard(sock)
+            self._conn_cond.notify_all()
+
+    def _begin_exchange(self) -> bool:
+        """Claim an in-flight slot; refused once draining has begun."""
+        with self._conn_cond:
+            if self._draining:
+                return False
+            self._inflight += 1
+            return True
+
+    def _end_exchange(self) -> None:
+        with self._conn_cond:
+            self._inflight -= 1
+            self._conn_cond.notify_all()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -189,6 +344,7 @@ class RpcServer:
         """Serve on a daemon thread; returns self for chaining."""
         if self._thread is not None:
             raise RuntimeError("server already started")
+        self._serving = True
         self._thread = threading.Thread(
             target=self._tcp.serve_forever,
             name="repro-rpc-server",
@@ -199,13 +355,61 @@ class RpcServer:
 
     def serve_forever(self) -> None:
         """Serve on the calling thread until interrupted."""
+        self._serving = True
         self._tcp.serve_forever()
 
-    def close(self) -> None:
-        self._tcp.shutdown()
+    def drain(self, grace: float = 5.0) -> None:
+        """Gracefully stop: finish in-flight reads, refuse new ones.
+
+        Stops accepting connections, marks the server draining (an
+        exchange whose length prefix arrives from now on is refused),
+        waits up to ``grace`` seconds for in-flight exchanges to be
+        answered, then cuts the remaining connections.  Exchanges still
+        unfinished after the grace period are counted in
+        ``transport_stats["aborted_in_flight"]``.
+        """
+        self._bump("drains")
+        self._stop(grace)
+
+    def close(self, grace: float = 5.0) -> None:
+        """Shut down; equivalent to an unannounced :meth:`drain`."""
+        self._stop(grace)
+
+    def _stop(self, grace: float) -> None:
+        with self._conn_cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._draining = True
+        # shutdown() blocks forever if serve_forever never ran (its
+        # completion event starts unset) — only call it when serving.
+        if self._serving:
+            self._tcp.shutdown()
         self._tcp.server_close()
+        deadline = time.monotonic() + max(0.0, grace)
+        with self._conn_cond:
+            while self._inflight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    self._bump("aborted_in_flight", self._inflight)
+                    break
+                self._conn_cond.wait(remaining)
+            stragglers = list(self._connections)
+        # Cut surviving connections: idle handlers blocked on a length
+        # prefix wake with EOF/OSError and exit; past-grace in-flight
+        # reads are severed rather than left to pin threads.
+        for sock in stragglers:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
         if self._thread is not None:
             self._thread.join(timeout=5)
+            if self._thread.is_alive():
+                # Threads cannot be force-killed; the daemon flag means
+                # it cannot outlive the process, so surface the event
+                # loudly in stats instead of silently leaking it.
+                self._bump("stuck_serve_threads")
             self._thread = None
 
     def __enter__(self) -> "RpcServer":
@@ -213,6 +417,76 @@ class RpcServer:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    # ------------------------------------------------------------------
+    # Idempotent serving
+    # ------------------------------------------------------------------
+    def serve_message(self, message, received_at: float | None = None):
+        """One request message -> one ``{"ok"|"err": ...}`` reply dict.
+
+        Messages carrying a ``req_id`` are single-flighted and their
+        replies cached: a duplicate (a retry after an ambiguous
+        failure) waits for the original if it is still running, then
+        receives the byte-identical cached reply — effectful ops run
+        at most once per id.
+        """
+        self._bump("exchanges")
+        req_id = message.get("req_id") if isinstance(message, dict) else None
+        if req_id is None:
+            return self._serve_once(message, received_at)
+        entry, owner = None, False
+        with self._idem_lock:
+            entry = self._idem.get(str(req_id))
+            if entry is None:
+                entry, owner = _IdemEntry(), True
+                self._idem[str(req_id)] = entry
+            else:
+                self._idem.move_to_end(str(req_id))
+        if not owner:
+            entry.done.wait()
+            self._bump("idempotent_replays")
+            return entry.reply
+        try:
+            entry.reply = self._serve_once(message, received_at)
+        finally:
+            if entry.reply is None:  # crashed before producing a reply
+                with self._idem_lock:
+                    self._idem.pop(str(req_id), None)
+            entry.done.set()
+        self._prune_idem()
+        return entry.reply
+
+    def _serve_once(self, message, received_at: float | None):
+        try:
+            return {"ok": self.dispatch(message, received_at=received_at)}
+        except BaseException as exc:  # ship the failure, keep serving
+            return {"err": error_to_wire(exc)}
+
+    def _prune_idem(self) -> None:
+        """Evict oldest *settled* entries beyond the cache bound.
+
+        Pending entries are never evicted — they are the single-flight
+        rendezvous between an in-progress op and its duplicates.
+        """
+        with self._idem_lock:
+            if len(self._idem) <= self._idem_limit:
+                return
+            for req_id in list(self._idem):
+                if len(self._idem) <= self._idem_limit:
+                    break
+                if self._idem[req_id].done.is_set():
+                    del self._idem[req_id]
+
+    def _check_deadline(self, message, received_at: float | None) -> None:
+        budget = message.get("deadline")
+        if budget is None or received_at is None:
+            return
+        if time.monotonic() - received_at >= float(budget):
+            self._bump("deadline_rejections")
+            raise DeadlineExceeded(
+                f"request abandoned: its {float(budget):.3f}s deadline "
+                "expired before the server could start it"
+            )
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -226,7 +500,9 @@ class RpcServer:
             "release",
             "release_batch",
             "true_histogram",
+            "hist_counts",
             "stats",
+            "transport_stats",
             "budget",
         }
     )
@@ -234,16 +510,24 @@ class RpcServer:
     #: flight while shards extend or trim.
     WRITE_OPS = frozenset({"append_records", "expire_prefix"})
 
-    def dispatch(self, message):
-        """Serve one decoded request message; returns the ``ok`` payload."""
+    def dispatch(self, message, received_at: float | None = None):
+        """Serve one decoded request message; returns the ``ok`` payload.
+
+        The carried deadline (if any) is checked *after* lock
+        acquisition: a request that waited out its budget behind a
+        writer is rejected at the moment work — and any accountant
+        charge — would otherwise begin.
+        """
         if not isinstance(message, dict) or "op" not in message:
             raise ValueError("malformed message: expected {'op': ...}")
         op = message["op"]
         if op in self.READ_OPS:
             with self._lock.read():
+                self._check_deadline(message, received_at)
                 return self._dispatch_read(op, message)
         if op in self.WRITE_OPS:
             with self._lock.write():
+                self._check_deadline(message, received_at)
                 return self._dispatch_write(op, message)
         raise ValueError(f"unknown op {op!r}")
 
@@ -269,8 +553,16 @@ class RpcServer:
             ]
         if op == "true_histogram":
             return server.true_histogram(message["binning"])
+        if op == "hist_counts":
+            x, x_ns = server.histogram_counts(
+                message["binning"], message["policy"]
+            )
+            return {"x": x, "x_ns": x_ns}
         if op == "stats":
             return server.stats.as_dict()
+        if op == "transport_stats":
+            with self._stats_lock:
+                return dict(self.transport_stats)
         assert op == "budget"
         remaining = server.budget_remaining
         return None if remaining is None else float(remaining)

@@ -413,6 +413,27 @@ class ReleaseServer:
             self._hist_cache[key] = (versions, hist)
             return hist, False
 
+    def histogram_counts(
+        self, binning, policy
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """This server's merged ``(x, x_ns)`` int64 count pair.
+
+        The cluster-tier building block: a coordinator holding several
+        of these servers (each owning a disjoint shard range) sums the
+        pairs — plain int64 addition, the same merge
+        :meth:`HistogramInput.from_shard_counts` performs over local
+        shards — and samples noise once at the merge tier, so a
+        clustered release stays bit-identical to a single server
+        holding all the shards.  Accepts live binning/policy objects or
+        their wire specs.
+        """
+        if isinstance(binning, Mapping):
+            binning = binning_from_spec(binning)
+        if isinstance(policy, Mapping):
+            policy = policy_from_spec(policy)
+        hist, _ = self.histogram_input(binning, policy)
+        return np.asarray(hist.x), np.asarray(hist.x_ns)
+
     # ------------------------------------------------------------------
     # Request handling
     # ------------------------------------------------------------------

@@ -57,6 +57,52 @@ def no_leaked_shm_segments_at_suite_exit():
     assert not leaked, f"leaked shared-memory segments: {leaked}"
 
 
+#: Per-test wall-clock bound on the socket lanes.  A hang in a socket
+#: test must stall CI with a loud timeout error, not forever.
+_HANG_GUARD_MARKS = ("rpc", "shm", "faults")
+
+
+@pytest.fixture(autouse=True)
+def socket_lane_hang_guard(request):
+    """SIGALRM-based per-test timeout for rpc/shm/faults-marked tests.
+
+    pytest-timeout is not in the environment, so the guard is built on
+    the interval timer: if a socket-lane test runs past the bound
+    (``REPRO_TEST_TIMEOUT`` seconds, default 120), the alarm raises in
+    the main thread and the test errors out with a traceback pointing
+    at the blocked line.  No-op for unmarked tests, off the main
+    thread, and on platforms without SIGALRM.
+    """
+    import os
+    import signal
+    import threading
+
+    if not any(request.node.get_closest_marker(m) for m in _HANG_GUARD_MARKS):
+        yield
+        return
+    if (
+        not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+    limit = float(os.environ.get("REPRO_TEST_TIMEOUT", "120"))
+
+    def _blow_up(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the {limit:.0f}s socket-lane hang guard "
+            "(REPRO_TEST_TIMEOUT to adjust)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _blow_up)
+    signal.setitimer(signal.ITIMER_REAL, limit)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(12345)

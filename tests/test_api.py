@@ -285,11 +285,16 @@ class TestPublicApiSnapshot:
         assert sorted(repro.api.__all__) == [
             "Backend",
             "BatchBudgetExceededError",
+            "ClusterBackend",
+            "ClusterEndpoint",
+            "DeadlineExceeded",
             "InProcessBackend",
             "OsdpClient",
+            "PartialClusterError",
             "ReleaseRequest",
             "ReleaseResponse",
             "RemoteBackend",
+            "RetryPolicy",
             "ShardedBackend",
         ]
         for name in repro.api.__all__:

@@ -1,0 +1,271 @@
+"""Unit lane for :mod:`repro.api.resilience` (no sockets, no skips).
+
+Clock-injected throughout: breaker windows and deadlines advance via a
+fake monotonic clock, and retry sleeps are recorded, not slept — the
+whole lane is deterministic and fast.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.api.resilience import (
+    DEAD,
+    HEALTHY,
+    SUSPECT,
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceeded,
+    HealthMonitor,
+    RetryPolicy,
+    call_with_retries,
+)
+
+
+class FakeClock:
+    def __init__(self, start: float = 100.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class FixedRandom:
+    """A 'random' source pinned to one value in [0, 1)."""
+
+    def __init__(self, value: float):
+        self.value = value
+
+    def random(self) -> float:
+        return self.value
+
+
+class TestRetryPolicy:
+    def test_delays_grow_exponentially_and_cap(self):
+        policy = RetryPolicy(
+            max_attempts=10, base_delay=0.1, multiplier=2.0,
+            max_delay=0.5, jitter=0.0,
+        )
+        delays = [policy.delay(a) for a in range(5)]
+        assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_jitter_spreads_symmetrically_and_stays_bounded(self):
+        policy = RetryPolicy(base_delay=1.0, jitter=0.25, max_delay=10.0)
+        assert policy.delay(0, rng=FixedRandom(0.0)) == pytest.approx(0.75)
+        assert policy.delay(0, rng=FixedRandom(0.5)) == pytest.approx(1.0)
+        # upper edge: (1 - j) + 2j * u for u -> 1 approaches 1 + j
+        assert policy.delay(0, rng=FixedRandom(1.0)) == pytest.approx(1.25)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError, match="deadline"):
+            RetryPolicy(deadline=0)
+        with pytest.raises(ValueError, match="non-negative"):
+            RetryPolicy(base_delay=-1)
+
+
+class TestDeadline:
+    def test_unbounded(self):
+        deadline = Deadline(None)
+        assert deadline.remaining() is None
+        assert not deadline.expired()
+        deadline.require("anything")  # never raises
+
+    def test_countdown_and_expiry(self):
+        clock = FakeClock()
+        deadline = Deadline(2.0, clock=clock)
+        assert deadline.remaining() == pytest.approx(2.0)
+        clock.advance(1.5)
+        assert deadline.remaining() == pytest.approx(0.5)
+        clock.advance(1.0)
+        assert deadline.expired()
+        assert deadline.remaining() == 0.0
+        with pytest.raises(DeadlineExceeded, match="2.0s deadline"):
+            deadline.require("the request")
+
+
+class TestCallWithRetries:
+    def test_returns_first_success_without_sleeping(self):
+        sleeps: list[float] = []
+        result = call_with_retries(
+            lambda: 42,
+            RetryPolicy(max_attempts=3),
+            sleep=sleeps.append,
+        )
+        assert result == 42
+        assert sleeps == []
+
+    def test_retries_only_retryable_and_reraises_last(self):
+        sleeps: list[float] = []
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            raise OSError(f"boom {calls['n']}")
+
+        policy = RetryPolicy(max_attempts=3, base_delay=0.1, jitter=0.0)
+        with pytest.raises(OSError, match="boom 3"):
+            call_with_retries(flaky, policy, sleep=sleeps.append)
+        assert calls["n"] == 3
+        assert sleeps == [pytest.approx(0.1), pytest.approx(0.2)]
+
+    def test_non_retryable_errors_propagate_immediately(self):
+        calls = {"n": 0}
+
+        def typo():
+            calls["n"] += 1
+            raise ValueError("bad spec")
+
+        with pytest.raises(ValueError, match="bad spec"):
+            call_with_retries(
+                typo, RetryPolicy(max_attempts=5), retryable=(OSError,),
+                sleep=lambda s: None,
+            )
+        assert calls["n"] == 1
+
+    def test_succeeds_after_transient_failures(self):
+        calls = {"n": 0}
+
+        def eventually():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise OSError("transient")
+            return "ok"
+
+        assert (
+            call_with_retries(
+                eventually,
+                RetryPolicy(max_attempts=5, jitter=0.0),
+                sleep=lambda s: None,
+            )
+            == "ok"
+        )
+        assert calls["n"] == 3
+
+    def test_deadline_converts_exhaustion_to_deadline_exceeded(self):
+        clock = FakeClock()
+
+        def failing():
+            clock.advance(3.0)  # each attempt burns wall-clock
+            raise OSError("slow failure")
+
+        deadline = Deadline(5.0, clock=clock)
+        with pytest.raises(DeadlineExceeded, match="5.0s deadline"):
+            call_with_retries(
+                failing,
+                RetryPolicy(max_attempts=10, jitter=0.0),
+                sleep=lambda s: None,
+                deadline=deadline,
+            )
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_and_half_opens_after_reset(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=3, reset_after=10.0, clock=clock
+        )
+        assert breaker.state == "closed"
+        for _ in range(3):
+            assert breaker.allow()
+            breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()  # fail-fast while open
+        clock.advance(10.0)
+        assert breaker.state == "half-open"
+        assert breaker.allow()  # exactly one probe per window
+        assert not breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = CircuitBreaker(failure_threshold=2, clock=FakeClock())
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="failure_threshold"):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError, match="reset_after"):
+            CircuitBreaker(reset_after=-1)
+
+
+class TestHealthMonitor:
+    def test_state_machine_healthy_suspect_dead_and_back(self):
+        monitor = HealthMonitor(["a"], dead_after=3)
+        assert monitor.state("a") == HEALTHY
+        monitor.record_failure("a", OSError("refused"))
+        assert monitor.state("a") == SUSPECT
+        monitor.record_failure("a")
+        assert monitor.state("a") == SUSPECT
+        monitor.record_failure("a")
+        assert monitor.state("a") == DEAD
+        assert "OSError: refused" in monitor.status()["a"]["last_error"]
+        monitor.record_success("a")
+        assert monitor.state("a") == HEALTHY
+        assert monitor.status()["a"]["consecutive_failures"] == 0
+
+    def test_ranked_puts_live_replicas_first_and_is_stable(self):
+        monitor = HealthMonitor(["a", "b", "c", "d"], dead_after=2)
+        for _ in range(2):
+            monitor.record_failure("a")
+        monitor.record_failure("c")
+        ranked = monitor.ranked(["a", "b", "c", "d"])
+        assert ranked == ["b", "d", "c", "a"]  # healthy, suspect, dead
+
+    def test_background_probe_restores_a_dead_endpoint(self):
+        healthy_again = threading.Event()
+        outcomes = {"a": OSError("still down")}
+
+        def probe(key):
+            error = outcomes[key]
+            if error is not None:
+                raise error
+            healthy_again.set()
+
+        monitor = HealthMonitor(
+            ["a"], probe=probe, interval=0.01, dead_after=1
+        )
+        monitor.record_failure("a")
+        assert monitor.state("a") == DEAD
+        with monitor.start():
+            # first let a failing probe run (state stays dead) ...
+            deadline = threading.Event()
+            deadline.wait(0.05)
+            assert monitor.state("a") == DEAD
+            # ... then the endpoint comes back and one probe heals it
+            outcomes["a"] = None
+            assert healthy_again.wait(5.0)
+        assert monitor.state("a") == HEALTHY
+        assert monitor.status()["a"]["probes"] >= 1
+
+    def test_probes_target_only_unhealthy_endpoints(self):
+        probed: list[str] = []
+        done = threading.Event()
+
+        def probe(key):
+            probed.append(key)
+            done.set()
+
+        monitor = HealthMonitor(
+            ["well", "sick"], probe=probe, interval=0.01, dead_after=1
+        )
+        monitor.record_failure("sick")
+        with monitor.start():
+            assert done.wait(5.0)
+        assert set(probed) == {"sick"}
+
+    def test_start_without_probe_is_an_error(self):
+        with pytest.raises(ValueError, match="probe"):
+            HealthMonitor(["a"]).start()

@@ -1,0 +1,236 @@
+"""Wire-frame robustness lane: corrupt bytes must fail loudly, fast.
+
+Every malformed frame — truncated, oversized, corrupt header, lying
+array descriptor — must raise ``EOFError`` (peer vanished) or
+``WireError`` (stream is garbage) within the socket timeout.  What is
+never acceptable: a hang, or a silent desync where the reader
+misparses and keeps going.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.wire import (
+    MAX_FRAME_BYTES,
+    WIRE_VERSION,
+    WireError,
+    encode_message,
+    recv_message,
+)
+
+pytestmark = pytest.mark.faults
+
+_U32 = struct.Struct(">I")
+
+
+@pytest.fixture
+def pair():
+    """A connected socketpair; the read side times out loudly."""
+    reader, writer = socket.socketpair()
+    reader.settimeout(5.0)
+    try:
+        yield reader, writer
+    finally:
+        for sock in (reader, writer):
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+
+def _feed_and_close(writer, payload: bytes):
+    writer.sendall(payload)
+    writer.close()
+
+
+def _frame(header: dict, *array_payloads: bytes) -> bytes:
+    blob = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    return b"".join([_U32.pack(len(blob)), blob, *array_payloads])
+
+
+VALID = encode_message(
+    {"op": "release", "estimates": np.arange(12, dtype=np.int64)}
+)
+
+
+class TestTruncation:
+    @pytest.mark.parametrize(
+        "cut",
+        [1, 3, 4, 5, len(VALID) // 2, len(VALID) - 1],
+        ids=lambda c: f"cut_at_{c}",
+    )
+    def test_truncated_frame_raises_eof_not_hang(self, pair, cut):
+        reader, writer = pair
+        _feed_and_close(writer, VALID[:cut])
+        with pytest.raises(EOFError, match="mid-frame"):
+            recv_message(reader)
+
+    def test_empty_stream_raises_eof(self, pair):
+        reader, writer = pair
+        writer.close()
+        with pytest.raises(EOFError):
+            recv_message(reader)
+
+
+class TestCorruptHeader:
+    def test_non_json_header_bytes(self, pair):
+        reader, writer = pair
+        junk = b"\xff\xfe not json at all \x00"
+        _feed_and_close(writer, _U32.pack(len(junk)) + junk)
+        with pytest.raises(WireError, match="undecodable header"):
+            recv_message(reader)
+
+    def test_json_but_not_an_object(self, pair):
+        reader, writer = pair
+        blob = b"[1, 2, 3]"
+        _feed_and_close(writer, _U32.pack(len(blob)) + blob)
+        with pytest.raises(WireError, match="expected an object"):
+            recv_message(reader)
+
+    def test_wrong_wire_version(self, pair):
+        reader, writer = pair
+        _feed_and_close(
+            writer, _frame({"v": WIRE_VERSION + 1, "arrays": [], "body": {}})
+        )
+        with pytest.raises(WireError, match="wire version"):
+            recv_message(reader)
+
+    def test_oversized_header_prefix_is_refused_before_allocation(
+        self, pair
+    ):
+        reader, writer = pair
+        _feed_and_close(writer, _U32.pack(MAX_FRAME_BYTES + 1))
+        with pytest.raises(WireError, match="exceeds bound"):
+            recv_message(reader)
+
+
+class TestLyingArrayDescriptors:
+    def _header(self, **descriptor):
+        base = {"dtype": "<i8", "shape": [2], "nbytes": 16}
+        base.update(descriptor)
+        return {
+            "v": WIRE_VERSION,
+            "arrays": [base],
+            "body": {"__array__": 0},
+        }
+
+    def test_oversized_array_nbytes(self, pair):
+        reader, writer = pair
+        _feed_and_close(
+            writer, _frame(self._header(nbytes=MAX_FRAME_BYTES + 1))
+        )
+        with pytest.raises(WireError, match="exceeds bound"):
+            recv_message(reader)
+
+    def test_negative_array_nbytes(self, pair):
+        reader, writer = pair
+        _feed_and_close(writer, _frame(self._header(nbytes=-8)))
+        with pytest.raises(WireError, match="exceeds bound"):
+            recv_message(reader)
+
+    def test_unknown_dtype(self, pair):
+        reader, writer = pair
+        _feed_and_close(
+            writer, _frame(self._header(dtype="not-a-dtype"), b"\0" * 16)
+        )
+        with pytest.raises(WireError, match="malformed array descriptor"):
+            recv_message(reader)
+
+    def test_shape_that_contradicts_nbytes(self, pair):
+        reader, writer = pair
+        _feed_and_close(
+            writer, _frame(self._header(shape=[999]), b"\0" * 16)
+        )
+        with pytest.raises(WireError, match="does not match its descriptor"):
+            recv_message(reader)
+
+    def test_missing_descriptor_fields(self, pair):
+        reader, writer = pair
+        header = {
+            "v": WIRE_VERSION,
+            "arrays": [{"dtype": "<i8"}],  # no shape, no nbytes
+            "body": None,
+        }
+        _feed_and_close(writer, _frame(header))
+        with pytest.raises(WireError, match="malformed array descriptor"):
+            recv_message(reader)
+
+    def test_arrays_field_of_the_wrong_type(self, pair):
+        reader, writer = pair
+        _feed_and_close(
+            writer,
+            _frame({"v": WIRE_VERSION, "arrays": {"a": 1}, "body": None}),
+        )
+        with pytest.raises(WireError, match="'arrays' is not a list"):
+            recv_message(reader)
+
+    def test_body_referencing_a_missing_array(self, pair):
+        reader, writer = pair
+        header = {"v": WIRE_VERSION, "arrays": [], "body": {"__array__": 3}}
+        _feed_and_close(writer, _frame(header))
+        with pytest.raises(WireError, match="malformed message body"):
+            recv_message(reader)
+
+
+class TestFuzzedMutations:
+    """Hypothesis-driven bit flips and truncations of a valid frame.
+
+    The contract under fuzz: the reader either returns a decoded
+    message (the mutation hit a don't-care byte), or raises
+    ``EOFError``/``WireError`` — never anything else, and never a
+    hang (the 5s socket timeout converts one into TimeoutError, which
+    would fail the test loudly).
+    """
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        position=st.integers(min_value=0, max_value=len(VALID) - 1),
+        flip=st.integers(min_value=1, max_value=255),
+    )
+    def test_single_byte_corruption_never_hangs_or_escapes(
+        self, position, flip
+    ):
+        corrupted = bytearray(VALID)
+        corrupted[position] ^= flip
+        reader, writer = socket.socketpair()
+        reader.settimeout(5.0)
+        try:
+            thread = threading.Thread(
+                target=_feed_and_close, args=(writer, bytes(corrupted))
+            )
+            thread.start()
+            try:
+                recv_message(reader)  # mutation may land in padding
+            except (EOFError, WireError):
+                pass  # the loud, expected failure modes
+            thread.join(timeout=5.0)
+        finally:
+            for sock in (reader, writer):
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+
+    @settings(max_examples=20, deadline=None)
+    @given(cut=st.integers(min_value=0, max_value=len(VALID) - 1))
+    def test_every_truncation_point_raises_eof(self, cut):
+        reader, writer = socket.socketpair()
+        reader.settimeout(5.0)
+        try:
+            _feed_and_close(writer, VALID[:cut])
+            with pytest.raises(EOFError):
+                recv_message(reader)
+        finally:
+            try:
+                reader.close()
+            except OSError:
+                pass
