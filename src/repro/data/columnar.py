@@ -415,6 +415,46 @@ class ColumnarDatabase:
         n_bins = binning.n_bins if n_bins is None else n_bins
         return self.histogram_from_indices(binning.bin_indices(self), n_bins)
 
+    def fused_counts(
+        self, binning, ns_mask: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        """``(x, x_ns)`` in one fused kernel pass, or None when ineligible.
+
+        The raw-speed count path (:mod:`repro.mechanisms.kernels`):
+        for an equal-width integer binning over a plain integer column,
+        bin-index computation, range validation and both bincounts run
+        as a single pass per shard — no per-record index array is
+        materialized on the compiled backend, and the loop releases the
+        GIL there.  ``ns_mask`` is the boolean non-sensitive flags (the
+        policy mask is the one stage that stays separate — the policy
+        algebra is arbitrary).  Ineligible layouts (ragged or
+        non-integer columns, other binning kinds) return None and the
+        caller falls back to the unfused path; when a pair is returned
+        it is byte-identical to ``bin_indices`` + two bincounts.
+        """
+        from repro.mechanisms import kernels
+        from repro.queries.histogram import IntegerBinning
+
+        if type(binning) is not IntegerBinning:
+            return None
+        values = self._columns.get(binning.attribute)
+        if not isinstance(values, np.ndarray) or values.dtype.kind not in "iu":
+            return None
+        ns_mask = np.asarray(ns_mask)
+        if ns_mask.shape != values.shape:
+            raise ValueError(
+                f"bin indices cover {values.shape[0]} records but the "
+                f"policy mask covers {ns_mask.shape[0]}"
+            )
+        return kernels.int_bin_pair(
+            values,
+            binning.low,
+            binning.width,
+            binning.high,
+            binning.n_bins,
+            ns_mask,
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"ColumnarDatabase(n={self._n}, "

@@ -33,58 +33,44 @@ to the per-trial ``release`` loop.  For bitwise reproduction of the
 paper's spawned-rng protocol, pass ``release_batch`` a *sequence* of
 generators — that mode delegates to ``release`` row by row.
 
-Thread safety: the scratch buffers are **thread-local** (each thread
-reuses its own pool), so concurrent releases — the RPC tier serves the
-read path under a shared lock — never write into each other's noise;
-the binomial/log-factorial table pools hold immutable values and only
-ever rebind or insert under the GIL, so the worst concurrent case is a
-redundant identical build.
+The transforms themselves execute on the active kernel backend
+(:mod:`repro.mechanisms.kernels`): the pure-numpy ufunc pipelines by
+default, or fused ``@njit(nogil=True)`` loops when numba is installed
+(``REPRO_KERNEL`` overrides).  All randomness is drawn here, from the
+caller's generator, on every backend — the backend only transforms
+already-drawn uniforms — so a seeded release is reproducible per
+backend and the counts feeding the samplers are byte-identical across
+backends.
+
+Thread safety: the scratch buffers **and the bulk-bits generator** are
+thread-local (each thread reuses its own pool and its own SFC64), so
+concurrent releases — the RPC tier serves the read path under a shared
+lock — never write into each other's noise and never interleave draws
+from a shared bitgen stream; the binomial/log-factorial table pools
+hold immutable values and only ever rebind or insert under the GIL, so
+the worst concurrent case is a redundant identical build.
 """
 
 from __future__ import annotations
 
-import threading
-
 import numpy as np
 
-_SIGN32 = np.uint32(0x80000000)
-_EXP_ONE32 = np.uint32(0x3F800000)  # f32 bit pattern of 1.0
-_MANTISSA_SHIFT = np.uint32(9)
-_HALF32 = np.float32(0.5)
-_LN4_32 = np.float32(np.log(4.0))
-# log(0) guards clamp the zero lattice cell to the *adjacent lattice
-# point* — the natural inverse-transform behavior — rather than to an
-# arbitrary tiny value (which would emit ~69-sigma outliers with the
-# lattice's 2^-23 probability instead of the true ~1e-13 tail mass).
-_MIN_U32 = np.float32(2.0**-24)     # rng.random(float32) lattice step
-_MIN_TSQ32 = np.float32(2.0**-46)   # (2^-23)^2: smallest nonzero t^2
-
-_MAX_SCRATCH_ENTRIES = 16
-# Per-thread pools: a buffer handed to one request must never be the
-# buffer another thread is concurrently filling (concurrent releases
-# are the RPC tier's normal traffic shape).
-_scratch_local = threading.local()
-
-
-def _scratch(shape: tuple[int, ...], dtype: type, slot: int = 0) -> np.ndarray:
-    """A reusable uninitialized buffer (avoids per-call mmap traffic)."""
-    pool: dict[tuple, np.ndarray] | None = getattr(
-        _scratch_local, "pool", None
-    )
-    if pool is None:
-        pool = _scratch_local.pool = {}
-    key = (shape, np.dtype(dtype).str, slot)
-    buf = pool.get(key)
-    if buf is None:
-        if len(pool) >= _MAX_SCRATCH_ENTRIES:
-            pool.clear()
-        buf = np.empty(shape, dtype=dtype)
-        pool[key] = buf
-    return buf
-
-
-_SFC_BITGEN = np.random.SFC64(0)
-_SFC_STATE_TEMPLATE = _SFC_BITGEN.state
+from repro.mechanisms import kernels as _kernels
+from repro.mechanisms.kernels import (  # re-exported for callers/tests
+    _MAX_SCRATCH_ENTRIES,
+    _scratch_local,
+    scratch as _scratch,
+)
+from repro.mechanisms.kernels._constants import (
+    _BINOM_U_EDGE,
+    _EXP_ONE32,
+    _HALF32,
+    _LN4_32,
+    _MANTISSA_SHIFT,
+    _MIN_TSQ32,
+    _MIN_U32,
+    _SIGN32,
+)
 
 
 def _bulk_bits_generator(rng: np.random.Generator) -> np.random.BitGenerator:
@@ -92,15 +78,24 @@ def _bulk_bits_generator(rng: np.random.Generator) -> np.random.BitGenerator:
 
     ``random_raw`` word width depends on the bit generator — MT19937
     words carry only 32 random bits in a uint64 — so raw-bit kernels
-    must not read the caller's stream directly.  Instead a module-held
-    SFC64 is reseeded from four ``rng`` draws (uniform 64-bit words are
-    a valid SFC64 state, and assigning state skips the construction
-    cost), which works for every Generator and keeps runs reproducible.
+    must not read the caller's stream directly.  Instead a
+    **thread-local** SFC64 is reseeded from four ``rng`` draws (uniform
+    64-bit words are a valid SFC64 state, and assigning state skips the
+    construction cost), which works for every Generator and keeps runs
+    reproducible.  Thread-locality is load-bearing: a module-level
+    bitgen would let two concurrent releases interleave draws from one
+    stream — breaking seeded reproducibility and correlating two
+    analysts' noise (the ``_scratch_local`` pattern, applied to the
+    generator itself).
     """
-    state = _SFC_STATE_TEMPLATE
+    bitgen = getattr(_scratch_local, "sfc_bitgen", None)
+    if bitgen is None:
+        bitgen = _scratch_local.sfc_bitgen = np.random.SFC64(0)
+        _scratch_local.sfc_template = bitgen.state
+    state = _scratch_local.sfc_template
     state["state"]["state"] = rng.integers(0, 2**64, size=4, dtype=np.uint64)
-    _SFC_BITGEN.state = state
-    return _SFC_BITGEN
+    bitgen.state = state
+    return bitgen
 
 
 def laplace_rows(
@@ -129,26 +124,12 @@ def laplace_rows(
     base = np.asarray(base, dtype=np.float64)
     shape = (n_rows, base.shape[-1])
     n = n_rows * base.shape[-1]
-    w = _scratch(shape, np.float32, 1)
     # Two 32-bit lanes per raw word; the slice view stays contiguous.
+    # The draw happens here, on the caller's (thread-local) generator;
+    # the backend only transforms the already-drawn bits.
     raw = _bulk_bits_generator(rng).random_raw((n + 1) // 2)
     bits = raw.view(np.uint32)[:n].reshape(shape)
-    np.right_shift(bits, _MANTISSA_SHIFT, out=bits)
-    np.bitwise_or(bits, _EXP_ONE32, out=bits)
-    t = bits.view(np.float32)                 # uniform on [1, 2)
-    t -= np.float32(1.5)                      # t in [-1/2, 1/2)
-    np.multiply(t, t, out=w)                  # t^2
-    np.maximum(w, _MIN_TSQ32, out=w)          # guard log(0) at t = 0
-    np.log(w, out=w)
-    np.add(w, _LN4_32, out=w)                 # ln(4 t^2) = 2 ln|2t|
-    np.multiply(w, np.float32(0.5 * scale), out=w)   # scale * ln|2t| <= 0
-    tv = t.view(np.uint32)
-    wv = w.view(np.uint32)
-    np.bitwise_and(tv, _SIGN32, out=tv)       # sign(t) as a bit mask
-    np.bitwise_xor(wv, tv, out=wv)            # random +/- magnitude
-    out = np.empty(shape)
-    np.add(base, w, out=out)                  # fused f32 -> f64 widen + add
-    return out
+    return _kernels.laplace_transform(bits, scale, base)
 
 
 def one_sided_rows(
@@ -168,12 +149,7 @@ def one_sided_rows(
     shape = (n_rows, values.shape[-1])
     u = _scratch(shape, np.float32, 0)
     rng.random(dtype=np.float32, out=u)
-    np.maximum(u, _MIN_U32, out=u)            # guard log(0) at u = 0
-    np.log(u, out=u)
-    np.multiply(u, np.float32(scale), out=u)  # scale * ln u <= 0
-    out = np.empty(shape)
-    np.add(values, u, out=out)
-    return out
+    return _kernels.one_sided_transform(u, scale, values)
 
 
 # Window half-width for the inverse-CDF binomial tables, in standard
@@ -188,11 +164,8 @@ _BINOM_WINDOW_SIGMAS = 12.0
 # many times — so the ratio is well above 1; below the threshold
 # numpy's per-draw loop wins outright.
 _BINOM_TABLE_DRAW_RATIO = 16.0
-# Uniforms are clamped away from the exact 0/1 lattice edges so that
-# ``u + group`` can never round onto a group boundary; the ~2^-26
-# edge-cell distortion is below the f32 uniform granularity the other
-# kernels run on.
-_BINOM_U_EDGE = 2.0**-26
+# (_BINOM_U_EDGE — the uniform edge clamp — lives in
+# repro.mechanisms.kernels._constants, shared with the backends.)
 
 _MAX_BINOM_TABLES = 8
 _binom_table_pool: dict[tuple, tuple] = {}
@@ -306,10 +279,7 @@ def binomial_inverse_cdf_rows(
     counts = np.asarray(counts, dtype=np.int64)
     inverse, scaled, k_flat = _binomial_table(counts, p)
     u = rng.random((n_rows, len(counts)))
-    np.clip(u, _BINOM_U_EDGE, 1.0 - _BINOM_U_EDGE, out=u)
-    u += inverse[np.newaxis, :]
-    idx = np.searchsorted(scaled, u.ravel(), side="left")
-    return k_flat[idx].reshape(n_rows, len(counts)).astype(np.float64)
+    return _kernels.binomial_lookup(scaled, inverse, k_flat, u)
 
 
 def binomial_support_rows(

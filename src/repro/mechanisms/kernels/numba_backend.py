@@ -1,0 +1,159 @@
+"""The numba kernel backend: fused ``@njit(nogil=True)`` loops.
+
+Importing this module requires numba (the ``[compiled]`` extra); the
+package ``__init__`` gates the import and falls back to the numpy
+backend when it is absent.
+
+Two properties carry the value:
+
+* **Fusion.**  Each kernel is a single pass over its records — the
+  count pair touches every record once (no index materialization, no
+  boolean gather), and the noise transforms go from raw bits to the
+  final float64 row without intermediate full-matrix temporaries.
+* **``nogil=True``.**  The loops run outside the GIL, so concurrent
+  releases on the RPC read path (``--max-readers``) overlap on real
+  cores instead of serializing on the interpreter lock — the numpy
+  ufunc pipelines, fast as they are, never let go of it.
+
+Contract notes (see the package docstring): the integer kernels and
+the binomial lookup (pure comparisons) are byte-identical to the numpy
+backend; the float32 log-based transforms perform the same operations
+in the same precision and order, so they agree with numpy except
+possibly in the last ulp of ``log`` — deterministic per backend either
+way.  ``cache=True`` persists the compiled artifacts next to the
+module so one process pays the JIT cost once per machine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit
+
+from repro.mechanisms.kernels._constants import _BINOM_U_EDGE
+
+name = "numba"
+
+_F32_HALF = np.float32(0.5)
+_F32_STEP = np.float32(2.0**-23)   # lattice step of the 23-bit uniform
+_F32_MIN_TSQ = np.float32(2.0**-46)
+_F32_MIN_U = np.float32(2.0**-24)
+_F32_LN4 = np.float32(np.log(4.0))
+_F32_ZERO = np.float32(0.0)
+
+
+@njit(cache=True, nogil=True)
+def _hist_pair(bin_indices, ns_mask, n_bins):
+    x = np.zeros(n_bins, dtype=np.int64)
+    x_ns = np.zeros(n_bins, dtype=np.int64)
+    for i in range(bin_indices.shape[0]):
+        b = bin_indices[i]
+        x[b] += 1
+        if ns_mask[i]:
+            x_ns[b] += 1
+    return x, x_ns
+
+
+def hist_pair(bin_indices, ns_mask, n_bins):
+    return _hist_pair(bin_indices, ns_mask, n_bins)
+
+
+@njit(cache=True, nogil=True)
+def _int_bin_pair(values, low, width, high, n_bins, ns_mask):
+    x = np.zeros(n_bins, dtype=np.int64)
+    x_ns = np.zeros(n_bins, dtype=np.int64)
+    for i in range(values.shape[0]):
+        v = values[i]
+        if v < low or v >= high:
+            return x, x_ns, i
+        b = (v - low) // width
+        x[b] += 1
+        if ns_mask[i]:
+            x_ns[b] += 1
+    return x, x_ns, -1
+
+
+def int_bin_pair(values, low, width, high, n_bins, ns_mask):
+    return _int_bin_pair(values, low, width, high, n_bins, ns_mask)
+
+
+@njit(cache=True, nogil=True)
+def _binomial_lookup(scaled, inverse, k_flat, u, out):
+    lo_edge = _BINOM_U_EDGE
+    hi_edge = 1.0 - _BINOM_U_EDGE
+    n = scaled.shape[0]
+    for i in range(u.shape[0]):
+        for j in range(u.shape[1]):
+            v = u[i, j]
+            if v < lo_edge:
+                v = lo_edge
+            elif v > hi_edge:
+                v = hi_edge
+            v = v + inverse[j]
+            # bisect_left: the first index with scaled[idx] >= v —
+            # exactly np.searchsorted(..., side="left").
+            lo = 0
+            hi = n
+            while lo < hi:
+                mid = (lo + hi) >> 1
+                if scaled[mid] < v:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            if lo == n:  # unreachable by construction; memory safety
+                lo = n - 1
+            out[i, j] = k_flat[lo]
+    return out
+
+
+def binomial_lookup(scaled, inverse, k_flat, u):
+    out = np.empty(u.shape, dtype=np.float64)
+    return _binomial_lookup(
+        scaled,
+        np.ascontiguousarray(inverse, dtype=np.int64),
+        np.ascontiguousarray(k_flat, dtype=np.int64),
+        u,
+        out,
+    )
+
+
+@njit(cache=True, nogil=True)
+def _laplace_transform(bits, scale32, base, out):
+    for i in range(bits.shape[0]):
+        for j in range(bits.shape[1]):
+            m = bits[i, j] >> np.uint32(9)      # 23 random bits
+            # np.float32(m) * 2^-23 is exact (m < 2^23, power-of-two
+            # step), and subtracting 1/2 is exact for every lattice
+            # point, so t equals the numpy backend's exponent-trick
+            # value bit for bit.
+            t = np.float32(m) * _F32_STEP - _F32_HALF
+            w = t * t
+            if w < _F32_MIN_TSQ:
+                w = _F32_MIN_TSQ                # guard log(0) at t = 0
+            w = np.float32(np.log(w))
+            w = (w + _F32_LN4) * scale32        # scale * ln|2t| <= 0
+            if t < _F32_ZERO:
+                w = -w                          # random +/- magnitude
+            out[i, j] = base[j] + w
+    return out
+
+
+def laplace_transform(bits, scale, base):
+    out = np.empty(bits.shape, dtype=np.float64)
+    return _laplace_transform(bits, np.float32(0.5 * scale), base, out)
+
+
+@njit(cache=True, nogil=True)
+def _one_sided_transform(u, scale32, values, out):
+    for i in range(u.shape[0]):
+        for j in range(u.shape[1]):
+            v = u[i, j]
+            if v < _F32_MIN_U:
+                v = _F32_MIN_U                  # guard log(0) at u = 0
+            v = np.float32(np.log(v)) * scale32  # scale * ln u <= 0
+            out[i, j] = values[j] + v
+    return out
+
+
+def one_sided_transform(u, scale, values):
+    out = np.empty(u.shape, dtype=np.float64)
+    return _one_sided_transform(u, np.float32(scale), values, out)

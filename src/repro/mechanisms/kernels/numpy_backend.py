@@ -1,0 +1,120 @@
+"""The pure-numpy kernel backend: ufunc pipelines, always available.
+
+These are the reference implementations of the kernel contract (see
+the package docstring).  The noise transforms are the exact ufunc
+pipelines the batched release paths have always run — moving them here
+changed no seeded stream — and the count kernels fuse the two-bincount
+``(x, x_ns)`` construction into a single ``np.bincount`` pass over
+interleaved ``2*bin + mask`` codes (exact integer arithmetic, so the
+fusion is byte-identical to the unfused pair).
+
+Everything here holds the GIL for the duration of each ufunc; the
+numba backend exists because that is precisely what caps threaded
+read-path throughput (docs/PERFORMANCE.md §13).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mechanisms.kernels._constants import (
+    _BINOM_U_EDGE,
+    _EXP_ONE32,
+    _LN4_32,
+    _MANTISSA_SHIFT,
+    _MIN_TSQ32,
+    _MIN_U32,
+    _SIGN32,
+)
+
+name = "numpy"
+
+
+def hist_pair(
+    bin_indices: np.ndarray, ns_mask: np.ndarray, n_bins: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """One fused bincount over ``2*bin + mask`` codes (validated input)."""
+    fused = bin_indices << 1
+    fused += ns_mask
+    counts = np.bincount(fused, minlength=2 * n_bins)
+    x_ns = np.ascontiguousarray(counts[1::2]).astype(np.int64, copy=False)
+    x = (counts[::2] + x_ns).astype(np.int64, copy=False)
+    return x, x_ns
+
+
+def int_bin_pair(
+    values: np.ndarray,
+    low: int,
+    width: int,
+    high: int,
+    n_bins: int,
+    ns_mask: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Equal-width binning + fused counts; returns the first bad index."""
+    in_range = (values >= low) & (values < high)
+    if not np.all(in_range):
+        zero = np.zeros(n_bins, dtype=np.int64)
+        return zero, zero, int(np.flatnonzero(~in_range)[0])
+    idx = values - low
+    if width != 1:
+        idx //= width
+    x, x_ns = hist_pair(idx, ns_mask, n_bins)
+    return x, x_ns, -1
+
+
+def binomial_lookup(
+    scaled: np.ndarray,
+    inverse: np.ndarray,
+    k_flat: np.ndarray,
+    u: np.ndarray,
+) -> np.ndarray:
+    """Group-lift then one ``searchsorted`` over the whole uniform matrix."""
+    np.clip(u, _BINOM_U_EDGE, 1.0 - _BINOM_U_EDGE, out=u)
+    u += inverse[np.newaxis, :]
+    idx = np.searchsorted(scaled, u.ravel(), side="left")
+    return k_flat[idx].reshape(u.shape).astype(np.float64)
+
+
+def laplace_transform(
+    bits: np.ndarray, scale: float, base: np.ndarray
+) -> np.ndarray:
+    """The exponent-trick inverse transform (consumes ``bits`` as scratch).
+
+    23 mantissa bits under a fixed exponent give a float in ``[1, 2)``;
+    subtracting 1.5 centers it to ``t in [-1/2, 1/2)``.  ``ln|2t|`` is
+    computed as ``(ln(t^2) + ln 4) / 2`` to reuse the squaring pass,
+    and the sign is applied by XOR-ing ``t``'s sign bit into the
+    float32 noise, which avoids a ``copysign`` pass.
+    """
+    from repro.mechanisms.kernels import scratch
+
+    shape = bits.shape
+    w = scratch(shape, np.float32, 1)
+    np.right_shift(bits, _MANTISSA_SHIFT, out=bits)
+    np.bitwise_or(bits, _EXP_ONE32, out=bits)
+    t = bits.view(np.float32)                 # uniform on [1, 2)
+    t -= np.float32(1.5)                      # t in [-1/2, 1/2)
+    np.multiply(t, t, out=w)                  # t^2
+    np.maximum(w, _MIN_TSQ32, out=w)          # guard log(0) at t = 0
+    np.log(w, out=w)
+    np.add(w, _LN4_32, out=w)                 # ln(4 t^2) = 2 ln|2t|
+    np.multiply(w, np.float32(0.5 * scale), out=w)   # scale * ln|2t| <= 0
+    tv = t.view(np.uint32)
+    wv = w.view(np.uint32)
+    np.bitwise_and(tv, _SIGN32, out=tv)       # sign(t) as a bit mask
+    np.bitwise_xor(wv, tv, out=wv)            # random +/- magnitude
+    out = np.empty(shape)
+    np.add(base, w, out=out)                  # fused f32 -> f64 widen + add
+    return out
+
+
+def one_sided_transform(
+    u: np.ndarray, scale: float, values: np.ndarray
+) -> np.ndarray:
+    """``scale * ln(u)`` in float32, widened in the final add."""
+    np.maximum(u, _MIN_U32, out=u)            # guard log(0) at u = 0
+    np.log(u, out=u)
+    np.multiply(u, np.float32(scale), out=u)  # scale * ln u <= 0
+    out = np.empty(u.shape)
+    np.add(values, u, out=out)
+    return out

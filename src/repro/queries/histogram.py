@@ -462,7 +462,13 @@ def counts_from_mask(
     indices outside ``[0, n_bins)`` and index/mask length mismatches
     (a binning that silently drops records must fail loudly, not
     produce an x/x_ns pair built from inconsistent record sets).
+    Counting runs on the active kernel backend
+    (:mod:`repro.mechanisms.kernels`): one fused pass producing both
+    histograms — byte-identical on every backend to the classic
+    two-bincount construction.
     """
+    from repro.mechanisms import kernels
+
     bin_indices = np.asarray(bin_indices)
     ns_mask = np.asarray(ns_mask)
     if bin_indices.shape != ns_mask.shape:
@@ -470,16 +476,7 @@ def counts_from_mask(
             f"bin indices cover {bin_indices.shape[0]} records but the "
             f"policy mask covers {ns_mask.shape[0]}"
         )
-    x = np.bincount(bin_indices, minlength=n_bins).astype(np.int64)
-    if len(x) > n_bins:
-        raise ValueError(
-            f"record mapped to bin {int(bin_indices.max())}, "
-            f"outside [0, {n_bins})"
-        )
-    x_ns = np.bincount(
-        bin_indices[ns_mask], minlength=n_bins
-    ).astype(np.int64)
-    return x, x_ns
+    return kernels.hist_pair(bin_indices, ns_mask, n_bins)
 
 
 def _shard_histogram_counts(
@@ -489,11 +486,20 @@ def _shard_histogram_counts(
 
     A module-level function (not a closure) so process-pool executors
     can ship it to workers alongside a picklable shard and policy.
+    Eligible shard layouts (see ``ColumnarDatabase.fused_counts``) run
+    the fully fused mask→bin→count kernel — one pass per shard, no
+    index materialization — and every layout produces byte-identical
+    pairs either way.
     """
     from repro.core.policy import NON_SENSITIVE
 
-    indices = query.binning.bin_indices(db)
     ns = policy.evaluate_batch(db) == NON_SENSITIVE
+    fused = getattr(db, "fused_counts", None)
+    if fused is not None:
+        pair = fused(query.binning, ns)
+        if pair is not None:
+            return pair
+    indices = query.binning.bin_indices(db)
     return counts_from_mask(indices, ns, query.n_bins)
 
 

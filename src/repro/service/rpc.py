@@ -534,10 +534,17 @@ class RpcServer:
     def _dispatch_read(self, op: str, message):
         server = self.release_server
         if op == "ping":
+            from repro.mechanisms import kernels
+
             return {
                 "server": "repro.service.rpc",
                 "n_shards": server.n_shards,
                 "n_records": len(server.db),
+                # which kernel backend serves this process's releases;
+                # "numba" means the noise/count kernels drop the GIL,
+                # so max_readers concurrency scales on real cores
+                # (docs/PERFORMANCE.md §13)
+                "kernel_backend": kernels.active_backend(),
             }
         if op == "mechanisms":
             return server._registry.names()

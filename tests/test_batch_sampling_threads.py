@@ -1,0 +1,182 @@
+"""Thread-safety of the bulk samplers and the scratch pool.
+
+The regression pinned here: the bulk-bits SFC64 generator used to be a
+module-level singleton, so two threads drawing noise concurrently
+re-seeded and consumed *the same* bit stream — each stole words from
+the other's sequence and seeded releases stopped being reproducible
+under the RPC tier's reader concurrency.  The generator (like the
+scratch buffers) is now thread-local: a seeded release produces the
+same bytes whether it runs alone or while N other threads hammer the
+samplers.
+
+Also pinned: the scratch pool's LRU discipline — an overflow evicts
+only the oldest entry, and a hit is touched to the back.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.policy import OptInPolicy
+from repro.data.columnar import ColumnarDatabase
+from repro.mechanisms import batch_sampling, kernels
+from repro.mechanisms.kernels import _MAX_SCRATCH_ENTRIES, _scratch_local
+from repro.queries.histogram import IntegerBinning
+from repro.service import ReleaseRequest, ReleaseServer
+
+N_THREADS = 8
+N_ROUNDS = 6
+
+
+def _sampler_bytes(seed: int) -> bytes:
+    """One deterministic tour through all three bulk samplers."""
+    base = np.linspace(-2.0, 2.0, 17)
+    counts = np.arange(1, 30)
+    out = []
+    rng = np.random.default_rng(seed)
+    out.append(batch_sampling.laplace_rows(rng, 1.5, base, 12).tobytes())
+    rng = np.random.default_rng(seed + 1)
+    out.append(batch_sampling.one_sided_rows(rng, 0.7, base, 12).tobytes())
+    rng = np.random.default_rng(seed + 2)
+    out.append(
+        batch_sampling.binomial_inverse_cdf_rows(rng, counts, 0.41, 12).tobytes()
+    )
+    return b"".join(out)
+
+
+def _hammer(work, n_threads: int):
+    """Run ``work(i)`` on n_threads threads, all released at once."""
+    barrier = threading.Barrier(n_threads)
+    results: list = [None] * n_threads
+    errors: list = []
+
+    def run(i: int) -> None:
+        try:
+            barrier.wait()
+            results[i] = work(i)
+        except BaseException as exc:  # surfaced below, not swallowed
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=run, args=(i,)) for i in range(n_threads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        raise errors[0]
+    return results
+
+
+class TestThreadHammer:
+    def test_concurrent_seeded_streams_bit_identical_to_serial(self):
+        serial = [_sampler_bytes(1000 + i) for i in range(N_THREADS)]
+        for _ in range(N_ROUNDS):
+            def work(i: int, _serial=serial):
+                got = _sampler_bytes(1000 + i)
+                # Compare inside the thread too, so a mismatch fails
+                # even if a later round happens to agree.
+                assert got == _serial[i]
+                return got
+
+            results = _hammer(work, N_THREADS)
+            assert results == serial
+
+    def test_concurrent_releases_bit_identical_to_serial(self):
+        rng = np.random.default_rng(0)
+        db = ColumnarDatabase(
+            {
+                "age": rng.integers(0, 100, 3000),
+                "opt_in": rng.integers(0, 2, 3000).astype(bool),
+            }
+        )
+        binning = IntegerBinning("age", 0, 100, 10)
+
+        def request(i: int) -> ReleaseRequest:
+            return ReleaseRequest(
+                "osdp_laplace_l1",
+                0.5,
+                binning=binning,
+                policy=OptInPolicy(),
+                n_trials=3,
+                seed=50 + i,
+            )
+
+        serial_server = ReleaseServer(db)
+        serial = [
+            serial_server.handle(request(i)).estimates.tobytes()
+            for i in range(N_THREADS)
+        ]
+        hammered_server = ReleaseServer(db)
+        results = _hammer(
+            lambda i: hammered_server.handle(request(i)).estimates.tobytes(),
+            N_THREADS,
+        )
+        assert results == serial
+
+    def test_bulk_bits_generator_is_thread_local(self):
+        # The old module-level singleton must stay gone.
+        assert not hasattr(batch_sampling, "_SFC_BITGEN")
+        assert not hasattr(batch_sampling, "_SFC_STATE_TEMPLATE")
+
+        def work(i: int):
+            rng = np.random.default_rng(7)
+            bitgen = batch_sampling._bulk_bits_generator(rng)
+            # Memoized within the thread...
+            assert batch_sampling._bulk_bits_generator(rng) is bitgen
+            return bitgen
+
+        # Hold the objects (not ids) so none is collected and its id
+        # recycled before the distinctness check.
+        bitgens = _hammer(work, 4)
+        assert len({id(b) for b in bitgens}) == 4  # never shared across threads
+
+
+class TestScratchLRU:
+    @pytest.fixture(autouse=True)
+    def fresh_pool(self):
+        old = getattr(_scratch_local, "pool", None)
+        _scratch_local.pool = {}
+        yield
+        if old is not None:
+            _scratch_local.pool = old
+
+    def test_hit_returns_same_buffer(self):
+        a = kernels.scratch((3, 4), np.float32)
+        assert kernels.scratch((3, 4), np.float32) is a
+        assert kernels.scratch((3, 4), np.float32, slot=1) is not a
+
+    @staticmethod
+    def _key(shape, dtype, slot=0):
+        return (shape, np.dtype(dtype).str, slot)
+
+    def test_overflow_evicts_only_the_oldest(self):
+        bufs = [
+            kernels.scratch((i + 1,), np.float64)
+            for i in range(_MAX_SCRATCH_ENTRIES)
+        ]
+        kernels.scratch((0,), np.int8)  # one past the bound
+        # Inspect the pool directly — probing via scratch() would be a
+        # miss and evict further entries itself.
+        pool = _scratch_local.pool
+        assert len(pool) == _MAX_SCRATCH_ENTRIES
+        # Only the oldest was dropped; every other entry survived.
+        assert self._key((1,), np.float64) not in pool
+        for i in range(1, _MAX_SCRATCH_ENTRIES):
+            assert pool[self._key((i + 1,), np.float64)] is bufs[i]
+
+    def test_hit_touches_entry_to_the_back(self):
+        bufs = [
+            kernels.scratch((i + 1,), np.float64)
+            for i in range(_MAX_SCRATCH_ENTRIES)
+        ]
+        # Touch the oldest; the *second*-oldest becomes the victim.
+        assert kernels.scratch((1,), np.float64) is bufs[0]
+        kernels.scratch((0,), np.int8)
+        pool = _scratch_local.pool
+        assert pool[self._key((1,), np.float64)] is bufs[0]
+        assert self._key((2,), np.float64) not in pool
