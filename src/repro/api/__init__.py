@@ -30,6 +30,7 @@ from repro.api.client import OsdpClient
 from repro.api.cluster import (
     ClusterBackend,
     ClusterEndpoint,
+    ClusterWriteError,
     PartialClusterError,
 )
 from repro.api.resilience import DeadlineExceeded, RetryPolicy
@@ -44,6 +45,7 @@ __all__ = [
     "BatchBudgetExceededError",
     "ClusterBackend",
     "ClusterEndpoint",
+    "ClusterWriteError",
     "DeadlineExceeded",
     "InProcessBackend",
     "OsdpClient",

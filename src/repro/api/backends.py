@@ -293,10 +293,15 @@ class RemoteBackend:
         timeout: float | None = None,
         retry: RetryPolicy | None = None,
         connect_retry: RetryPolicy | None = _UNSET,  # type: ignore[assignment]
+        retry_rng=None,
     ):
         self.address = (host, port)
         self._timeout = timeout
         self._retry = retry
+        # A seeded random.Random here makes every backoff jitter draw
+        # (connect and exchange retries) deterministic — the fault
+        # tests' replayability hook.  None keeps the module-level rng.
+        self._retry_rng = retry_rng
         self._connect_retry = (
             DEFAULT_CONNECT_RETRY if connect_retry is _UNSET else connect_retry
         )
@@ -317,6 +322,7 @@ class RemoteBackend:
             lambda: connect(*self.address, timeout=self._timeout),
             self._connect_retry,
             retryable=(OSError,),
+            rng=self._retry_rng,
             describe=f"connect to {self.address[0]}:{self.address[1]}",
         )
 
@@ -442,7 +448,7 @@ class RemoteBackend:
                 self._invalidate_thread_sock()
                 if self._closed or attempt + 1 >= policy.max_attempts:
                     break
-                pause = policy.delay(attempt)
+                pause = policy.delay(attempt, rng=self._retry_rng)
                 if remaining is not None:
                     pause = min(pause, deadline.remaining() or 0.0)
                 if pause > 0:
@@ -517,6 +523,39 @@ class RemoteBackend:
         return [
             int(i) for i in self._call("expire_prefix", n_records=n_records)
         ]
+
+    # ------------------------------------------------------------------
+    # The cluster commit protocol (coordinator side)
+    # ------------------------------------------------------------------
+    def prepare_write(self, write_id: str, wop: str, payload: dict) -> dict:
+        """Stage a replicated write on this endpoint (phase one).
+
+        The ``req_id`` derives from the write id, so a resent prepare
+        for the same write rides the server's idempotent-reply cache
+        instead of staging twice.
+        """
+        return self._call(
+            "prepare_write",
+            write_id=write_id,
+            wop=wop,
+            req_id=f"{write_id}:prepare",
+            **payload,
+        )
+
+    def commit_write(self, write_id: str) -> dict:
+        """Apply a staged write (phase two); retries replay, not re-run."""
+        return self._call(
+            "commit_write", write_id=write_id, req_id=f"{write_id}:commit"
+        )
+
+    def wal_status(self) -> dict:
+        return self._call("wal_status")
+
+    def sync_range(self, from_seq: int) -> dict:
+        return self._call("sync_range", from_seq=int(from_seq))
+
+    def sync_apply(self, base=None, entries=()) -> dict:
+        return self._call("sync_apply", base=base, entries=list(entries))
 
     # ------------------------------------------------------------------
     # Remote introspection

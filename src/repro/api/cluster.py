@@ -29,23 +29,35 @@ accounting) in one place, the coordinator:
   explicit :class:`PartialClusterError` — carrying any already-charged
   responses — never a hang.
 
-The cluster tier is read-path only: ``release``/``release_batch``/
-``true_histogram`` fan out; data mutations must go to the endpoint
-that owns the shard range (replicas are independent processes — a
-coordinator-side write could not keep them bit-identical atomically).
-See ``docs/OPERATIONS.md`` for topology and failure-mode reference.
+Writes are replicated with a durable commit protocol:
+``append_records`` routes to the tail shard range and
+``expire_prefix`` walks ranges head-first (ranges follow the
+endpoints' listing order, which must match data order), each write
+running **two-phase** against the owning range's replicas — prepare
+(stage + validate) on every live replica, then commit (WAL-log,
+fsync, apply) under a stable ``write_id`` whose derived ``req_id``
+keys make every resend an idempotent replay, so a retry after a
+truncated ack applies exactly once.  A replica that misses a commit
+is marked **stale**, excluded from read rotation, and resynced from a
+healthy peer by sequence-number catch-up (``sync_range`` /
+``sync_apply``, with a chain digest guarding against silent
+divergence) before rejoining — reads stay bit-identical to a single
+server across any interleaving of writes, kills, and retries.  See
+``docs/OPERATIONS.md`` for topology, the write-path state machine,
+and failure-mode reference.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+import uuid
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 import numpy as np
 
-from repro.api.backends import RemoteBackend
+from repro.api.backends import RemoteBackend, _append_payload
 from repro.api.resilience import (
     CircuitBreaker,
     Deadline,
@@ -117,6 +129,24 @@ class PartialClusterError(RuntimeError):
         self.failed_request = failed_request
 
 
+class ClusterWriteError(RuntimeError):
+    """A replicated write could not reach its shard range.
+
+    ``ambiguous`` is the retry contract: ``False`` means no replica
+    logged the write (retrying is plainly safe); ``True`` means some
+    replica *may* have logged it before failing — those replicas are
+    already marked stale, so a retry (under a fresh ``write_id``)
+    lands only on clean peers and the stale ones are overwritten by
+    resync, keeping the cluster exactly-once either way.
+    """
+
+    def __init__(self, message, shard_range, write_id=None, ambiguous=False):
+        super().__init__(message)
+        self.shard_range = shard_range
+        self.write_id = write_id
+        self.ambiguous = ambiguous
+
+
 @dataclass
 class ClusterStats:
     """Coordinator-side counters (see also :meth:`ClusterBackend.health`)."""
@@ -129,6 +159,11 @@ class ClusterStats:
     unserved_ranges: int = 0
     hist_merges: int = 0
     hist_memo_hits: int = 0
+    writes: int = 0
+    write_prepares: int = 0
+    write_commits: int = 0
+    stale_marks: int = 0
+    resyncs: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return dict(self.__dict__)
@@ -162,6 +197,7 @@ class ClusterBackend:
         breaker_threshold: int = 3,
         breaker_reset: float = 1.0,
         dead_after: int = 3,
+        rng=None,
     ):
         if not endpoints:
             raise ValueError("a cluster needs at least one endpoint")
@@ -176,10 +212,32 @@ class ClusterBackend:
         # Deterministic range order (merge addition is commutative, so
         # this is for readable errors/stats, not bit-identity).
         self._ranges = sorted(self._replicas, key=repr)
+        # Data order for the write path: ranges as first listed in
+        # ``endpoints``.  Topologies must list ranges oldest-data
+        # first — appends go to the last range, expiry walks from the
+        # first (the fleet launcher and docs both enforce/state this).
+        self._range_order: list = []
+        for ep in self.endpoints:
+            if ep.shard_range not in self._range_order:
+                self._range_order.append(ep.shard_range)
         self._registry = registry or default_registry()
         self.accountant = accountant
         self._retry = retry or DEFAULT_CLUSTER_RETRY
+        # Seed a random.Random here to make every backoff jitter draw
+        # deterministic (the fault tests' replayability hook).
+        self._rng = rng
         self._timeout = timeout
+        # Replicas known to have missed a commit: key -> reason.  They
+        # are excluded from read rotation (serving them would break
+        # bit-identity) until resync() catches them back up.
+        self._stale: dict[str, str] = {}
+        self._stale_lock = threading.Lock()
+        # One writer at a time per shard range: the commit protocol's
+        # prepare->commit window must not interleave with another
+        # write to the same replicas (sequence numbers are per-range).
+        self._write_locks = {
+            shard_range: threading.Lock() for shard_range in self._replicas
+        }
         self._probe_timeout = probe_timeout
         self.stats = ClusterStats()
         self._stats_lock = threading.Lock()
@@ -273,13 +331,24 @@ class ClusterBackend:
         """
         policy = self._retry
         deadline = Deadline(policy.deadline)
+        live = [
+            ep
+            for ep in self._replicas[shard_range]
+            if not self._is_stale(ep)
+        ]
+        if not live:
+            self._bump("unserved_ranges")
+            raise PartialClusterError(
+                f"shard range {shard_range!r} has no serving replica for "
+                f"{describe}: every replica is stale (divergent until "
+                "resync(); see ClusterBackend.stale())",
+                shard_range,
+            )
         last: BaseException | None = None
         for attempt in range(policy.max_attempts):
             if deadline.expired():
                 break
-            ranked = self._health.ranked(
-                self._replicas[shard_range], key=lambda ep: ep.key
-            )
+            ranked = self._health.ranked(live, key=lambda ep: ep.key)
             candidates = [
                 ep for ep in ranked if self._breakers[ep.key].allow()
             ]
@@ -305,7 +374,7 @@ class ClusterBackend:
                 return result
             if attempt + 1 < policy.max_attempts:
                 self._bump("sweep_retries")
-                pause = policy.delay(attempt)
+                pause = policy.delay(attempt, rng=self._rng)
                 remaining = deadline.remaining()
                 if remaining is not None:
                     pause = min(pause, remaining)
@@ -446,19 +515,280 @@ class ClusterBackend:
         ]
         return np.sum(totals, axis=0)
 
+    # ------------------------------------------------------------------
+    # The write path: replicated two-phase writes + stale-replica resync
+    # ------------------------------------------------------------------
     def append_records(self, records) -> int:
-        raise NotImplementedError(
-            "the cluster tier is read-path only: append via the endpoint "
-            "that owns the shard range (replicas are independent "
-            "processes; a coordinator-side write could not update them "
-            "atomically)"
+        """Append through the cluster: replicated on the tail range.
+
+        Records arrive in time order, so new rows belong to the last
+        shard range (the same invariant the single server's tail-shard
+        append keeps).  Returns the owning endpoints' tail shard index.
+        """
+        tail_range = self._range_order[-1]
+        reply = self._replicated_write(
+            "append_records", _append_payload(records), tail_range
         )
+        return int(reply["result"])
 
     def expire_prefix(self, n_records: int) -> list[int]:
-        raise NotImplementedError(
-            "the cluster tier is read-path only: expire via the endpoint "
-            "that owns the shard range"
+        """Expire the oldest records cluster-wide (retention).
+
+        Ranges hold data in listing order, so expiry walks them
+        head-first, trimming each range's share as its own replicated
+        write.  Bounds are pre-checked against the cluster-wide count
+        (the single server's ``ValueError`` contract); the returned
+        indices are each owning endpoint's touched shard indices,
+        concatenated in range order.
+        """
+        n = int(n_records)
+        counts = {
+            shard_range: int(
+                self._range_call(
+                    shard_range,
+                    lambda client: client.ping()["n_records"],
+                    describe="expire_prefix count",
+                )
+            )
+            for shard_range in self._range_order
+        }
+        total = sum(counts.values())
+        if not 0 <= n <= total:
+            raise ValueError(f"cannot expire {n} of {total} records")
+        touched: list[int] = []
+        remaining = n
+        for shard_range in self._range_order:
+            if remaining == 0:
+                break
+            take = min(remaining, counts[shard_range])
+            if take == 0:
+                continue
+            reply = self._replicated_write(
+                "expire_prefix", {"n_records": take}, shard_range
+            )
+            touched.extend(int(i) for i in reply["result"])
+            remaining -= take
+        return touched
+
+    def _replicated_write(self, wop: str, payload: dict, shard_range) -> dict:
+        """Two-phase commit of one write across a range's replicas.
+
+        Under the range's write lock: opportunistically resync any
+        stale replica first (so a recovered endpoint rejoins before it
+        falls further behind), then **prepare** on every live replica
+        and **commit** on each that prepared.  A replica that fails
+        prepare while others go on to commit — or fails/misses its
+        commit — has missed a write its peers applied: it is marked
+        stale and left to resync.  The returned document is the
+        highest-sequence commit reply.
+        """
+        with self._write_locks[shard_range]:
+            self._resync_range_locked(shard_range)
+            write_id = uuid.uuid4().hex
+            self._bump("writes")
+            ranked = self._health.ranked(
+                self._replicas[shard_range], key=lambda ep: ep.key
+            )
+            live = [ep for ep in ranked if not self._is_stale(ep)]
+            prepared: list[ClusterEndpoint] = []
+            prepare_failures: list[ClusterEndpoint] = []
+            for endpoint in live:
+                try:
+                    self._client(endpoint).prepare_write(
+                        write_id, wop, payload
+                    )
+                except FAILOVER_ERRORS as exc:
+                    self._health.record_failure(endpoint.key, exc)
+                    self._drop_client(endpoint)
+                    prepare_failures.append(endpoint)
+                    continue
+                self._bump("write_prepares")
+                self._health.record_success(endpoint.key)
+                prepared.append(endpoint)
+            if not prepared:
+                raise ClusterWriteError(
+                    f"write {wop!r} to shard range {shard_range!r} reached "
+                    f"no replica at prepare (live: "
+                    f"{[ep.key for ep in live]}); nothing was applied",
+                    shard_range,
+                    write_id=write_id,
+                    ambiguous=False,
+                )
+            # From here the write will land somewhere: a replica that
+            # could not even stage it is about to miss the commit.
+            for endpoint in prepare_failures:
+                self._mark_stale(endpoint, f"unreachable at prepare of {wop}")
+            best: dict | None = None
+            committed: list[tuple[ClusterEndpoint, dict]] = []
+            for endpoint in prepared:
+                try:
+                    reply = self._commit_with_retries(endpoint, write_id)
+                except KeyError as exc:
+                    # The endpoint restarted between prepare and
+                    # commit and lost its staging — it needs the write
+                    # via resync, not via a blind re-apply.
+                    self._mark_stale(endpoint, f"lost staged {wop}: {exc}")
+                    continue
+                except FAILOVER_ERRORS as exc:
+                    # Ambiguous: the commit may have been logged before
+                    # the failure.  Stale-until-resync makes either
+                    # outcome safe.
+                    self._mark_stale(
+                        endpoint, f"commit of {wop} unacknowledged: {exc}"
+                    )
+                    continue
+                self._bump("write_commits")
+                committed.append((endpoint, reply))
+                if best is None or int(reply["seq"]) > int(best["seq"]):
+                    best = reply
+            if best is None:
+                raise ClusterWriteError(
+                    f"write {wop!r} ({write_id}) to shard range "
+                    f"{shard_range!r} committed on no replica; replicas "
+                    "that may have logged it are marked stale, so a "
+                    "retry under a fresh write_id stays exactly-once",
+                    shard_range,
+                    write_id=write_id,
+                    ambiguous=True,
+                )
+            for endpoint, reply in committed:
+                # Pure defense: per-range writes are serialized and
+                # replicas resync before each one, so every commit
+                # should land at the same seq — if one disagrees, it
+                # was already divergent and must not keep serving.
+                if int(reply["seq"]) != int(best["seq"]):
+                    self._mark_stale(
+                        endpoint,
+                        f"commit seq {reply['seq']} disagrees with "
+                        f"{best['seq']}",
+                    )
+            return best
+
+    def _commit_with_retries(self, endpoint: ClusterEndpoint, write_id: str):
+        """Commit on one replica, retrying through transport faults.
+
+        The per-endpoint client is fail-fast (it poisons on a broken
+        stream), so each retry drops it and reconnects fresh; the
+        commit's stable ``req_id`` turns a retry after a truncated ack
+        into an idempotent replay of the cached reply — the op itself
+        runs at most once.
+        """
+        policy = self._retry
+        last: BaseException | None = None
+        for attempt in range(policy.max_attempts):
+            try:
+                return self._client(endpoint).commit_write(write_id)
+            except FAILOVER_ERRORS as exc:
+                last = exc
+                self._bump("failovers")
+                self._health.record_failure(endpoint.key, exc)
+                self._drop_client(endpoint)
+                if attempt + 1 < policy.max_attempts:
+                    pause = policy.delay(attempt, rng=self._rng)
+                    if pause > 0:
+                        time.sleep(pause)
+        assert last is not None
+        raise last
+
+    def resync(self, shard_range=None) -> dict[str, bool]:
+        """Catch stale replicas back up from their healthy peers.
+
+        Runs automatically before every write; call it explicitly to
+        rejoin replicas on a read-only cluster (e.g. after restarting
+        a killed endpoint).  Returns ``{endpoint key: rejoined?}`` for
+        the replicas that were stale.
+        """
+        ranges = (
+            list(self._replicas) if shard_range is None else [shard_range]
         )
+        results: dict[str, bool] = {}
+        for one_range in ranges:
+            with self._write_locks[one_range]:
+                results.update(self._resync_range_locked(one_range))
+        return results
+
+    def _resync_range_locked(self, shard_range) -> dict[str, bool]:
+        stale = [
+            ep for ep in self._replicas[shard_range] if self._is_stale(ep)
+        ]
+        if not stale:
+            return {}
+        healthy = [
+            ep for ep in self._replicas[shard_range] if not self._is_stale(ep)
+        ]
+        return {ep.key: self._resync_one(ep, healthy) for ep in stale}
+
+    def _resync_one(
+        self, endpoint: ClusterEndpoint, healthy: Sequence[ClusterEndpoint]
+    ) -> bool:
+        """Bring one stale replica to its peers' exact state.
+
+        Ask the replica where it stands (``wal_status``), fetch
+        catch-up material from the healthiest peer (``sync_range``),
+        and have the replica adopt it (``sync_apply``).  The chain
+        digest decides between the cheap path (entries after the
+        replica's seq — valid only if its history up to there matches
+        the peer's) and the full base reset (diverged or too far
+        behind).  Still-unreachable replicas simply stay stale.
+        """
+        try:
+            status = self._client(endpoint).wal_status()
+        except FAILOVER_ERRORS:
+            self._drop_client(endpoint)
+            return False
+        from_seq = int(status["last_seq"])
+        chain = int(status.get("chain", 0))
+        for peer in self._health.ranked(healthy, key=lambda ep: ep.key):
+            try:
+                payload = self._client(peer).sync_range(from_seq)
+                base, entries = payload["base"], payload["entries"]
+                if base is None:
+                    chain_at = payload.get("chain_at")
+                    if chain_at is None or int(chain_at) != chain:
+                        # Same/overlapping seq, different history: the
+                        # replica holds writes the cluster never acked.
+                        # Only a full reset reconverges it.
+                        payload = self._client(peer).sync_range(-1)
+                        base, entries = payload["base"], payload["entries"]
+                    elif int(payload["last_seq"]) == from_seq:
+                        # Already at the peers' head (WAL replay after
+                        # a restart restored everything) — rejoin.
+                        self._unmark_stale(endpoint)
+                        self._bump("resyncs")
+                        return True
+                applied = self._client(endpoint).sync_apply(
+                    base=base, entries=entries
+                )
+                if int(applied["last_seq"]) != int(payload["last_seq"]):
+                    continue
+            except FAILOVER_ERRORS:
+                self._drop_client(peer)
+                self._drop_client(endpoint)
+                continue
+            self._unmark_stale(endpoint)
+            self._bump("resyncs")
+            return True
+        return False
+
+    def _is_stale(self, endpoint: ClusterEndpoint) -> bool:
+        with self._stale_lock:
+            return endpoint.key in self._stale
+
+    def _mark_stale(self, endpoint: ClusterEndpoint, reason: str) -> None:
+        with self._stale_lock:
+            if endpoint.key in self._stale:
+                return
+            self._stale[endpoint.key] = reason
+        self._bump("stale_marks")
+
+    def _unmark_stale(self, endpoint: ClusterEndpoint) -> None:
+        with self._stale_lock:
+            self._stale.pop(endpoint.key, None)
+
+    def stale(self) -> dict[str, str]:
+        """The currently stale replicas: ``{endpoint key: reason}``."""
+        with self._stale_lock:
+            return dict(self._stale)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -473,9 +803,12 @@ class ClusterBackend:
     def health(self) -> dict[str, dict]:
         """Per-endpoint health snapshot (state, failures, last error)."""
         snapshot = self._health.status()
+        with self._stale_lock:
+            stale = dict(self._stale)
         for key, doc in snapshot.items():
             doc["breaker"] = self._breakers[key].state
             doc["shard_range"] = self._by_key[key].shard_range
+            doc["stale"] = stale.get(key)
         return snapshot
 
     def cluster_stats(self) -> dict:

@@ -190,34 +190,17 @@ def serve_database(args: argparse.Namespace):
     ``--dataset synthetic`` is a generic demo table (age, city,
     opt_in); a DPBench name expands that benchmark's histogram into
     one record per count with a synthetic opt-in column, so the served
-    data reproduces the paper's workloads bin for bin.
+    data reproduces the paper's workloads bin for bin.  (The fleet
+    launcher builds the same table per topology file — one generator,
+    every serving shape.)
     """
-    import numpy as np
+    from repro.service.fleet import build_table
 
-    from repro.data.columnar import ColumnarDatabase
-
-    rng = np.random.default_rng(args.seed)
-    if args.dataset == "synthetic":
-        n = args.records
-        return ColumnarDatabase(
-            {
-                "age": rng.integers(0, 100, n),
-                "city": rng.choice(list("abcd"), n),
-                "opt_in": rng.random(n) < args.opt_in_rate,
-            }
-        )
-    from repro.data.dpbench import generate_dpbench
-
-    x = generate_dpbench(args.dataset, seed=args.seed)
-    values = np.repeat(np.arange(len(x)), x)
-    if args.records and args.records < len(values):
-        values = rng.choice(values, size=args.records, replace=False)
-        values.sort()
-    return ColumnarDatabase(
-        {
-            "value": values,
-            "opt_in": rng.random(len(values)) < args.opt_in_rate,
-        }
+    return build_table(
+        dataset=args.dataset,
+        records=args.records,
+        seed=args.seed,
+        opt_in_rate=args.opt_in_rate,
     )
 
 
@@ -230,6 +213,12 @@ def cmd_serve(args: argparse.Namespace) -> None:
         raise SystemExit(
             "--shm selects the worker pool's column transport; "
             "it requires --workers"
+        )
+    if args.wal_dir and args.workers:
+        raise SystemExit(
+            "--wal-dir is incompatible with --workers: WAL recovery "
+            "replaces the whole database, which a pool of resident "
+            "workers holding the old columns cannot follow"
         )
     if args.max_readers is not None and args.max_readers < 1:
         raise SystemExit("--max-readers must be at least 1")
@@ -247,12 +236,30 @@ def cmd_serve(args: argparse.Namespace) -> None:
         accountant=accountant,
         shm=args.shm if args.workers else None,
     )
+    wal = None
+    if args.wal_dir:
+        from repro.service.wal import WriteAheadLog
+
+        wal = WriteAheadLog(args.wal_dir)
+        report = wal.recover(backend.server)
+        print(
+            f"wal: {args.wal_dir} (snapshot seq {report['snapshot_seq']}, "
+            f"replayed {report['replayed']} entr"
+            f"{'y' if report['replayed'] == 1 else 'ies'}"
+            + (
+                f", truncated {report['truncated_bytes']} torn byte(s)"
+                if report["truncated_bytes"]
+                else ""
+            )
+            + ")"
+        )
     rpc = RpcServer(
         backend.server,
         host=args.host,
         port=args.port,
         max_readers=args.max_readers,
         read_timeout=args.read_timeout,
+        wal=wal,
     )
     host, port = rpc.address
     store_lines = {
@@ -303,6 +310,48 @@ def cmd_serve(args: argparse.Namespace) -> None:
         rpc.close()
         backend.close()
         print("shutdown complete")
+
+
+def cmd_cluster(args: argparse.Namespace) -> None:
+    import time
+
+    from repro.service.fleet import FleetSupervisor, FleetTopology
+
+    topology = FleetTopology.from_file(args.topology)
+    supervisor = FleetSupervisor(topology)
+    try:
+        # SIGTERM takes the same graceful path as Ctrl-C: drain every
+        # child, reap, leave /dev/shm and the WAL dirs clean.
+        import signal
+
+        signal.signal(signal.SIGTERM, signal.default_int_handler)
+    except ValueError:  # not on the main thread (embedded/tests)
+        pass
+    try:
+        supervisor.start()
+        for line in supervisor.events():
+            print(line, flush=True)
+        health = supervisor.health()
+        n_ranges = len(topology.range_order)
+        print(
+            f"fleet up: {len(health)} endpoints across {n_ranges} shard "
+            "range(s); wire supervisor.endpoints() into "
+            "repro.api.ClusterBackend — SIGTERM or Ctrl-C drains",
+            flush=True,
+        )
+        while True:
+            time.sleep(args.health_interval)
+            for line in supervisor.events():
+                print(line, flush=True)
+    except KeyboardInterrupt:
+        print(
+            "\ndraining fleet (children finish in-flight requests)",
+            flush=True,
+        )
+        supervisor.drain(grace=args.drain_grace)
+    finally:
+        supervisor.close()
+        print("fleet shutdown complete", flush=True)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -400,7 +449,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds SIGTERM/Ctrl-C waits for in-flight requests to "
         "finish before cutting connections (default 5)",
     )
+    p_serve.add_argument(
+        "--wal-dir", default=None,
+        help="write-ahead-log directory: every append/expire is "
+        "fsync'd before its ack and replayed on restart, so a killed "
+        "server recovers to exactly its acknowledged state "
+        "(incompatible with --workers)",
+    )
     p_serve.set_defaults(func=cmd_serve)
+
+    p_cluster = sub.add_parser(
+        "cluster",
+        help="spawn and supervise an endpoint fleet from a JSON "
+        "topology file (see repro.service.fleet)",
+    )
+    p_cluster.add_argument(
+        "--topology", required=True,
+        help="JSON topology: table spec plus ranges x replicas x "
+        "ports x WAL dirs (format in docs/OPERATIONS.md)",
+    )
+    p_cluster.add_argument(
+        "--drain-grace", type=float, default=5.0,
+        help="seconds SIGTERM/Ctrl-C waits for children to drain "
+        "before terminating them (default 5)",
+    )
+    p_cluster.add_argument(
+        "--health-interval", type=float, default=0.2,
+        help="seconds between supervision-event flushes (default 0.2)",
+    )
+    p_cluster.set_defaults(func=cmd_cluster)
 
     return parser
 

@@ -26,6 +26,19 @@ Protocol: each exchange is one framed request message
 ``append_records`` new rows (list of records, or a columns mapping of
                    arrays) -> tail shard index
 ``expire_prefix``  drop the n oldest records -> touched shard indices
+``prepare_write``  stage a replicated write (``write_id`` + op +
+                   payload) without applying it; first half of the
+                   cluster commit protocol
+``commit_write``   apply a staged write: log to the WAL (fsync'd),
+                   apply, remember the result per ``write_id`` so a
+                   commit retry replays instead of double-applying
+``wal_status``     the endpoint's WAL cursor (``last_seq``,
+                   ``snapshot_seq``, retained entries, record count)
+``sync_range``     entries after a follower's ``from_seq`` — or the
+                   full column state when the follower is too far
+                   behind (or diverged ahead) — for replica resync
+``sync_apply``     adopt a peer's base state and/or replay its entries
+                   under their original sequence numbers
 ``stats``          the server's cache counters
 ``transport_stats`` the socket tier's counters (timeouts, replays,
                    drains, ...)
@@ -73,6 +86,12 @@ from repro.api.wire import (
     send_message,
 )
 from repro.service.server import ReleaseServer
+from repro.service.wal import (
+    MemoryWal,
+    apply_write,
+    database_columns,
+    validate_payload,
+)
 
 
 class ReadWriteLock:
@@ -257,6 +276,11 @@ class RpcServer:
       connections.  The CLI wires SIGTERM to this.
     """
 
+    #: Most staged-but-uncommitted writes retained; a prepare evicted
+    #: under this pressure surfaces to the coordinator as the same
+    #: ``KeyError`` a restart produces, triggering the resync path.
+    PENDING_LIMIT = 256
+
     def __init__(
         self,
         server: ReleaseServer,
@@ -265,6 +289,7 @@ class RpcServer:
         max_readers: int | None = None,
         read_timeout: float | None = None,
         idempotency_limit: int = 1024,
+        wal=None,
     ):
         if read_timeout is not None and read_timeout <= 0:
             raise ValueError("read_timeout must be positive (or None)")
@@ -272,6 +297,15 @@ class RpcServer:
             raise ValueError("idempotency_limit must be at least 1")
         self.release_server = server
         self.read_timeout = read_timeout
+        # Every write — direct or via the commit protocol — goes
+        # through the WAL; the default in-memory one supplies sequence
+        # numbers and resync state without disk durability.  A
+        # durable WriteAheadLog should have had recover() run against
+        # ``server`` before it is handed here.
+        self.wal = MemoryWal() if wal is None else wal
+        # Staged prepares: write_id -> (wop, payload), LRU-bounded.
+        self._pending_lock = threading.Lock()
+        self._pending: OrderedDict[str, tuple] = OrderedDict()
         self._lock = ReadWriteLock(max_readers=max_readers)
         self._tcp = _ThreadedTCPServer((host, port), _Handler)
         self._tcp.rpc = self  # type: ignore[attr-defined]
@@ -411,6 +445,7 @@ class RpcServer:
                 # loudly in stats instead of silently leaking it.
                 self._bump("stuck_serve_threads")
             self._thread = None
+        self.wal.close()
 
     def __enter__(self) -> "RpcServer":
         return self
@@ -504,11 +539,20 @@ class RpcServer:
             "stats",
             "transport_stats",
             "budget",
+            # prepare_write only stages (its own lock guards _pending)
+            # and reads WAL replay state; wal_status/sync_range read
+            # the WAL + column state — all consistent under the shared
+            # side because every mutation takes the exclusive side.
+            "prepare_write",
+            "wal_status",
+            "sync_range",
         }
     )
     #: Ops that mutate the data; exclusive — no release may be mid-
     #: flight while shards extend or trim.
-    WRITE_OPS = frozenset({"append_records", "expire_prefix"})
+    WRITE_OPS = frozenset(
+        {"append_records", "expire_prefix", "commit_write", "sync_apply"}
+    )
 
     def dispatch(self, message, received_at: float | None = None):
         """Serve one decoded request message; returns the ``ok`` payload.
@@ -570,16 +614,178 @@ class RpcServer:
         if op == "transport_stats":
             with self._stats_lock:
                 return dict(self.transport_stats)
+        if op == "prepare_write":
+            return self._prepare_write(message)
+        if op == "wal_status":
+            return self._wal_status()
+        if op == "sync_range":
+            return self._sync_range(message)
         assert op == "budget"
         remaining = server.budget_remaining
         return None if remaining is None else float(remaining)
 
     def _dispatch_write(self, op: str, message):
+        if op in ("append_records", "expire_prefix"):
+            # Direct (non-replicated) writes take the same log-first
+            # path as committed ones, so a WAL-backed endpoint is
+            # durable regardless of which door the write came through.
+            payload = _write_payload(op, message)
+            _seq, result = self._apply_logged(op, payload)
+            return result
+        if op == "commit_write":
+            return self._commit_write(message)
+        assert op == "sync_apply"
+        return self._sync_apply(message)
+
+    # ------------------------------------------------------------------
+    # The durable write path (WAL + commit protocol)
+    # ------------------------------------------------------------------
+    def _apply_logged(self, wop: str, payload, write_id: str | None = None):
+        """Log-then-apply one write under the exclusive lock.
+
+        Validation runs *before* logging: an invalid write (bad
+        payload, expire beyond the stored count) must fail without
+        consuming a sequence number, or replicas would desync on
+        errors.  Once logged — fsync'd by a durable WAL — the write is
+        part of this endpoint's acked history.
+        """
         server = self.release_server
-        if op == "append_records":
-            return server.append_records(_records_from_wire(message))
-        assert op == "expire_prefix"
-        return server.expire_prefix(int(message["n_records"]))
+        validate_payload(wop, payload, db=server.db)
+        seq = self.wal.log(wop, payload, write_id=write_id)
+        result = apply_write(server, wop, payload)
+        self.wal.record_result(write_id, seq, result)
+        self.wal.maybe_compact(server)
+        return seq, result
+
+    def _prepare_write(self, message):
+        write_id = str(message["write_id"])
+        wop = message["wop"]
+        done = self.wal.applied_result(write_id)
+        if done is not None:
+            # A coordinator retrying a whole write after an ambiguous
+            # failure: this replica already committed it.
+            return {
+                "state": "applied",
+                "seq": done["seq"],
+                "result": done["result"],
+                "last_seq": self.wal.last_seq,
+            }
+        payload = _write_payload(wop, message)
+        validate_payload(wop, payload)
+        with self._pending_lock:
+            self._pending[write_id] = (wop, payload)
+            self._pending.move_to_end(write_id)
+            while len(self._pending) > self.PENDING_LIMIT:
+                self._pending.popitem(last=False)
+        return {"state": "prepared", "last_seq": self.wal.last_seq}
+
+    def _commit_write(self, message):
+        write_id = str(message["write_id"])
+        done = self.wal.applied_result(write_id)
+        if done is not None:
+            return {
+                "seq": done["seq"],
+                "result": done["result"],
+                "last_seq": self.wal.last_seq,
+                "replayed": True,
+            }
+        with self._pending_lock:
+            staged = self._pending.pop(write_id, None)
+        if staged is None:
+            raise KeyError(
+                f"unknown write_id {write_id!r}: its prepare was not "
+                "seen (endpoint restarted, or staging was evicted); "
+                "the replica must resync before serving"
+            )
+        wop, payload = staged
+        seq, result = self._apply_logged(wop, payload, write_id=write_id)
+        return {
+            "seq": seq,
+            "result": result,
+            "last_seq": self.wal.last_seq,
+            "replayed": False,
+        }
+
+    def _wal_status(self):
+        status = self.wal.status()
+        status["n_records"] = len(self.release_server.db)
+        with self._pending_lock:
+            status["pending"] = len(self._pending)
+        return status
+
+    def _sync_range(self, message):
+        """Catch-up material for a follower at ``from_seq``.
+
+        When the follower's cursor falls inside the retained log, ship
+        just the entries after it; otherwise (fallen behind a
+        compaction, or *ahead* of this peer — a diverged replica whose
+        extra writes were never cluster-acked) ship the full column
+        state as a base to reset onto.
+        """
+        from_seq = int(message["from_seq"])
+        wal = self.wal
+        if wal.snapshot_seq <= from_seq <= wal.last_seq:
+            chain_at = wal.chain_at(from_seq)
+            if chain_at is not None:
+                return {
+                    "base": None,
+                    "entries": wal.entries_since(from_seq),
+                    "last_seq": wal.last_seq,
+                    # The follower (via its coordinator) checks its own
+                    # chain against this before trusting the entries —
+                    # equal seq with a different history means
+                    # divergence, which needs the base path below.
+                    "chain_at": chain_at,
+                }
+        return {
+            "base": {
+                "columns": database_columns(self.release_server.db),
+                "last_seq": wal.last_seq,
+                "chain": wal.chain,
+                "applied": wal.applied_export(),
+            },
+            "entries": [],
+            "last_seq": wal.last_seq,
+        }
+
+    def _sync_apply(self, message):
+        server = self.release_server
+        base = message.get("base")
+        entries = list(message.get("entries") or ())
+        applied_count = 0
+        if base is not None:
+            from repro.data.columnar import ColumnarDatabase
+
+            server.replace_database(ColumnarDatabase(dict(base["columns"])))
+            self.wal.install_base(
+                dict(base["columns"]),
+                int(base["last_seq"]),
+                base.get("applied"),
+                chain=base.get("chain", 0),
+            )
+        for entry in entries:
+            seq = int(entry["seq"])
+            if seq <= self.wal.last_seq:
+                continue  # already applied (overlap with our own log)
+            wop, payload = entry["wop"], entry["payload"]
+            validate_payload(wop, payload, db=server.db)
+            self.wal.log(
+                wop, payload, write_id=entry.get("write_id"), seq=seq
+            )
+            result = apply_write(server, wop, payload)
+            self.wal.record_result(entry.get("write_id"), seq, result)
+            applied_count += 1
+        with self._pending_lock:
+            # Staged prepares predate the resync and their commits (if
+            # any) arrived via the entries above; anything else will be
+            # re-prepared by its coordinator.
+            self._pending.clear()
+        self.wal.maybe_compact(server)
+        return {
+            "last_seq": self.wal.last_seq,
+            "n_records": len(server.db),
+            "applied_entries": applied_count,
+        }
 
 
 def _records_from_wire(message):
@@ -590,6 +796,17 @@ def _records_from_wire(message):
 
         return ColumnarDatabase(dict(columns))
     return list(message["records"])
+
+
+def _write_payload(wop: str, message) -> dict:
+    """Extract just the WAL payload fields from a request message."""
+    if wop == "append_records":
+        if message.get("columns") is not None:
+            return {"columns": dict(message["columns"])}
+        return {"records": list(message["records"])}
+    if wop == "expire_prefix":
+        return {"n_records": int(message["n_records"])}
+    raise ValueError(f"unknown write op {wop!r}")
 
 
 def connect(host: str, port: int, timeout: float | None = None) -> socket.socket:

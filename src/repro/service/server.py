@@ -565,3 +565,30 @@ class ReleaseServer:
         """
         with self._lock:
             return self._db.expire_prefix(n_records)
+
+    def replace_database(self, db) -> None:
+        """Swap in a whole new database state (WAL recovery / resync).
+
+        Unlike the incremental paths above, this discards every cached
+        shard artifact: the fresh sharded database restarts its shard
+        versions at zero, so stale entries keyed under the old
+        versions could otherwise collide with them.  Refused while an
+        executor is attached — resident workers hold the old columns
+        and would keep answering from them.
+        """
+        if self._db.executor is not None:
+            raise RuntimeError(
+                "cannot replace the database while a worker executor is "
+                "attached; resident workers still hold the old columns"
+            )
+        if not isinstance(db, ShardedColumnarDatabase):
+            if not isinstance(db, ColumnarDatabase):
+                db = ColumnarDatabase.from_database(db)
+            db = db.shard(self._db.n_shards)
+        with self._lock:
+            self._db = db
+            self._mask_cache.clear()
+            self._index_cache.clear()
+            self._counts_cache.clear()
+            self._hist_cache.clear()
+            self._keyed.clear()

@@ -76,11 +76,18 @@ def slice_db(n: int, seed: int, lo: int, hi: int):
 # ----------------------------------------------------------------------
 
 
-def _endpoint_main(conn, n, seed, lo, hi, n_shards) -> None:
+def _endpoint_main(conn, n, seed, lo, hi, n_shards, wal_dir=None, port=0) -> None:
     from repro.service.rpc import RpcServer
     from repro.service.server import ReleaseServer
 
-    rpc = RpcServer(ReleaseServer(slice_db(n, seed, lo, hi).shard(n_shards)))
+    server = ReleaseServer(slice_db(n, seed, lo, hi).shard(n_shards))
+    wal = None
+    if wal_dir is not None:
+        from repro.service.wal import WriteAheadLog
+
+        wal = WriteAheadLog(wal_dir)
+        wal.recover(server)
+    rpc = RpcServer(server, port=port, wal=wal)
     conn.send(rpc.address)
     conn.close()
     rpc.serve_forever()
@@ -92,30 +99,81 @@ class EndpointProcess:
     Endpoints are deliberately unmetered: in the cluster design the
     *coordinator* owns the accountant, so budget accounting survives
     any endpoint death.
+
+    Pass ``wal_dir`` to make the endpoint durable: writes go through a
+    :class:`repro.service.wal.WriteAheadLog` in that directory, and
+    :meth:`restart` respawns the child *on the same port* so a
+    recovered endpoint is reachable at its old address — the shape of
+    a supervised production restart.
     """
 
     def __init__(
-        self, n: int, seed: int, lo: int, hi: int, n_shards: int = 2
+        self,
+        n: int,
+        seed: int,
+        lo: int,
+        hi: int,
+        n_shards: int = 2,
+        wal_dir=None,
+        port: int = 0,
     ):
         self.slice_args = (n, seed, lo, hi)
+        self.n_shards = n_shards
+        self.wal_dir = wal_dir
+        self._spawn(port)
+
+    def _spawn(self, port: int) -> None:
         parent_conn, child_conn = multiprocessing.Pipe()
         self.process = multiprocessing.Process(
             target=_endpoint_main,
-            args=(child_conn, n, seed, lo, hi, n_shards),
+            args=(
+                child_conn,
+                *self.slice_args,
+                self.n_shards,
+                self.wal_dir,
+                port,
+            ),
             daemon=True,
         )
         self.process.start()
         child_conn.close()
-        if not parent_conn.poll(30):
-            self.process.kill()
-            raise RuntimeError("endpoint child never reported its address")
-        self.host, self.port = parent_conn.recv()
-        parent_conn.close()
+        try:
+            if not parent_conn.poll(30):
+                self.process.kill()
+                raise RuntimeError(
+                    "endpoint child never reported its address"
+                )
+            self.host, self.port = parent_conn.recv()
+        except EOFError:
+            self.process.join(timeout=10)
+            raise RuntimeError(
+                "endpoint child died before binding its port"
+            ) from None
+        finally:
+            parent_conn.close()
 
     def kill(self) -> None:
         """SIGKILL — the endpoint dies without any cleanup or goodbye."""
         self.process.kill()
         self.process.join(timeout=10)
+
+    def restart(self) -> None:
+        """Respawn a (dead) endpoint on its previously bound port.
+
+        With a ``wal_dir`` the child replays its write-ahead log on
+        startup, so every write it acked before dying is served again.
+        """
+        if self.process.is_alive():
+            self.kill()
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            try:
+                self._spawn(self.port)
+                return
+            except RuntimeError:
+                # The old port can linger in TIME_WAIT briefly.
+                time.sleep(0.2)
+        raise RuntimeError("endpoint could not rebind its port")
 
     def close(self) -> None:
         if self.process.is_alive():

@@ -287,6 +287,7 @@ class TestPublicApiSnapshot:
             "BatchBudgetExceededError",
             "ClusterBackend",
             "ClusterEndpoint",
+            "ClusterWriteError",
             "DeadlineExceeded",
             "InProcessBackend",
             "OsdpClient",

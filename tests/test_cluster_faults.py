@@ -156,13 +156,26 @@ class TestClusterSemantics:
         )
         assert spent == pytest.approx(4 * 0.25)
 
-    def test_cluster_tier_is_read_path_only(self, inproc_cluster):
+    def test_cluster_tier_serves_writes(self, inproc_cluster):
+        """The write path (PR 8) replaced the old read-path-only
+        refusal: appends and expiries go through the replicated commit
+        protocol and reads stay bit-identical to a single server that
+        took the same writes.  The full fault matrix lives in
+        ``tests/test_cluster_writes.py``."""
         endpoints, _ = inproc_cluster
         with ClusterBackend(endpoints) as backend:
-            with pytest.raises(NotImplementedError, match="read-path only"):
-                backend.append_records([{"age": 1, "opt_in": True}])
-            with pytest.raises(NotImplementedError, match="read-path only"):
-                backend.expire_prefix(5)
+            backend.append_records([{"age": 1, "opt_in": True}])
+            backend.expire_prefix(5)
+            cluster_hist = backend.true_histogram(
+                IntegerBinning("age", 0, 100, 10).to_spec()
+            )
+        mirror = _mirror()
+        mirror.append_records([{"age": 1, "opt_in": True}])
+        mirror.expire_prefix(5)
+        assert np.array_equal(
+            cluster_hist,
+            mirror.true_histogram(IntegerBinning("age", 0, 100, 10).to_spec()),
+        )
 
 
 # ----------------------------------------------------------------------

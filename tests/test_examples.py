@@ -22,7 +22,7 @@ def test_example_runs(script):
     assert result.stdout.strip(), "examples must narrate their output"
 
 
-def test_all_five_examples_present():
+def test_all_six_examples_present():
     names = {p.name for p in EXAMPLES}
     assert {
         "quickstart.py",
@@ -30,6 +30,7 @@ def test_all_five_examples_present():
         "opt_in_histograms.py",
         "exclusion_attack_demo.py",
         "policy_composition.py",
+        "cluster_quickstart.py",
     } <= names
 
 
@@ -60,3 +61,10 @@ class TestExampleOutputs:
         out = self._run("policy_composition.py")
         assert "composed guarantee" in out
         assert "minimum relaxation" in out
+
+    def test_cluster_quickstart_survives_a_kill_bit_identically(self):
+        out = self._run("cluster_quickstart.py")
+        assert "write acked with hi-r0 dead" in out
+        assert "resync verdicts: {'hi-r0': True}" in out
+        assert out.count("bit-identical") >= 3
+        assert "through a kill, a restart, and a resync" in out

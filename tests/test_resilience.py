@@ -269,3 +269,76 @@ class TestHealthMonitor:
     def test_start_without_probe_is_an_error(self):
         with pytest.raises(ValueError, match="probe"):
             HealthMonitor(["a"]).start()
+
+
+class TestHalfOpenUnderContention:
+    def test_exactly_one_probe_per_window_under_thread_hammer(self):
+        """Many threads race ``allow()`` on a half-open breaker: the
+        window must admit exactly one probe — a thundering herd onto a
+        barely recovered endpoint would re-kill it.  The clock is
+        frozen per window, so any over-admission is deterministic."""
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_after=1.0, clock=clock
+        )
+        breaker.record_failure()  # open
+        n_threads = 16
+        for window in range(5):
+            clock.advance(1.0)  # the window elapses: half-open
+            assert breaker.state == "half-open"
+            barrier = threading.Barrier(n_threads)
+            admitted: list[bool] = []
+            lock = threading.Lock()
+
+            def hammer():
+                barrier.wait()
+                verdict = breaker.allow()
+                with lock:
+                    admitted.append(verdict)
+
+            threads = [
+                threading.Thread(target=hammer) for _ in range(n_threads)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert admitted.count(True) == 1, f"window {window}"
+            # The failed probe re-opens the same accounting.
+            breaker.record_failure()
+
+
+class TestRetryDeterminism:
+    def test_seeded_rng_reproduces_the_jittered_schedule(self):
+        """The PR-8 satellite: every backoff consumer threads an
+        injectable rng through to ``RetryPolicy.delay``, so a seeded
+        run's sleep schedule replays exactly."""
+        import random
+
+        policy = RetryPolicy(
+            max_attempts=5, base_delay=0.1, multiplier=2.0, jitter=0.5
+        )
+
+        def schedule(seed: int) -> list[float]:
+            sleeps: list[float] = []
+            attempts = {"n": 0}
+
+            def flaky():
+                attempts["n"] += 1
+                if attempts["n"] < 5:
+                    raise OSError("transient")
+                return "ok"
+
+            result = call_with_retries(
+                flaky,
+                policy,
+                rng=random.Random(seed),
+                sleep=sleeps.append,
+            )
+            assert result == "ok"
+            return sleeps
+
+        first, second = schedule(7), schedule(7)
+        assert first == second
+        assert len(first) == 4
+        assert schedule(8) != first  # the jitter really draws

@@ -500,3 +500,55 @@ class TestWorkerFailover:
                     mirror.handle(_request(seed=31)).estimates,
                 )
         pool.close()
+
+
+class TestIdempotencyCachePressure:
+    def test_unsettled_entry_survives_eviction_pressure(self):
+        """PR-8 satellite: an in-flight (unsettled) ``_IdemEntry`` must
+        never be evicted, no matter how many settled entries flood in —
+        evicting it would let a duplicate of a *running* effectful op
+        start a second execution.  Only settled entries may be pruned."""
+        import threading
+
+        rpc = RpcServer(
+            ReleaseServer(_db(200).shard(2)), idempotency_limit=4
+        )
+        try:
+            release = threading.Event()
+            running = threading.Event()
+            original_dispatch = rpc.dispatch
+
+            def gated_dispatch(message, received_at=None):
+                if message.get("req_id") == "slow":
+                    running.set()
+                    assert release.wait(30.0)
+                return original_dispatch(message, received_at=received_at)
+
+            rpc.dispatch = gated_dispatch
+            slow_replies: list = []
+            worker = threading.Thread(
+                target=lambda: slow_replies.append(
+                    rpc.serve_message({"op": "ping", "req_id": "slow"})
+                )
+            )
+            worker.start()
+            assert running.wait(10.0)  # "slow" is in flight, unsettled
+            # Flood far past the cache bound with settled entries.
+            for i in range(20):
+                rpc.serve_message({"op": "ping", "req_id": f"settled-{i}"})
+            assert "slow" in rpc._idem  # survived every prune
+            assert len(rpc._idem) <= 4 + 1  # bound holds + the pinned slot
+            release.set()
+            worker.join(timeout=10.0)
+            assert not worker.is_alive()
+            assert slow_replies and "ok" in slow_replies[0]
+            # The settled entry now replays instead of re-running.
+            replays_before = rpc.transport_stats["idempotent_replays"]
+            duplicate = rpc.serve_message({"op": "ping", "req_id": "slow"})
+            assert duplicate is slow_replies[0]
+            assert (
+                rpc.transport_stats["idempotent_replays"]
+                == replays_before + 1
+            )
+        finally:
+            rpc.close()
