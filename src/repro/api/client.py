@@ -168,6 +168,20 @@ class OsdpClient:
         """Drop the ``n_records`` oldest records; returns touched shards."""
         return self._backend.expire_prefix(n_records)
 
+    def open_stream(self, **kwargs) -> "StreamingPipeline":
+        """The streaming ingestion tier over this client.
+
+        Returns a :class:`repro.ingest.pipeline.StreamingPipeline`:
+        events group-commit through the buffer, a sliding ``window``
+        drives retention, and a ``release`` schedule publishes
+        periodic private histograms — see that module for keywords.
+        The pipeline borrows this client; closing the pipeline flushes
+        but does not close the client.
+        """
+        from repro.ingest.pipeline import StreamingPipeline
+
+        return StreamingPipeline(self, **kwargs)
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------

@@ -198,6 +198,7 @@ class ClusterBackend:
         breaker_reset: float = 1.0,
         dead_after: int = 3,
         rng=None,
+        clock=None,
     ):
         if not endpoints:
             raise ValueError("a cluster needs at least one endpoint")
@@ -226,6 +227,10 @@ class ClusterBackend:
         # Seed a random.Random here to make every backoff jitter draw
         # deterministic (the fault tests' replayability hook).
         self._rng = rng
+        # The temporal twin of rng=: an injectable clock
+        # (repro.ingest.clock.Clock) whose sleep() paces every retry
+        # backoff — a fake makes backoff-heavy fault tests instant.
+        self._sleep = time.sleep if clock is None else clock.sleep
         self._timeout = timeout
         # Replicas known to have missed a commit: key -> reason.  They
         # are excluded from read rotation (serving them would break
@@ -379,7 +384,7 @@ class ClusterBackend:
                 if remaining is not None:
                     pause = min(pause, remaining)
                 if pause > 0:
-                    time.sleep(pause)
+                    self._sleep(pause)
         self._bump("unserved_ranges")
         raise PartialClusterError(
             f"shard range {shard_range!r} has no serving replica for "
@@ -686,7 +691,7 @@ class ClusterBackend:
                 if attempt + 1 < policy.max_attempts:
                     pause = policy.delay(attempt, rng=self._rng)
                     if pause > 0:
-                        time.sleep(pause)
+                        self._sleep(pause)
         assert last is not None
         raise last
 

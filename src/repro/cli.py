@@ -260,6 +260,8 @@ def cmd_serve(args: argparse.Namespace) -> None:
         max_readers=args.max_readers,
         read_timeout=args.read_timeout,
         wal=wal,
+        ingest_queue=args.ingest_queue,
+        ingest_flush_events=args.ingest_flush_events,
     )
     host, port = rpc.address
     store_lines = {
@@ -310,6 +312,62 @@ def cmd_serve(args: argparse.Namespace) -> None:
         rpc.close()
         backend.close()
         print("shutdown complete")
+
+
+def cmd_stream(args: argparse.Namespace) -> None:
+    """Stream synthetic building telemetry into a live release service.
+
+    The operator-facing face of the streaming tier: connects to a
+    ``serve`` endpoint, replays a deterministic ~300-sensor event
+    stream through the group-commit buffer, and (optionally) runs the
+    sliding-window retention and continual-release schedules while the
+    stream flows.
+    """
+    from repro.api import OsdpClient
+    from repro.data.telemetry import TelemetryConfig, telemetry_events
+    from repro.queries.histogram import IntegerBinning
+
+    import time as _time
+
+    # Anchor the synthetic stream at the wall clock so the sliding
+    # window (which the RetentionDriver measures against time.time())
+    # sees current events, not epoch-0 ones that expire on arrival.
+    config = TelemetryConfig(
+        rate_hz=args.rate, seed=args.seed, start=_time.time()
+    )
+    release = None
+    if args.release_period is not None:
+        release = {
+            "mechanism": "osdp_laplace_l1",
+            "epsilon": args.epsilon,
+            "binning": IntegerBinning("region", 0, config.n_regions, 1),
+            # Opted-out sensors are the sensitive ones; opted-in events
+            # are releasable as-is under OSDP.
+            "policy": {"attr": "opt_in", "op": "==", "value": False},
+            "period": args.release_period,
+            "base_seed": args.seed,
+        }
+    with OsdpClient.connect(args.host, args.port) as client:
+        stream = client.open_stream(
+            window=args.window,
+            release=release,
+            max_events=args.batch,
+            max_age=args.max_age,
+        )
+        for event in telemetry_events(args.events, config):
+            stream.submit(event)
+        report = stream.close()
+        buffer = stream.buffer
+        expired = (
+            stream.retention.events_expired if stream.retention else 0
+        )
+        released = len(stream.continual.releases) if stream.continual else 0
+        print(
+            f"streamed {buffer.events_flushed} events in "
+            f"{buffer.flushes} group commit(s); expired {expired}, "
+            f"released {released} histogram(s) "
+            f"(final pass: {report})"
+        )
 
 
 def cmd_cluster(args: argparse.Namespace) -> None:
@@ -414,7 +472,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument(
         "--dataset", default="synthetic",
-        help="'synthetic' or a DPBench name (adult, patent, ...)",
+        help="'synthetic', 'telemetry' (the repro.cli stream schema), "
+        "or a DPBench name (adult, patent, ...)",
     )
     p_serve.add_argument("--records", type=int, default=100_000)
     p_serve.add_argument("--opt-in-rate", type=float, default=0.5)
@@ -450,6 +509,16 @@ def build_parser() -> argparse.ArgumentParser:
         "finish before cutting connections (default 5)",
     )
     p_serve.add_argument(
+        "--ingest-queue", type=int, default=4096,
+        help="server-side group-commit buffer bound in events; an "
+        "ingest batch that would overflow it is refused (backpressure)",
+    )
+    p_serve.add_argument(
+        "--ingest-flush-events", type=int, default=None,
+        help="staged-event watermark past which an ingest flushes "
+        "inline as one WAL entry (default: the queue bound)",
+    )
+    p_serve.add_argument(
         "--wal-dir", default=None,
         help="write-ahead-log directory: every append/expire is "
         "fsync'd before its ack and replayed on restart, so a killed "
@@ -457,6 +526,47 @@ def build_parser() -> argparse.ArgumentParser:
         "(incompatible with --workers)",
     )
     p_serve.set_defaults(func=cmd_serve)
+
+    p_stream = sub.add_parser(
+        "stream",
+        help="stream synthetic building telemetry into a live serve "
+        "endpoint (group commits, optional retention + continual "
+        "releases)",
+    )
+    p_stream.add_argument("--host", default="127.0.0.1")
+    p_stream.add_argument("--port", type=int, default=7777)
+    p_stream.add_argument(
+        "--events", type=int, default=10_000, help="events to stream"
+    )
+    p_stream.add_argument(
+        "--rate", type=float, default=100.0,
+        help="synthetic aggregate event rate in events/sec (event "
+        "timestamps, not wall pacing)",
+    )
+    p_stream.add_argument(
+        "--batch", type=int, default=512,
+        help="group-commit size watermark in events",
+    )
+    p_stream.add_argument(
+        "--max-age", type=float, default=None,
+        help="group-commit age watermark in seconds; omit for size-only",
+    )
+    p_stream.add_argument(
+        "--window", type=float, default=None,
+        help="sliding retention window in seconds of event time; "
+        "omit to retain everything",
+    )
+    p_stream.add_argument(
+        "--release-period", type=float, default=None,
+        help="seconds between continual private histogram releases; "
+        "omit for no release schedule",
+    )
+    p_stream.add_argument(
+        "--epsilon", type=float, default=1.0,
+        help="per-release epsilon for the continual schedule",
+    )
+    p_stream.add_argument("--seed", type=int, default=0)
+    p_stream.set_defaults(func=cmd_stream)
 
     p_cluster = sub.add_parser(
         "cluster",

@@ -355,7 +355,7 @@ class ColumnarDatabase:
         """The owning :class:`repro.data.store.ColumnStore`, or None."""
         return self._store
 
-    def share(self) -> "ColumnarDatabase":
+    def share(self, headroom: float | None = None) -> "ColumnarDatabase":
         """This database with its columns in shared-memory segments.
 
         Returns a value-identical database whose arrays are read-only
@@ -365,12 +365,16 @@ class ColumnarDatabase:
         Already-shared databases return themselves.  The returned
         database's :attr:`store` owns the segments: its ``close()``/GC
         unlinks them once nothing in this process needs them.
+
+        ``headroom`` over-allocates the segments by that growth
+        fraction so streaming appends can extend the columns in place
+        (see :meth:`repro.data.store.ColumnStore.try_append`).
         """
         if self._store is not None:
             return self
         from repro.data.store import ColumnStore
 
-        return ColumnStore.place(self).database
+        return ColumnStore.place(self, headroom=headroom).database
 
     def non_sensitive(self, policy: Policy) -> "ColumnarDatabase":
         """``D_ns = {r in D | P(r) = 1}`` via one vectorized mask."""

@@ -289,16 +289,17 @@ class ShardedColumnarDatabase:
         """
         chunk = self._columnarize_chunk(records)
         index = len(self._shards) - 1
-        new_shard = ColumnarDatabase.concat([self._shards[index], chunk])
         hook = getattr(self._executor, "append_shard_chunk", None)
+        new_shard = None
         if hook is not None:
-            # The hook may hand back a replacement shard to commit —
-            # the worker pool remaps shm-backed shards into fresh
-            # segments and the parent must hold the exact object the
-            # workers attached to (the residency contract).
-            committed = hook(index, chunk, new_shard)
-            if committed is not None:
-                new_shard = committed
+            # The hook hands back the shard to commit — the worker pool
+            # extends shm-backed shards in place (headroom segments) or
+            # remaps them into fresh ones, and the parent must hold the
+            # exact object the workers attached to (the residency
+            # contract).  None falls back to the local concatenation.
+            new_shard = hook(index, chunk, self._shards[index])
+        if new_shard is None:
+            new_shard = ColumnarDatabase.concat([self._shards[index], chunk])
         shards = list(self._shards)
         shards[index] = new_shard
         self._shards = tuple(shards)

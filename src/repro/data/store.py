@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import os
 import secrets
+import struct
 import threading
 import weakref
 from typing import Mapping
@@ -51,6 +52,18 @@ SEGMENT_PREFIX = "osdp"
 #: POSIX shm names are limited (31 bytes on macOS including the
 #: leading slash); keep ours well under.
 _TOKEN_BYTES = 8
+
+#: Headroom segments carry a little-endian u64 *live element count* at
+#: offset 0; data starts at this offset (16 keeps any numpy itemsize
+#: aligned).  Exact-size segments have no header — the descriptor's
+#: ``cap`` key is what marks a segment as headroom-shaped.
+_HEADER_BYTES = 16
+_LENGTH_HEADER = struct.Struct("<Q")
+
+#: Minimum spare elements a headroom placement reserves, so tiny (or
+#: empty) columns still absorb a useful number of appends before their
+#: first remap.
+_MIN_HEADROOM = 1024
 
 
 def shm_available() -> bool:
@@ -136,17 +149,28 @@ def _new_segment(nbytes: int):
     raise RuntimeError("could not allocate a unique shared-memory name")
 
 
-def _view(shm, dtype: np.dtype, shape: tuple[int, ...]) -> np.ndarray:
+def _view(
+    shm, dtype: np.dtype, shape: tuple[int, ...], offset: int = 0
+) -> np.ndarray:
     """A read-only ndarray over a segment's buffer."""
     count = int(np.prod(shape)) if shape else 1
     if count == 0:
         arr = np.empty(shape, dtype=dtype)
     else:
         arr = np.frombuffer(
-            shm.buf, dtype=dtype, count=count
+            shm.buf, dtype=dtype, count=count, offset=offset
         ).reshape(shape)
     arr.flags.writeable = False
     return arr
+
+
+def _read_length(shm) -> int:
+    """The live element count a headroom segment's header declares."""
+    return _LENGTH_HEADER.unpack_from(shm.buf, 0)[0]
+
+
+def _write_length(shm, n: int) -> None:
+    _LENGTH_HEADER.pack_into(shm.buf, 0, int(n))
 
 
 def _close_quietly(shm) -> None:
@@ -198,7 +222,7 @@ class ColumnStore:
     # Construction
     # ------------------------------------------------------------------
     @classmethod
-    def place(cls, db) -> "ColumnStore":
+    def place(cls, db, headroom: float | None = None) -> "ColumnStore":
         """Copy ``db``'s column buffers into fresh shm segments.
 
         Returns the owning store; ``store.database`` is a new
@@ -207,6 +231,13 @@ class ColumnStore:
         objects, when present, are carried over — they live only in
         this process).  Raises :class:`TypeError` when a column has no
         fixed-width buffer (see :func:`placeable`).
+
+        ``headroom`` over-allocates every 1-D array's segment by that
+        growth fraction (at least :data:`_MIN_HEADROOM` spare elements)
+        behind a live-length header, so later :meth:`try_append` calls
+        extend the columns in place instead of remapping — the
+        streaming-append fast path.  ``None`` (the default) keeps the
+        exact-size, headerless layout.
         """
         from repro.data.columnar import ColumnarDatabase, RaggedColumn
 
@@ -222,9 +253,11 @@ class ColumnStore:
             for name in db.column_names:
                 column = db[name]
                 if isinstance(column, RaggedColumn):
-                    flat, flat_seg = cls._place_array(column.flat, segments)
+                    flat, flat_seg = cls._place_array(
+                        column.flat, segments, headroom
+                    )
                     offs, offs_seg = cls._place_array(
-                        np.asarray(column.offsets), segments
+                        np.asarray(column.offsets), segments, headroom
                     )
                     columns[name] = RaggedColumn(flat=flat, offsets=offs)
                     spec[name] = {
@@ -233,7 +266,9 @@ class ColumnStore:
                         "offsets": offs_seg,
                     }
                 else:
-                    arr, seg = cls._place_array(np.asarray(column), segments)
+                    arr, seg = cls._place_array(
+                        np.asarray(column), segments, headroom
+                    )
                     columns[name] = arr
                     spec[name] = {"kind": "plain", **seg}
         except BaseException:
@@ -253,8 +288,29 @@ class ColumnStore:
         return store
 
     @staticmethod
-    def _place_array(arr: np.ndarray, segments: dict) -> tuple[np.ndarray, dict]:
+    def _place_array(
+        arr: np.ndarray, segments: dict, headroom: float | None = None
+    ) -> tuple[np.ndarray, dict]:
         arr = np.ascontiguousarray(arr)
+        if headroom is not None and arr.ndim == 1:
+            cap = len(arr) + max(int(len(arr) * headroom), _MIN_HEADROOM)
+            shm = _new_segment(_HEADER_BYTES + cap * arr.dtype.itemsize)
+            segments[shm.name] = shm
+            _write_length(shm, len(arr))
+            if arr.size:
+                np.frombuffer(
+                    shm.buf,
+                    dtype=arr.dtype,
+                    count=arr.size,
+                    offset=_HEADER_BYTES,
+                )[:] = arr
+            view = _view(shm, arr.dtype, arr.shape, offset=_HEADER_BYTES)
+            return view, {
+                "segment": shm.name,
+                "dtype": arr.dtype.str,
+                "shape": list(arr.shape),
+                "cap": cap,
+            }
         shm = _new_segment(arr.nbytes)
         segments[shm.name] = shm
         if arr.size:
@@ -277,30 +333,11 @@ class ColumnStore:
         and ``spawn`` alike — the descriptor is plain data and the
         attach is by name.
         """
-        from repro.data.columnar import ColumnarDatabase, RaggedColumn
+        from repro.data.columnar import ColumnarDatabase
 
         segments: dict[str, object] = {}
-
-        def open_array(seg: Mapping) -> np.ndarray:
-            name = seg["segment"]
-            if name not in segments:
-                segments[name] = _attach_segment(name)
-            return _view(
-                segments[name],
-                np.dtype(seg["dtype"]),
-                tuple(seg["shape"]),
-            )
-
-        columns: dict[str, object] = {}
         try:
-            for name, seg in descriptor["columns"].items():
-                if seg["kind"] == "ragged":
-                    columns[name] = RaggedColumn(
-                        flat=open_array(seg["flat"]),
-                        offsets=open_array(seg["offsets"]),
-                    )
-                else:
-                    columns[name] = open_array(seg)
+            columns = cls._open_columns(descriptor["columns"], segments)
         except BaseException:
             for shm in segments.values():
                 _close_quietly(shm)
@@ -313,6 +350,194 @@ class ColumnStore:
         store.database = ColumnarDatabase(columns)
         store.database._store = store
         return store
+
+    @staticmethod
+    def _open_columns(spec: Mapping, segments: dict) -> dict:
+        """Build column views from a columns spec, opening segments.
+
+        Headroom segments (``cap`` key) read their **live** element
+        count from the length header — the descriptor's ``shape`` is
+        only the length at placement time, and the owner may have
+        extended the column since.
+        """
+        from repro.data.columnar import RaggedColumn
+
+        def open_array(seg: Mapping) -> np.ndarray:
+            name = seg["segment"]
+            if name not in segments:
+                segments[name] = _attach_segment(name)
+            shm = segments[name]
+            if "cap" in seg:
+                return _view(
+                    shm,
+                    np.dtype(seg["dtype"]),
+                    (_read_length(shm),),
+                    offset=_HEADER_BYTES,
+                )
+            return _view(shm, np.dtype(seg["dtype"]), tuple(seg["shape"]))
+
+        columns: dict[str, object] = {}
+        for name, seg in spec.items():
+            if seg["kind"] == "ragged":
+                columns[name] = RaggedColumn(
+                    flat=open_array(seg["flat"]),
+                    offsets=open_array(seg["offsets"]),
+                )
+            else:
+                columns[name] = open_array(seg)
+        return columns
+
+    # ------------------------------------------------------------------
+    # In-place extension (headroom segments)
+    # ------------------------------------------------------------------
+    def try_append(self, chunk):
+        """Extend the stored columns in place by ``chunk``'s records.
+
+        The streaming-append fast path: when every column's segment
+        was placed with headroom and has room for the chunk (same
+        schema, same dtypes), the chunk's values are written into the
+        spare capacity and the length headers bumped — no new segment,
+        no remap, O(chunk) work.  The result is bit-identical to
+        ``ColumnarDatabase.concat([self.database, chunk])``: plain
+        tails are the chunk's own arrays, and ragged offsets rebase by
+        the running total exactly as ``concat``'s cumsum computes
+        them.  Attachers pick up the new length via :meth:`refresh`.
+
+        Returns the refreshed full database on success, or ``None``
+        when any column cannot extend (no headroom, schema/dtype
+        mismatch, or capacity overflow) — the caller falls back to a
+        remap.
+        """
+        from repro.data.columnar import RaggedColumn
+
+        if self._closed or self._descriptor is None:
+            return None
+        spec = self._descriptor["columns"]
+        if tuple(spec) != tuple(chunk.column_names):
+            return None
+        writes: list[tuple] = []
+        for name, seg in spec.items():
+            column = chunk[name]
+            if seg["kind"] == "ragged":
+                if not isinstance(column, RaggedColumn):
+                    return None
+                flat_plan = self._plan_extend(
+                    seg["flat"], np.asarray(column.flat)
+                )
+                offs_seg = seg["offsets"]
+                if flat_plan is None or "cap" not in offs_seg:
+                    return None
+                dtype = np.dtype(offs_seg["dtype"])
+                chunk_offsets = np.asarray(column.offsets)
+                if chunk_offsets.dtype != dtype:
+                    return None
+                shm = self._segments[offs_seg["segment"]]
+                live = _read_length(shm)
+                last = np.frombuffer(
+                    shm.buf,
+                    dtype=dtype,
+                    count=1,
+                    offset=_HEADER_BYTES + (live - 1) * dtype.itemsize,
+                )[0]
+                offs_plan = self._plan_extend(
+                    offs_seg, chunk_offsets[1:] + last
+                )
+                if offs_plan is None:
+                    return None
+                writes += [flat_plan, offs_plan]
+            else:
+                if isinstance(column, RaggedColumn):
+                    return None
+                plan = self._plan_extend(seg, np.asarray(column))
+                if plan is None:
+                    return None
+                writes.append(plan)
+        for shm, dtype, live, values in writes:
+            if values.size:
+                np.frombuffer(
+                    shm.buf,
+                    dtype=dtype,
+                    count=values.size,
+                    offset=_HEADER_BYTES + live * dtype.itemsize,
+                )[:] = values
+        # Values first, headers last: a torn observer can never see a
+        # length that covers unwritten bytes.  Cross-column consistency
+        # is the caller's single-writer protocol (extensions run under
+        # the RPC exclusive lock / the pool's append op).
+        for shm, dtype, live, values in writes:
+            _write_length(shm, live + len(values))
+        records = None
+        old_records = getattr(self.database, "_records", None)
+        chunk_records = getattr(chunk, "_records", None)
+        if old_records is not None and chunk_records is not None:
+            records = old_records + chunk_records
+        return self.refresh(records=records)
+
+    def _plan_extend(self, seg: Mapping, values: np.ndarray):
+        """(shm, dtype, live, values) when ``values`` fit, else None."""
+        if "cap" not in seg:
+            return None
+        dtype = np.dtype(seg["dtype"])
+        if values.ndim != 1 or values.dtype != dtype:
+            return None
+        shm = self._segments.get(seg["segment"])
+        if shm is None:
+            return None
+        live = _read_length(shm)
+        if live + len(values) > int(seg["cap"]):
+            return None
+        return (shm, dtype, live, values)
+
+    def refresh(self, records=None):
+        """Rebuild the database views from the live length headers.
+
+        Attachers call this after the owner extended the columns in
+        place (:meth:`try_append`); cheap — views are rebuilt over the
+        already-open segments, no attach and no copy.  Returns the
+        refreshed database (also stored on :attr:`database`).
+        """
+        from repro.data.columnar import ColumnarDatabase
+
+        if self._closed:
+            raise RuntimeError("cannot refresh a closed store")
+        columns = self._open_columns(
+            self._descriptor["columns"], self._segments
+        )
+        self.database = ColumnarDatabase(columns, records=records)
+        self.database._store = self
+        return self.database
+
+    def length_snapshot(self) -> dict[str, int]:
+        """Live header lengths of every headroom segment.
+
+        A rollback token: capture before :meth:`try_append`, hand back
+        to :meth:`restore_lengths` to undo an extension whose commit
+        failed downstream.
+        """
+        out: dict[str, int] = {}
+        for seg in self._iter_array_specs():
+            if "cap" in seg:
+                out[seg["segment"]] = _read_length(
+                    self._segments[seg["segment"]]
+                )
+        return out
+
+    def restore_lengths(self, snapshot: Mapping[str, int]) -> None:
+        """Roll length headers back to a :meth:`length_snapshot`.
+
+        The bytes past the restored lengths become unreferenced spare
+        capacity again; the next extension overwrites them.
+        """
+        for name, n in snapshot.items():
+            _write_length(self._segments[name], n)
+
+    def _iter_array_specs(self):
+        for seg in (self._descriptor or {}).get("columns", {}).values():
+            if seg["kind"] == "ragged":
+                yield seg["flat"]
+                yield seg["offsets"]
+            else:
+                yield seg
 
     # ------------------------------------------------------------------
     # Introspection

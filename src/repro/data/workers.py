@@ -84,6 +84,12 @@ from repro.data.store import ColumnStore, placeable, shm_available
 
 _PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
 
+# Growth factor for segments created (or remapped) on the append path:
+# fresh segments over-allocate by this fraction of their live size so
+# subsequent appends extend in place behind the length headers
+# (``ColumnStore.try_append``) instead of remapping every call.
+APPEND_HEADROOM = 1.0
+
 
 # ----------------------------------------------------------------------
 # Worker process
@@ -307,6 +313,19 @@ def _worker_main(conn) -> None:
                 new_store, shard = _attach_trimmed(msg[2], 0)
                 result = state.append(msg[1], new_shard=shard)
                 swap_store(new_store)
+            elif op == "extend_shm":
+                # The parent extended the shared headroom segments in
+                # place; re-reading the length headers is the whole
+                # re-attach.  msg[2] is the accumulated prefix trim.
+                if store is None:
+                    raise RuntimeError(
+                        "extend_shm without attached segments"
+                    )
+                full = store.refresh()
+                shard = (
+                    full.slice_records(msg[2], len(full)) if msg[2] else full
+                )
+                result = state.append(msg[1], new_shard=shard)
             elif op == "mask":
                 result = state.mask(msg[1])
             elif op == "bin_indices":
@@ -393,6 +412,7 @@ class WorkerPoolStats:
     respawns: int = 0
     shm_shards: int = 0
     forced_kills: int = 0
+    in_place_appends: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return dict(self.__dict__)
@@ -842,21 +862,32 @@ class ShardWorkerPool:
     # Incremental updates (driven by ShardedColumnarDatabase)
     # ------------------------------------------------------------------
     def append_shard_chunk(
-        self, index: int, chunk: ColumnarDatabase, new_shard: ColumnarDatabase
-    ) -> ColumnarDatabase | None:
+        self, index: int, chunk: ColumnarDatabase, tail: ColumnarDatabase
+    ) -> ColumnarDatabase:
         """Ship only the appended chunk to worker ``index``.
 
-        ``new_shard`` is the parent's extended shard; the pool records
-        the committed object so the residency check keeps passing after
-        the update (worker and parent extend in lockstep).  An
-        shm-backed shard is **remapped**: the extended columns are
-        placed into fresh segments, the worker re-attaches (receiving
-        the chunk alongside, so its spec caches still advance at
-        O(chunk) cost) and the old segments are unlinked.  The return
-        value, when not None, is the shard the database must commit —
-        the remapped, segment-backed twin of ``new_shard``.
+        ``tail`` is the parent's current last shard; the return value is
+        the extended shard the database must commit — the pool records
+        the same object so the residency check keeps passing after the
+        update (worker and parent extend in lockstep).  An shm-backed
+        shard **extends in place** when its headroom segments still
+        have capacity for the chunk: the parent writes the new values
+        past the live length, bumps the length headers, and the worker
+        re-reads the headers — no new segments, no re-attach, O(chunk)
+        cost on both sides.  On overflow the shard is **remapped**: the
+        extended columns are placed into fresh headroom segments
+        (``APPEND_HEADROOM`` spare capacity, so the *next* appends
+        extend in place), the worker re-attaches (receiving the chunk
+        alongside, so its spec caches still advance at O(chunk) cost)
+        and the old segments are unlinked.
         """
-        if self._stores[index] is None or not placeable(new_shard):
+        store = self._stores[index]
+        if store is not None:
+            committed = self._extend_in_place(index, chunk)
+            if committed is not None:
+                return committed
+        new_shard = ColumnarDatabase.concat([tail, chunk])
+        if store is None or not placeable(new_shard):
             n = self._request_one(index, ("append", chunk))
             if n != len(new_shard):
                 raise WorkerError(
@@ -864,18 +895,18 @@ class ShardWorkerPool:
                     f"parent expects {len(new_shard)}"
                 )
             self._resident[index] = new_shard
-            if self._stores[index] is not None:
+            if store is not None:
                 # The chunk introduced an unplaceable column; the shard
                 # demotes to the heap path (the worker concatenated
                 # locally, so its copy is already off the segments).
                 if self._owned[index]:
-                    self._stores[index].unlink()
+                    store.unlink()
                 self._stores[index] = None
                 self._owned[index] = False
                 self._trim[index] = 0
                 self.stats.shm_shards -= 1
-            return None
-        placed = ColumnStore.place(new_shard)
+            return new_shard
+        placed = ColumnStore.place(new_shard, headroom=APPEND_HEADROOM)
         try:
             n = self._request_one(
                 index, ("append_shm", chunk, placed.descriptor())
@@ -897,6 +928,44 @@ class ShardWorkerPool:
             # stay valid after unlink; only the name goes away.
             old_store.unlink()
         return placed.database
+
+    def _extend_in_place(
+        self, index: int, chunk: ColumnarDatabase
+    ) -> ColumnarDatabase | None:
+        """Extend worker ``index``'s headroom segments by ``chunk``.
+
+        Returns the committed (trim-sliced) extended shard, or ``None``
+        when the segments lack headers or capacity for the chunk — the
+        caller falls back to the remap path.  On a worker-reported
+        failure the length headers roll back to the snapshot, so the
+        segments never advance past the last committed state (the bytes
+        past the rolled-back lengths are unreferenced and the next
+        append overwrites them).
+        """
+        store = self._stores[index]
+        before = store.database
+        snapshot = store.length_snapshot()
+        extended = store.try_append(chunk)
+        if extended is None:
+            return None
+        trim = self._trim[index]
+        committed = (
+            extended.slice_records(trim, len(extended)) if trim else extended
+        )
+        try:
+            n = self._request_one(index, ("extend_shm", chunk, trim))
+            if n != len(committed):
+                raise WorkerError(
+                    f"worker {index} shard has {n} records after extend, "
+                    f"parent expects {len(committed)}"
+                )
+        except BaseException:
+            store.restore_lengths(snapshot)
+            store.database = before
+            raise
+        self._resident[index] = committed
+        self.stats.in_place_appends += 1
+        return committed
 
     def expire_shard_prefix(
         self, index: int, n: int, new_shard: ColumnarDatabase

@@ -1,0 +1,26 @@
+"""Streaming ingestion tier: group commits, retention, continual release.
+
+See :mod:`repro.ingest.pipeline` for the assembled loop; the pieces —
+:class:`~repro.ingest.buffer.IngestBuffer`,
+:class:`~repro.ingest.retention.RetentionDriver`,
+:class:`~repro.ingest.continual.ContinualReleaseScheduler` — compose
+over any backend and run off one injectable clock
+(:mod:`repro.ingest.clock`).
+"""
+
+from repro.ingest.buffer import IngestBackpressure, IngestBuffer
+from repro.ingest.clock import SYSTEM_CLOCK, Clock, SystemClock
+from repro.ingest.continual import ContinualReleaseScheduler
+from repro.ingest.pipeline import StreamingPipeline
+from repro.ingest.retention import RetentionDriver
+
+__all__ = [
+    "Clock",
+    "ContinualReleaseScheduler",
+    "IngestBackpressure",
+    "IngestBuffer",
+    "RetentionDriver",
+    "StreamingPipeline",
+    "SYSTEM_CLOCK",
+    "SystemClock",
+]

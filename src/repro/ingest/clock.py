@@ -1,0 +1,43 @@
+"""Injectable time for the streaming tier.
+
+Every ingest-side timer — flush-age watermarks, sliding-window
+retention, the continual-release period, cluster retry backoffs —
+reads time through this seam instead of calling :mod:`time` directly,
+the temporal twin of the ``rng=`` injection the fault tests use for
+randomness: hand a component a fake clock and every "after 30 seconds"
+behavior becomes a deterministic, instant assertion
+(``tests/clocks.FakeClock``).  The default :data:`SYSTEM_CLOCK` is
+plain wall time, so production call sites read exactly as before.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """What the streaming tier asks of time: read it, and wait on it."""
+
+    def now(self) -> float:
+        """Seconds since an arbitrary epoch; must be non-decreasing."""
+        ...
+
+    def sleep(self, seconds: float) -> None:
+        """Block (or, for a fake, instantly advance) by ``seconds``."""
+        ...
+
+
+class SystemClock:
+    """Wall time: ``time.time`` / ``time.sleep``."""
+
+    def now(self) -> float:
+        return time.time()
+
+    def sleep(self, seconds: float) -> None:
+        time.sleep(seconds)
+
+
+#: The shared default — components treat ``clock=None`` as this.
+SYSTEM_CLOCK = SystemClock()

@@ -1,0 +1,100 @@
+"""Continual release: periodic private histograms over the live window.
+
+The continual-observation setting (surveyed in Das & Mishra,
+arXiv:2404.04706): the database changes under a stream and the curator
+publishes a fresh private histogram every period, each release charged
+against the same cumulative privacy budget.  This scheduler is that
+loop's timer and ledger: every :meth:`tick` issues one release per
+elapsed period — deterministic seeds (``base_seed + index``), so a
+replayed schedule reproduces the exact noise draws — and records what
+was charged.  The accountant itself lives wherever the target's server
+put it; a budget overrun surfaces as the usual
+``BudgetExceededError`` from the release call, stopping the schedule
+loudly rather than silently overspending.
+
+The clock is injectable (:mod:`repro.ingest.clock`): under a fake
+clock, "every 30 seconds for an hour" is 120 instant, reproducible
+releases.
+"""
+
+from __future__ import annotations
+
+from repro.ingest.clock import SYSTEM_CLOCK, Clock
+
+
+class ContinualReleaseScheduler:
+    """Issue one private release per elapsed period on :meth:`tick`.
+
+    ``client`` needs the keyword ``release`` surface of
+    :class:`~repro.api.OsdpClient`; ``mechanism``/``epsilon``/
+    ``binning``/``policy``/``n_trials`` are the per-release request
+    fields, fixed for the schedule.  The first tick releases
+    immediately (the window's opening publication), then every
+    ``period`` seconds after.
+    """
+
+    def __init__(
+        self,
+        client,
+        *,
+        mechanism: str,
+        epsilon: float,
+        binning,
+        policy=None,
+        n_trials: int = 1,
+        period: float,
+        base_seed: int = 0,
+        label: str = "continual",
+        clock: Clock | None = None,
+    ):
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self._client = client
+        self._mechanism = mechanism
+        self._epsilon = float(epsilon)
+        self._binning = binning
+        self._policy = policy
+        self._n_trials = int(n_trials)
+        self.period = float(period)
+        self.base_seed = int(base_seed)
+        self._label = label
+        self._clock = SYSTEM_CLOCK if clock is None else clock
+        self._next_due: float | None = None
+        #: Every response issued, in schedule order.
+        self.releases: list = []
+        #: Cumulative epsilon this schedule has charged.
+        self.epsilon_charged = 0.0
+
+    @property
+    def next_due(self) -> float | None:
+        """When the next release fires (None before the first tick)."""
+        return self._next_due
+
+    def tick(self) -> list:
+        """Issue every release now due; returns them (possibly empty).
+
+        A clock that jumped several periods yields one release per
+        elapsed period — the continual-observation contract is a
+        release *per period*, not per wakeup — each with its own
+        deterministic seed.
+        """
+        now = self._clock.now()
+        if self._next_due is None:
+            self._next_due = now
+        issued = []
+        while now >= self._next_due:
+            index = len(self.releases)
+            response = self._client.release(
+                mechanism=self._mechanism,
+                epsilon=self._epsilon,
+                binning=self._binning,
+                policy=self._policy,
+                n_trials=self._n_trials,
+                seed=self.base_seed + index,
+                label=f"{self._label}[{index}]",
+            )
+            self.releases.append(response)
+            self.epsilon_charged += self._epsilon
+            issued.append(response)
+            self._next_due += self.period
+        return issued

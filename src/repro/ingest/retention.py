@@ -1,0 +1,80 @@
+"""Sliding-window retention: expire records by timestamp, not by hand.
+
+The paper's TIPPERS deployment defines sensitivity partly as a
+function of *age* — events older than the retention window leave the
+queryable state.  The engine's primitive for that is
+``expire_prefix(n)``: records are stored in arrival order, so "drop
+everything older than T" is "drop the first n".  This driver does the
+bookkeeping from record timestamps: it observes the timestamp of every
+**durable** event (hook it to :class:`~repro.ingest.buffer.
+IngestBuffer`'s ``on_flush``), and on each :meth:`tick` expires the
+prefix whose timestamps have fallen behind ``now - window``.
+
+Only durable events are observed, so the driver can never expire past
+what the target actually holds; and because it issues plain
+``expire_prefix`` calls, the trimmed state is bit-identical to loading
+the surviving window cold — on every backend, including the cluster's
+replicated path.
+
+Timestamps must be non-decreasing in arrival order (event time tracks
+arrival for a live stream); the driver trusts that order and walks the
+front of its deque.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.ingest.clock import SYSTEM_CLOCK, Clock
+
+
+class RetentionDriver:
+    """Schedule ``expire_prefix`` from durable record timestamps."""
+
+    def __init__(
+        self,
+        target,
+        window: float,
+        clock: Clock | None = None,
+    ):
+        if window <= 0:
+            raise ValueError("retention window must be positive")
+        self._target = target
+        self.window = float(window)
+        self._clock = SYSTEM_CLOCK if clock is None else clock
+        self._timestamps: deque = deque()
+        self.events_expired = 0
+        self.expirations = 0
+
+    @property
+    def retained(self) -> int:
+        """Durable events the driver still considers live."""
+        return len(self._timestamps)
+
+    def observe(self, timestamps) -> None:
+        """Record durable events' timestamps, in arrival order."""
+        self._timestamps.extend(float(t) for t in timestamps)
+
+    def due(self) -> int:
+        """How many retained events have aged past the window."""
+        cutoff = self._clock.now() - self.window
+        n = 0
+        for ts in self._timestamps:
+            if ts >= cutoff:
+                break
+            n += 1
+        return n
+
+    def tick(self) -> int:
+        """Expire every event older than the window; returns the count."""
+        n = self.due()
+        if n == 0:
+            return 0
+        # Expire first, then forget: if the call fails, the timestamps
+        # stay and the next tick retries the same prefix.
+        self._target.expire_prefix(n)
+        for _ in range(n):
+            self._timestamps.popleft()
+        self.events_expired += n
+        self.expirations += 1
+        return n

@@ -64,17 +64,27 @@ def build_table(
 ):
     """The table a serving process exposes (shared with ``cli serve``).
 
-    ``"synthetic"`` is a generic demo table (age, city, opt_in); a
-    DPBench name expands that benchmark's histogram into one record
-    per count with a synthetic opt-in column.  Deterministic in
-    ``seed`` — every fleet replica building the same spec holds
-    bit-identical columns, which is the replication contract's floor.
+    ``"synthetic"`` is a generic demo table (age, city, opt_in);
+    ``"telemetry"`` is the building-sensor event schema
+    (:mod:`repro.data.telemetry` — start it with ``--records 0`` as
+    the empty sink for ``repro.cli stream``); a DPBench name expands
+    that benchmark's histogram into one record per count with a
+    synthetic opt-in column.  Deterministic in ``seed`` — every fleet
+    replica building the same spec holds bit-identical columns, which
+    is the replication contract's floor.
     """
     import numpy as np
 
     from repro.data.columnar import ColumnarDatabase
 
     rng = np.random.default_rng(seed)
+    if dataset == "telemetry":
+        from repro.data.telemetry import TelemetryConfig, telemetry_database
+
+        return telemetry_database(
+            int(records),
+            TelemetryConfig(opt_in_rate=opt_in_rate, seed=seed),
+        )
     if dataset == "synthetic":
         n = int(records)
         return ColumnarDatabase(

@@ -107,6 +107,60 @@ def records_from_payload(payload):
     return list(payload["records"])
 
 
+def payload_events(payload) -> int:
+    """The number of records an ``append_records`` payload carries."""
+    columns = payload.get("columns")
+    if columns is not None:
+        cols = dict(columns)
+        if not cols:
+            return 0
+        return len(np.asarray(next(iter(cols.values()))))
+    return len(payload["records"])
+
+
+def merge_append_payloads(payloads) -> dict:
+    """Coalesce several ``append_records`` payloads into one.
+
+    The group-commit merge: a flush of N staged ingest batches logs
+    **one** WAL entry whose apply is bit-identical to applying the
+    batches in order — column concatenation and record-list
+    concatenation both preserve arrival order, and the engine's own
+    append path concatenates the same way.  All-columns payloads merge
+    by concatenating each column (the batches must agree on the column
+    set); all-records payloads merge their record lists.  Raises
+    :class:`ValueError` on an empty or mixed set — the caller falls
+    back to logging the batches individually.
+    """
+    payloads = list(payloads)
+    if not payloads:
+        raise ValueError("nothing to merge")
+    if len(payloads) == 1:
+        return payloads[0]
+    if all(p.get("columns") is not None for p in payloads):
+        column_maps = [dict(p["columns"]) for p in payloads]
+        names = list(column_maps[0])
+        for cols in column_maps[1:]:
+            if set(cols) != set(names):
+                raise ValueError(
+                    "ingest batches disagree on column sets; cannot "
+                    "merge into one group commit"
+                )
+        return {
+            "columns": {
+                name: np.concatenate(
+                    [np.asarray(cols[name]) for cols in column_maps]
+                )
+                for name in names
+            }
+        }
+    if all(p.get("columns") is None for p in payloads):
+        merged: list = []
+        for p in payloads:
+            merged.extend(p["records"])
+        return {"records": merged}
+    raise ValueError("cannot merge columns and records payloads")
+
+
 def validate_payload(wop: str, payload, db=None) -> None:
     """Reject a malformed write *before* it is logged or staged.
 

@@ -1,0 +1,39 @@
+"""Deterministic time for streaming tests.
+
+The test-side implementation of :class:`repro.ingest.clock.Clock`:
+time only moves when the test says so, making every watermark,
+retention window and release period an instant, exact assertion.
+Shared across test modules the same way ``tests/faults.py`` shares the
+fault-injection harness.
+"""
+
+from __future__ import annotations
+
+
+class FakeClock:
+    """A manually advanced clock; ``sleep`` advances instead of blocking."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        #: Every sleep() duration requested, in order — lets tests
+        #: assert on backoff pacing without real waiting.
+        self.sleeps: list[float] = []
+
+    def now(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        self.sleeps.append(float(seconds))
+        self._now += float(seconds)
+
+    def advance(self, seconds: float) -> "FakeClock":
+        if seconds < 0:
+            raise ValueError("time only moves forward")
+        self._now += float(seconds)
+        return self
+
+    def set(self, timestamp: float) -> "FakeClock":
+        if timestamp < self._now:
+            raise ValueError("time only moves forward")
+        self._now = float(timestamp)
+        return self

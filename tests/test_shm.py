@@ -277,6 +277,59 @@ class TestPoolLifecycle:
                 pooled.mask(_policy()), reference.mask(_policy())
             )
 
+    def test_headroom_appends_create_zero_new_segments(self, leak_guard):
+        """The streaming-tier regression: placing with capacity headroom
+        makes N successive appends pure in-place extensions — no new
+        ``/dev/shm`` segment per append (the old behaviour remapped and
+        re-placed every column on every append) and nothing left behind
+        after close."""
+        db = _db(600, seed=11)
+        before = _segments()
+        store = ColumnStore.place(db, headroom=1.0)
+        created = _segments() - before
+        assert created
+        try:
+            chunks = [_db(40, seed=100 + i) for i in range(5)]
+            current = store.database
+            for chunk in chunks:
+                extended = store.try_append(chunk)
+                assert extended is not None  # fits inside the headroom
+                current = extended
+                # zero new segments across all N in-place appends
+                assert (_segments() - before) == created
+            reference = ColumnarDatabase.concat([db, *chunks])
+            _assert_same_columns(current, reference)
+            # A fresh attach reads the advanced length header and sees
+            # every appended record, bit for bit.
+            attached = ColumnStore.attach(store.descriptor())
+            try:
+                _assert_same_columns(attached.database, reference)
+            finally:
+                attached.close()
+        finally:
+            store.unlink()
+        assert not (_segments() - before)  # leak-free after close
+
+    def test_pool_appends_after_first_remap_are_in_place(self, leak_guard):
+        """Through the worker pool: the first append remaps the tail
+        shard into a headroom segment, and every append after that is
+        in-place — zero segment churn, bit-identical masks."""
+        db = _db(800, seed=13)
+        sharded = db.shard(2)
+        with ShardWorkerPool(sharded.shards) as pool:
+            pooled = sharded.with_executor(pool)
+            extras = [_db(32, seed=50 + i) for i in range(6)]
+            pooled.append_records(extras[0])  # remap into headroom
+            after_remap = _segments()
+            for extra in extras[1:]:
+                pooled.append_records(extra)
+            assert _segments() == after_remap  # N appends, zero churn
+            assert pool.stats.in_place_appends == len(extras) - 1
+            reference = ColumnarDatabase.concat([db, *extras])
+            assert np.array_equal(
+                pooled.mask(_policy()), reference.mask(_policy())
+            )
+
     def test_respawn_after_expire_reapplies_the_trim(self, leak_guard):
         db = _db(900, seed=5)
         sharded = db.shard(3)

@@ -28,6 +28,8 @@ from repro.service.wal import (
     _frame,
     apply_write,
     database_columns,
+    merge_append_payloads,
+    payload_events,
     validate_payload,
 )
 
@@ -282,6 +284,116 @@ class TestRecovery:
             "truncated_bytes": 0,
         }
         assert wal2.last_seq == 1
+
+
+class TestGroupCommit:
+    """The streaming tier's batched ingest commit: many staged appends
+    coalesce into ONE logged entry (`merge_append_payloads`)."""
+
+    def test_payload_events_counts_both_forms(self):
+        assert payload_events(_append_payload(0, 7)) == 7
+        assert payload_events({"columns": {}}) == 0
+        assert payload_events({"records": [{"age": 1}, {"age": 2}]}) == 2
+
+    def test_merge_column_payloads_concatenates_in_order(self):
+        merged = merge_append_payloads(
+            [_append_payload(0, 3), _append_payload(3, 8)]
+        )
+        reference = _append_payload(0, 8)
+        assert sorted(merged["columns"]) == sorted(reference["columns"])
+        for name, column in reference["columns"].items():
+            got = merged["columns"][name]
+            assert np.array_equal(got, column), name
+            assert got.dtype == column.dtype, name
+        assert payload_events(merged) == 8
+
+    def test_merge_record_payloads_extends_in_order(self):
+        merged = merge_append_payloads(
+            [
+                {"records": [{"age": 1, "opt_in": True}]},
+                {"records": [{"age": 2, "opt_in": False}]},
+            ]
+        )
+        assert [r["age"] for r in merged["records"]] == [1, 2]
+
+    def test_merge_rejects_empty_and_mixed_forms(self):
+        with pytest.raises(ValueError, match="nothing to merge"):
+            merge_append_payloads([])
+        with pytest.raises(ValueError):
+            merge_append_payloads(
+                [_append_payload(0, 2), {"records": [{"age": 1}]}]
+            )
+        with pytest.raises(ValueError, match="column"):
+            merge_append_payloads(
+                [_append_payload(0, 2), {"columns": {"other": np.arange(2)}}]
+            )
+
+    def test_group_commit_landing_on_snapshot_boundary(self, tmp_path):
+        """A merged group commit whose entry lands exactly at the
+        ``snapshot_every`` boundary: compaction fires on the batched
+        entry, and recovery from the snapshot is bit-identical."""
+        server = _server()
+        with WriteAheadLog(tmp_path, snapshot_every=2) as wal:
+            for group in range(2):
+                merged = merge_append_payloads(
+                    [
+                        _append_payload(lo, lo + 5)
+                        for lo in range(group * 20, group * 20 + 20, 5)
+                    ]
+                )
+                assert payload_events(merged) == 20
+                _log_and_apply(
+                    wal, server, "append_records", merged, f"g{group}"
+                )
+                wal.maybe_compact(server)
+            # The second group commit IS the boundary entry (seq 2).
+            assert wal.snapshot_seq == 2
+        fresh = _server()
+        with WriteAheadLog(tmp_path) as wal2:
+            report = wal2.recover(fresh)
+        assert report["snapshot_seq"] == 2
+        assert report["replayed"] == 0  # all 40 events live in the snapshot
+        assert len(fresh.db) == len(server.db)
+        _assert_same_state(fresh, server)
+
+    def test_torn_tail_mid_group_commit_replays_to_acked_watermark(
+        self, tmp_path
+    ):
+        """A crash halfway through writing a group commit's frame: the
+        torn group was never acked, so recovery must truncate it and
+        replay exactly the previously acked groups — no partial batch
+        ever becomes visible."""
+        server = _server()
+        log_path = tmp_path / WriteAheadLog.LOG_NAME
+        with WriteAheadLog(tmp_path) as wal:
+            first = merge_append_payloads(
+                [_append_payload(0, 10), _append_payload(10, 30)]
+            )
+            _log_and_apply(wal, server, "append_records", first, "g1")
+            acked_size = log_path.stat().st_size
+            second = merge_append_payloads(
+                [_append_payload(30, 45), _append_payload(45, 70)]
+            )
+            _log_and_apply(wal, server, "append_records", second, "g2")
+            full_size = log_path.stat().st_size
+        # Cut the second group's frame in half, as the crash left it.
+        torn_size = acked_size + (full_size - acked_size) // 2
+        with open(log_path, "r+b") as handle:
+            handle.truncate(torn_size)
+        mirror = _server()  # the acked watermark: group 1 only
+        apply_write(mirror, "append_records", first)
+        fresh = _server()
+        with WriteAheadLog(tmp_path) as wal2:
+            report = wal2.recover(fresh)
+        assert report["replayed"] == 1
+        assert report["truncated_bytes"] == torn_size - acked_size
+        assert wal2.last_seq == 1
+        assert log_path.stat().st_size == acked_size
+        _assert_same_state(fresh, mirror)
+        # The log accepts the re-submitted group from a clean boundary.
+        with WriteAheadLog(tmp_path) as wal3:
+            wal3.recover(_server())
+            assert wal3.log("append_records", second, write_id="g2") == 2
 
 
 class TestCompaction:
