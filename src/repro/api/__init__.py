@@ -33,7 +33,11 @@ from repro.api.cluster import (
     ClusterWriteError,
     PartialClusterError,
 )
-from repro.api.resilience import DeadlineExceeded, RetryPolicy
+from repro.api.resilience import (
+    DeadlineExceeded,
+    RetryPolicy,
+    ServerOverloaded,
+)
 from repro.service.server import (
     BatchBudgetExceededError,
     ReleaseRequest,
@@ -54,5 +58,6 @@ __all__ = [
     "ReleaseResponse",
     "RemoteBackend",
     "RetryPolicy",
+    "ServerOverloaded",
     "ShardedBackend",
 ]

@@ -34,6 +34,7 @@ from repro.api.resilience import (
     Deadline,
     DeadlineExceeded,
     RetryPolicy,
+    ServerOverloaded,
     call_with_retries,
 )
 from repro.service.server import (
@@ -109,6 +110,10 @@ class _ServerBackend:
     @property
     def budget_remaining(self) -> float | None:
         return self.server.budget_remaining
+
+    def budget(self) -> dict | None:
+        """The full ledger view (None when unmetered)."""
+        return self.server.budget_view()
 
     def close(self) -> None:
         pass
@@ -277,6 +282,17 @@ class RemoteBackend:
     executed, reply lost) re-serves the cached response — the
     accountant is charged exactly once no matter how many resends it
     takes.
+
+    :class:`~repro.api.resilience.ServerOverloaded` — an admission-gate
+    refusal from a flooded server — is also retried under ``retry``,
+    but *without* dropping the socket (the exchange completed cleanly;
+    nothing ran and nothing was charged), and the backoff is floored
+    at the server's ``retry_after`` hint.
+
+    ``analyst`` stamps every request message's header with a
+    credential: the server books each charge under it and enforces the
+    analyst's quota when one is declared (a request carrying its own
+    ``analyst`` field wins over the header).
     """
 
     #: Ops that must not run twice across a retry — they charge the
@@ -301,10 +317,12 @@ class RemoteBackend:
         retry: RetryPolicy | None = None,
         connect_retry: RetryPolicy | None = _UNSET,  # type: ignore[assignment]
         retry_rng=None,
+        analyst: str | None = None,
     ):
         self.address = (host, port)
         self._timeout = timeout
         self._retry = retry
+        self._analyst = str(analyst) if analyst else None
         # A seeded random.Random here makes every backoff jitter draw
         # (connect and exchange retries) deterministic — the fault
         # tests' replayability hook.  None keeps the module-level rng.
@@ -393,6 +411,8 @@ class RemoteBackend:
     # ------------------------------------------------------------------
     def _call(self, op: str, **payload):
         message = {"op": op, **payload}
+        if self._analyst is not None:
+            message["analyst"] = self._analyst
         if self._retry is None:
             return self._exchange_poisoning(message)
         return self._exchange_with_retries(message)
@@ -447,6 +467,23 @@ class RemoteBackend:
                 message["deadline"] = remaining
             try:
                 return self._exchange_once(message)
+            except ServerOverloaded as exc:
+                # An admission-gate refusal: the exchange completed
+                # cleanly (framed request, framed error reply), so the
+                # stream is still synchronized — keep the socket and
+                # just back off, floored at the server's hint.
+                last = exc
+                if attempt + 1 >= policy.max_attempts:
+                    break
+                pause = policy.delay(attempt, rng=self._retry_rng)
+                if exc.retry_after is not None:
+                    pause = max(pause, float(exc.retry_after))
+                if remaining is not None:
+                    pause = min(pause, deadline.remaining() or 0.0)
+                if pause > 0:
+                    import time as _time
+
+                    _time.sleep(pause)
             except (OSError, EOFError, WireError) as exc:
                 # This thread's stream is unsynchronized; drop it and
                 # retry on a fresh connection (other threads' sockets
@@ -468,6 +505,10 @@ class RemoteBackend:
                 f"{self.address[1]} exceeded its {policy.deadline}s deadline"
             ) from last
         assert last is not None
+        if isinstance(last, ServerOverloaded):
+            # The backend is healthy — the server is just full.  Leave
+            # every connection open so the caller can retry later.
+            raise last
         self.close()
         raise ConnectionError(
             f"rpc {message['op']!r} failed after {policy.max_attempts} "
@@ -601,9 +642,21 @@ class RemoteBackend:
     def transport_stats(self) -> dict:
         return self._call("transport_stats")
 
+    def budget(self) -> dict | None:
+        """The server's full ledger view (None when unmetered)."""
+        doc = self._call("budget")
+        return dict(doc) if isinstance(doc, Mapping) else doc
+
     @property
     def budget_remaining(self) -> float | None:
-        return self._call("budget")
+        doc = self._call("budget")
+        if doc is None:
+            return None
+        if isinstance(doc, Mapping):
+            remaining = doc.get("remaining")
+            return None if remaining is None else float(remaining)
+        # Pre-ledger-view servers replied with the bare remaining float.
+        return float(doc)
 
     def close(self) -> None:
         """Tear down every thread's connection (idempotent).

@@ -27,6 +27,7 @@ cannot alter results.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Sequence
 
 import numpy as np
@@ -41,39 +42,60 @@ from repro.service.server import ReleaseRequest, ReleaseResponse
 
 
 class OsdpClient:
-    """Issue release requests against any :class:`~repro.api.Backend`."""
+    """Issue release requests against any :class:`~repro.api.Backend`.
 
-    def __init__(self, backend: Backend):
+    ``analyst`` names the caller: every request this client sends that
+    does not already carry an ``analyst`` field is stamped with it, so
+    a quota-enforcing accountant books the charge against this
+    analyst's sub-budget (see
+    :class:`repro.core.accountant.PrivacyAccountant`).
+    """
+
+    def __init__(self, backend: Backend, analyst: str | None = None):
         self._backend = backend
+        self._analyst = str(analyst) if analyst else None
 
     # ------------------------------------------------------------------
     # Constructors, one per substrate
     # ------------------------------------------------------------------
     @classmethod
-    def in_process(cls, db, **kwargs) -> "OsdpClient":
+    def in_process(cls, db, *, analyst=None, **kwargs) -> "OsdpClient":
         """A client over the caller's own process (plain columnar db)."""
-        return cls(InProcessBackend(db, **kwargs))
+        return cls(InProcessBackend(db, **kwargs), analyst=analyst)
 
     @classmethod
-    def sharded(cls, db, **kwargs) -> "OsdpClient":
+    def sharded(cls, db, *, analyst=None, **kwargs) -> "OsdpClient":
         """A client over the sharded engine (``workers=True`` for the
         shard-resident process pool with failover)."""
-        return cls(ShardedBackend(db, **kwargs))
+        return cls(ShardedBackend(db, **kwargs), analyst=analyst)
 
     @classmethod
     def connect(
-        cls, host: str, port: int, timeout: float | None = None, **kwargs
+        cls,
+        host: str,
+        port: int,
+        timeout: float | None = None,
+        *,
+        analyst=None,
+        **kwargs,
     ) -> "OsdpClient":
         """A client over a live :class:`repro.service.rpc.RpcServer`.
 
         Extra keywords reach :class:`RemoteBackend` — e.g.
         ``retry=RetryPolicy(...)`` for transparent resend-with-
-        idempotency after transport failures.
+        idempotency after transport failures.  ``analyst`` is passed to
+        the backend too, so even ops built outside this client (raw
+        backend calls) carry the credential.
         """
-        return cls(RemoteBackend(host, port, timeout=timeout, **kwargs))
+        return cls(
+            RemoteBackend(
+                host, port, timeout=timeout, analyst=analyst, **kwargs
+            ),
+            analyst=analyst,
+        )
 
     @classmethod
-    def cluster(cls, endpoints, **kwargs) -> "OsdpClient":
+    def cluster(cls, endpoints, *, analyst=None, **kwargs) -> "OsdpClient":
         """A client over a replicated endpoint fleet (read path only).
 
         ``endpoints`` is a sequence of
@@ -85,7 +107,7 @@ class OsdpClient:
         """
         from repro.api.cluster import ClusterBackend
 
-        return cls(ClusterBackend(endpoints, **kwargs))
+        return cls(ClusterBackend(endpoints, **kwargs), analyst=analyst)
 
     @property
     def backend(self) -> Backend:
@@ -105,6 +127,7 @@ class OsdpClient:
         n_trials: int = 1,
         seed: int | None = None,
         label: str = "",
+        analyst: str = "",
     ) -> ReleaseResponse:
         """Serve one release request.
 
@@ -125,6 +148,7 @@ class OsdpClient:
                 n_trials=n_trials,
                 seed=seed,
                 label=label,
+                analyst=analyst,
             )
         elif (
             mechanism is not None
@@ -134,6 +158,7 @@ class OsdpClient:
             or n_trials != 1
             or seed is not None
             or label != ""
+            or analyst != ""
         ):
             # Every keyword must be rejected, not just the required
             # trio — silently ignoring e.g. seed= next to a request
@@ -141,7 +166,7 @@ class OsdpClient:
             raise ValueError(
                 "pass either a ReleaseRequest or keyword fields, not both"
             )
-        return self._backend.handle(request)
+        return self._backend.handle(self._stamp(request))
 
     def release_batch(
         self, requests: Sequence[ReleaseRequest]
@@ -151,11 +176,32 @@ class OsdpClient:
         :class:`repro.service.server.BatchBudgetExceededError` carrying
         the already-charged prefix — on every backend, including over a
         socket."""
-        return self._backend.handle_batch(list(requests))
+        return self._backend.handle_batch(
+            [self._stamp(r) for r in requests]
+        )
+
+    def _stamp(self, request: ReleaseRequest) -> ReleaseRequest:
+        """Fill in this client's analyst on requests that carry none."""
+        if self._analyst is None or request.analyst:
+            return request
+        return dataclasses.replace(request, analyst=self._analyst)
 
     def true_histogram(self, binning) -> np.ndarray:
         """The exact (non-private) histogram — the curator's audit path."""
         return self._backend.true_histogram(binning)
+
+    def budget(self) -> dict | None:
+        """The backend's full ledger view (None when unmetered).
+
+        The view carries ``total``/``spent``/``remaining``, per-entry
+        ``label``/``epsilon``/``policy``/``analyst`` rows, and any
+        per-analyst ``quotas`` — see
+        :meth:`repro.core.accountant.PrivacyAccountant.view`.
+        """
+        getter = getattr(self._backend, "budget", None)
+        if getter is None:
+            return None
+        return getter()
 
     # ------------------------------------------------------------------
     # Live data

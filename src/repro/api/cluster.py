@@ -183,6 +183,15 @@ class ClusterBackend:
     every candidate replica, healthiest first); ``health_interval``
     (seconds) turns on the background ping loop that returns demoted
     endpoints to rotation.
+
+    ``accountant`` may be a plain
+    :class:`~repro.core.accountant.PrivacyAccountant` or a
+    :class:`~repro.service.budget.DurableAccountant` — with the
+    latter, every coordinator charge is fsync'd to a journal before
+    the release returns, so a coordinator crash and restart resumes
+    with the exact spent total (exactly-once charging across
+    restarts).  Requests carrying an ``analyst`` are booked under that
+    analyst's quota sub-budget.
     """
 
     def __init__(
@@ -446,12 +455,17 @@ class ClusterBackend:
             raise ValueError("n_trials must be at least 1")
         hist, policy, cache_hit = self._merged_histogram(request, memo)
         mechanism = self._registry.create(request.mechanism, request.epsilon)
+        accountant = self.accountant
+        if accountant is not None and request.analyst:
+            # Book the charge under the requesting analyst (quota
+            # enforcement included) — same binding as ReleaseServer.
+            accountant = accountant.for_analyst(request.analyst)
         estimates = mechanism.run(
             hist,
             np.random.default_rng(request.seed),
             n_trials=request.n_trials,
             policy=policy,
-            accountant=self.accountant,
+            accountant=accountant,
             label=request.label or request.mechanism,
         )
         self._bump("requests")
@@ -804,6 +818,11 @@ class ClusterBackend:
     @property
     def budget_remaining(self) -> float | None:
         return self.accountant.remaining if self.accountant else None
+
+    def budget(self) -> dict | None:
+        """The coordinator accountant's full ledger view (None when
+        unmetered) — entries, per-analyst quotas, totals."""
+        return self.accountant.view() if self.accountant else None
 
     def health(self) -> dict[str, dict]:
         """Per-endpoint health snapshot (state, failures, last error)."""

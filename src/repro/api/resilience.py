@@ -51,6 +51,25 @@ class DeadlineExceeded(RuntimeError):
     """
 
 
+class ServerOverloaded(RuntimeError):
+    """An endpoint's admission gate refused the request (shed load).
+
+    The retryable "come back later" signal of the serving tier: raised
+    server-side when the bounded in-flight admission gate is full
+    (:class:`repro.service.rpc.RpcServer` ``admission_limit``) and
+    re-raised client-side from the wire.  ``retry_after`` is the
+    server's hint, in seconds, for how long to back off before
+    resending; retry loops (:func:`call_with_retries`,
+    ``RemoteBackend``'s exchange retries) use it as a floor on their
+    own backoff.  Unlike a transport failure, the exchange completed
+    cleanly — the connection stays usable and nothing was charged.
+    """
+
+    def __init__(self, message: str, retry_after: float | None = None):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
 class Deadline:
     """A monotonic countdown; ``seconds=None`` means no deadline."""
 
@@ -129,7 +148,9 @@ def call_with_retries(
     propagates immediately (an application error will fail the same
     way on every attempt).  ``deadline`` may be passed in to share one
     countdown across several retried calls; by default the policy's
-    own deadline (if any) starts now.
+    own deadline (if any) starts now.  A retryable failure carrying a
+    ``retry_after`` hint (:class:`ServerOverloaded`) floors the backoff
+    at the server's ask — retrying sooner would just be refused again.
     """
     deadline = deadline or Deadline(policy.deadline)
     last: BaseException | None = None
@@ -143,6 +164,9 @@ def call_with_retries(
             if attempt + 1 >= policy.max_attempts:
                 break
             pause = policy.delay(attempt, rng)
+            hint = getattr(exc, "retry_after", None)
+            if hint is not None:
+                pause = max(pause, float(hint))
             remaining = deadline.remaining()
             if remaining is not None:
                 pause = min(pause, remaining)

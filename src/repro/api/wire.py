@@ -39,8 +39,11 @@ from typing import Mapping
 
 import numpy as np
 
-from repro.api.resilience import DeadlineExceeded
-from repro.core.accountant import BudgetExceededError
+from repro.api.resilience import DeadlineExceeded, ServerOverloaded
+from repro.core.accountant import (
+    AnalystQuotaExceededError,
+    BudgetExceededError,
+)
 from repro.core.policy_language import PolicySpecError, policy_to_spec
 from repro.queries.histogram import binning_to_spec
 from repro.service.server import (
@@ -153,6 +156,7 @@ def request_to_wire(request: ReleaseRequest) -> dict:
         "n_trials": int(request.n_trials),
         "seed": None if request.seed is None else int(request.seed),
         "label": str(request.label),
+        "analyst": str(request.analyst),
     }
 
 
@@ -171,6 +175,7 @@ def request_from_wire(doc: Mapping) -> ReleaseRequest:
         n_trials=int(doc.get("n_trials", 1)),
         seed=None if doc.get("seed") is None else int(doc["seed"]),
         label=doc.get("label", ""),
+        analyst=doc.get("analyst", ""),
     )
 
 
@@ -230,8 +235,15 @@ def error_to_wire(exc: BaseException) -> dict:
             "responses": [response_to_wire(r) for r in exc.responses],
             "failed_request": request_to_wire(exc.failed_request),
         }
+    if isinstance(exc, AnalystQuotaExceededError):
+        return {"kind": "quota_exceeded", "message": str(exc)}
     if isinstance(exc, BudgetExceededError):
         return {"kind": "budget_exceeded", "message": str(exc)}
+    if isinstance(exc, ServerOverloaded):
+        doc = {"kind": "server_overloaded", "message": str(exc)}
+        if exc.retry_after is not None:
+            doc["retry_after"] = float(exc.retry_after)
+        return doc
     kind = type(exc).__name__
     message = str(exc)
     if isinstance(exc, KeyError) and exc.args:
@@ -251,8 +263,12 @@ def exception_from_wire(doc: Mapping) -> Exception:
             [response_from_wire(r) for r in doc.get("responses", ())],
             request_from_wire(doc["failed_request"]),
         )
+    if kind == "quota_exceeded":
+        return AnalystQuotaExceededError(message)
     if kind == "budget_exceeded":
         return BudgetExceededError(message)
+    if kind == "server_overloaded":
+        return ServerOverloaded(message, retry_after=doc.get("retry_after"))
     cls = _EXCEPTION_KINDS.get(kind)
     if cls is not None:
         return cls(message)

@@ -204,6 +204,26 @@ def serve_database(args: argparse.Namespace):
     )
 
 
+def _parse_quotas(pairs) -> dict[str, float] | None:
+    """``["alice=2.5", ...]`` → ``{"alice": 2.5, ...}`` (None when empty)."""
+    if not pairs:
+        return None
+    quotas: dict[str, float] = {}
+    for pair in pairs:
+        name, sep, eps = str(pair).partition("=")
+        if not sep or not name:
+            raise SystemExit(
+                f"--quota wants NAME=EPS, got {pair!r}"
+            )
+        try:
+            quotas[name] = float(eps)
+        except ValueError:
+            raise SystemExit(
+                f"--quota epsilon must be a number, got {pair!r}"
+            ) from None
+    return quotas
+
+
 def cmd_serve(args: argparse.Namespace) -> None:
     from repro.api.backends import ShardedBackend
     from repro.core.accountant import PrivacyAccountant
@@ -222,13 +242,40 @@ def cmd_serve(args: argparse.Namespace) -> None:
         )
     if args.max_readers is not None and args.max_readers < 1:
         raise SystemExit("--max-readers must be at least 1")
+    if args.max_inflight is not None and args.max_inflight < 1:
+        raise SystemExit("--max-inflight must be at least 1")
+    quotas = _parse_quotas(args.quota)
+    if (quotas or args.budget_dir) and args.budget is None:
+        raise SystemExit("--quota and --budget-dir require --budget")
     # `is not None`, not truthiness: `--budget 0` must not silently
     # start an unmetered server (the accountant rejects it loudly).
-    accountant = (
-        PrivacyAccountant(total_epsilon=args.budget)
-        if args.budget is not None
-        else None
-    )
+    accountant = None
+    if args.budget is not None:
+        if args.budget_dir:
+            from repro.service.budget import DurableAccountant
+
+            accountant = DurableAccountant(
+                args.budget_dir,
+                total_epsilon=args.budget,
+                quotas=quotas,
+            )
+            report = accountant.recovery
+            print(
+                f"budget ledger: {args.budget_dir} (snapshot seq "
+                f"{report['snapshot_seq']}, replayed {report['replayed']} "
+                f"charge{'' if report['replayed'] == 1 else 's'}"
+                + (
+                    f", torn tail charged {report['torn_epsilon']:g}"
+                    if report.get("torn_epsilon")
+                    else ""
+                )
+                + f") — spent {report['spent']:g}, "
+                f"remaining {report['remaining']:g}"
+            )
+        else:
+            accountant = PrivacyAccountant(
+                total_epsilon=args.budget, quotas=quotas
+            )
     backend = ShardedBackend(
         serve_database(args),
         n_shards=args.shards,
@@ -262,6 +309,7 @@ def cmd_serve(args: argparse.Namespace) -> None:
         wal=wal,
         ingest_queue=args.ingest_queue,
         ingest_flush_events=args.ingest_flush_events,
+        admission_limit=args.max_inflight,
     )
     host, port = rpc.address
     store_lines = {
@@ -311,6 +359,8 @@ def cmd_serve(args: argparse.Namespace) -> None:
     finally:
         rpc.close()
         backend.close()
+        if accountant is not None and hasattr(accountant, "close"):
+            accountant.close()
         print("shutdown complete")
 
 
@@ -496,6 +546,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--budget", type=float, default=None,
         help="total epsilon; omit for an unmetered server",
+    )
+    p_serve.add_argument(
+        "--budget-dir", default=None,
+        help="durable budget ledger directory: every charge is "
+        "fsync'd to an append-only journal before its release is "
+        "returned, and a restarted server resumes from the recovered "
+        "spent total (requires --budget)",
+    )
+    p_serve.add_argument(
+        "--quota", action="append", default=None, metavar="NAME=EPS",
+        help="per-analyst epsilon quota (repeatable, e.g. "
+        "--quota alice=2.5); requests carrying that analyst "
+        "credential are refused past it (requires --budget)",
+    )
+    p_serve.add_argument(
+        "--max-inflight", type=int, default=None,
+        help="admission-control bound on concurrently executing "
+        "requests: excess work is refused fast with a retryable "
+        "overload error instead of queueing; omit for no gate",
     )
     p_serve.add_argument(
         "--read-timeout", type=float, default=None,

@@ -144,14 +144,72 @@ class EndpointSpec:
 
 
 @dataclass(frozen=True)
+class BudgetSpec:
+    """The coordinator's privacy budget, declared with the topology.
+
+    ``total`` is the global epsilon; ``quotas`` maps analyst names to
+    per-analyst epsilon caps (they may oversubscribe ``total`` — both
+    limits are enforced on every charge); ``dir`` selects the durable
+    ledger: charges are fsync'd to an append-only journal there before
+    each release returns, so a restarted coordinator resumes from the
+    recovered spent total.
+    """
+
+    total: float
+    quotas: tuple[tuple[str, float], ...] = ()
+    dir: str | None = None
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "BudgetSpec":
+        if "total" not in doc:
+            raise ValueError("topology 'budget' section needs 'total'")
+        quotas = tuple(
+            (str(name), float(eps))
+            for name, eps in dict(doc.get("quotas") or {}).items()
+        )
+        return cls(
+            total=float(doc["total"]),
+            quotas=quotas,
+            dir=os.fspath(doc["dir"]) if doc.get("dir") else None,
+        )
+
+    def build_accountant(self):
+        """The coordinator accountant this spec describes — a
+        :class:`~repro.service.budget.DurableAccountant` when ``dir``
+        is set, else a plain in-memory
+        :class:`~repro.core.accountant.PrivacyAccountant`."""
+        from repro.core.accountant import PrivacyAccountant
+
+        quotas = dict(self.quotas) or None
+        if self.dir:
+            from repro.service.budget import DurableAccountant
+
+            return DurableAccountant(
+                self.dir, total_epsilon=self.total, quotas=quotas
+            )
+        return PrivacyAccountant(total_epsilon=self.total, quotas=quotas)
+
+
+@dataclass(frozen=True)
 class FleetTopology:
     table: TableSpec
     endpoints: tuple[EndpointSpec, ...]
     range_order: tuple[str, ...] = field(default=())
+    budget: BudgetSpec | None = None
+
+    def build_accountant(self):
+        """The coordinator accountant from the topology's ``budget``
+        section (None when the topology declares none)."""
+        return self.budget.build_accountant() if self.budget else None
 
     @classmethod
     def from_dict(cls, doc: dict) -> "FleetTopology":
         table = TableSpec(**dict(doc.get("table") or {}))
+        budget = (
+            BudgetSpec.from_dict(dict(doc["budget"]))
+            if doc.get("budget")
+            else None
+        )
         host = doc.get("host", "127.0.0.1")
         ranges = list(doc.get("ranges") or [])
         if not ranges:
@@ -209,7 +267,10 @@ class FleetTopology:
         if len(set(ports)) != len(ports):
             raise ValueError(f"replicas share an address in {ports}")
         return cls(
-            table=table, endpoints=tuple(endpoints), range_order=tuple(order)
+            table=table,
+            endpoints=tuple(endpoints),
+            range_order=tuple(order),
+            budget=budget,
         )
 
     @classmethod

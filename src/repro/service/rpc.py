@@ -51,8 +51,11 @@ Protocol: each exchange is one framed request message
                    under their original sequence numbers
 ``stats``          the server's cache counters
 ``transport_stats`` the socket tier's counters (timeouts, replays,
-                   drains, ...)
-``budget``         remaining epsilon (None when unmetered)
+                   drains, overload rejections, ...) plus per-op
+                   latency percentiles (``op_latency``)
+``budget``         the full ledger view: totals, per-entry
+                   label/epsilon/policy/analyst rows, per-analyst
+                   quota standing (None when unmetered)
 =================  ====================================================
 
 Any request may additionally carry ``req_id`` (idempotency key: the
@@ -79,13 +82,15 @@ an accountant, concurrent analysts' charges compose in arrival order.
 
 from __future__ import annotations
 
+import dataclasses
+import math
 import socket
 import socketserver
 import threading
 import time
-from collections import OrderedDict
+from collections import OrderedDict, deque
 
-from repro.api.resilience import DeadlineExceeded
+from repro.api.resilience import DeadlineExceeded, ServerOverloaded
 from repro.api.wire import (
     WireError,
     error_to_wire,
@@ -286,12 +291,31 @@ class RpcServer:
     * :meth:`drain` — graceful shutdown: stop accepting, let in-flight
       exchanges finish (up to a grace period), then cut idle
       connections.  The CLI wires SIGTERM to this.
+    * ``admission_limit`` — overload shedding: a bounded in-flight
+      admission gate *ahead of* the readers-writer lock.  At most this
+      many ops may be between admission and completion; excess work is
+      refused immediately with a retryable
+      :class:`~repro.api.resilience.ServerOverloaded` carrying an
+      ``admission_retry_after`` hint, so a flooded endpoint degrades
+      to fast refusals instead of queueing unboundedly behind the
+      lock.  ``ping`` and ``transport_stats`` bypass the gate —
+      operators must be able to observe an overloaded server.  An
+      overload rejection is **evicted** from the idempotency cache:
+      the refusal means the op never ran, so a retried ``req_id`` must
+      re-attempt it rather than replay the refusal forever.
     """
 
     #: Most staged-but-uncommitted writes retained; a prepare evicted
     #: under this pressure surfaces to the coordinator as the same
     #: ``KeyError`` a restart produces, triggering the resync path.
     PENDING_LIMIT = 256
+
+    #: Recent per-op latency samples retained for the percentile view.
+    LATENCY_WINDOW = 512
+
+    #: Ops that bypass the admission gate: cheap introspection an
+    #: operator needs precisely when the server is overloaded.
+    ADMISSION_EXEMPT = frozenset({"ping", "transport_stats"})
 
     def __init__(
         self,
@@ -304,6 +328,8 @@ class RpcServer:
         wal=None,
         ingest_queue: int = 4096,
         ingest_flush_events: int | None = None,
+        admission_limit: int | None = None,
+        admission_retry_after: float = 0.05,
     ):
         if read_timeout is not None and read_timeout <= 0:
             raise ValueError("read_timeout must be positive (or None)")
@@ -313,6 +339,10 @@ class RpcServer:
             raise ValueError("ingest_queue must be at least 1")
         if ingest_flush_events is not None and ingest_flush_events < 1:
             raise ValueError("ingest_flush_events must be at least 1")
+        if admission_limit is not None and admission_limit < 1:
+            raise ValueError("admission_limit must be at least 1 (or None)")
+        if admission_retry_after <= 0:
+            raise ValueError("admission_retry_after must be positive")
         self.release_server = server
         self.read_timeout = read_timeout
         # Every write — direct or via the commit protocol — goes
@@ -351,6 +381,14 @@ class RpcServer:
         self._idem_limit = idempotency_limit
         self._idem_lock = threading.Lock()
         self._idem: OrderedDict[str, _IdemEntry] = OrderedDict()
+        # -- overload admission gate -----------------------------------
+        self.admission_limit = admission_limit
+        self.admission_retry_after = float(admission_retry_after)
+        self._admission = (
+            None
+            if admission_limit is None
+            else threading.BoundedSemaphore(admission_limit)
+        )
         # -- transport counters ----------------------------------------
         self._stats_lock = threading.Lock()
         self.transport_stats: dict[str, int] = {
@@ -360,10 +398,14 @@ class RpcServer:
             "wire_errors": 0,
             "idempotent_replays": 0,
             "deadline_rejections": 0,
+            "overload_rejections": 0,
             "drains": 0,
             "aborted_in_flight": 0,
             "stuck_serve_threads": 0,
         }
+        # -- per-op latency (op -> recent seconds, op -> total count) --
+        self._op_latency: dict[str, deque] = {}
+        self._op_counts: dict[str, int] = {}
 
     def _bump(self, counter: str, by: int = 1) -> None:
         with self._stats_lock:
@@ -514,7 +556,11 @@ class RpcServer:
         try:
             entry.reply = self._serve_once(message, received_at)
         finally:
-            if entry.reply is None:  # crashed before producing a reply
+            # Two kinds of reply must not stick in the cache: a crash
+            # before any reply was produced, and an overload rejection
+            # — the gate refused to *run* the op, so a retried req_id
+            # must re-attempt it, not replay the refusal forever.
+            if entry.reply is None or _is_overload_reply(entry.reply):
                 with self._idem_lock:
                     self._idem.pop(str(req_id), None)
             entry.done.set()
@@ -522,10 +568,43 @@ class RpcServer:
         return entry.reply
 
     def _serve_once(self, message, received_at: float | None):
+        op = message.get("op") if isinstance(message, dict) else None
+        start = time.perf_counter()
         try:
             return {"ok": self.dispatch(message, received_at=received_at)}
         except BaseException as exc:  # ship the failure, keep serving
             return {"err": error_to_wire(exc)}
+        finally:
+            if isinstance(op, str):
+                self._record_latency(op, time.perf_counter() - start)
+
+    def _record_latency(self, op: str, seconds: float) -> None:
+        with self._stats_lock:
+            window = self._op_latency.get(op)
+            if window is None:
+                window = self._op_latency[op] = deque(
+                    maxlen=self.LATENCY_WINDOW
+                )
+                self._op_counts[op] = 0
+            window.append(seconds)
+            self._op_counts[op] += 1
+
+    def _latency_view(self) -> dict:
+        """Per-op p50/p95/p99 (seconds) over the recent sample window."""
+        with self._stats_lock:
+            snapshot = {
+                op: (self._op_counts[op], sorted(window))
+                for op, window in self._op_latency.items()
+            }
+        return {
+            op: {
+                "count": count,
+                "p50": _percentile(samples, 0.50),
+                "p95": _percentile(samples, 0.95),
+                "p99": _percentile(samples, 0.99),
+            }
+            for op, (count, samples) in snapshot.items()
+        }
 
     def _prune_idem(self) -> None:
         """Evict oldest *settled* entries beyond the cache bound.
@@ -597,23 +676,42 @@ class RpcServer:
     def dispatch(self, message, received_at: float | None = None):
         """Serve one decoded request message; returns the ``ok`` payload.
 
-        The carried deadline (if any) is checked *after* lock
-        acquisition: a request that waited out its budget behind a
-        writer is rejected at the moment work — and any accountant
-        charge — would otherwise begin.
+        The admission gate (when configured) is claimed *before* the
+        readers-writer lock: an op beyond the in-flight bound is
+        refused in microseconds with :class:`ServerOverloaded` instead
+        of joining an unbounded queue behind the lock.  The carried
+        deadline (if any) is checked *after* lock acquisition: a
+        request that waited out its budget behind a writer is rejected
+        at the moment work — and any accountant charge — would
+        otherwise begin.
         """
         if not isinstance(message, dict) or "op" not in message:
             raise ValueError("malformed message: expected {'op': ...}")
         op = message["op"]
-        if op in self.READ_OPS:
-            with self._lock.read():
-                self._check_deadline(message, received_at)
-                return self._dispatch_read(op, message)
-        if op in self.WRITE_OPS:
+        if op not in self.READ_OPS and op not in self.WRITE_OPS:
+            raise ValueError(f"unknown op {op!r}")
+        with self._admit(op):
+            if op in self.READ_OPS:
+                with self._lock.read():
+                    self._check_deadline(message, received_at)
+                    return self._dispatch_read(op, message)
             with self._lock.write():
                 self._check_deadline(message, received_at)
                 return self._dispatch_write(op, message)
-        raise ValueError(f"unknown op {op!r}")
+
+    def _admit(self, op: str):
+        """Claim an admission slot, or refuse the op outright."""
+        gate = self._admission
+        if gate is None or op in self.ADMISSION_EXEMPT:
+            return _NULL_GUARD
+        if not gate.acquire(blocking=False):
+            self._bump("overload_rejections")
+            raise ServerOverloaded(
+                f"server overloaded: {self.admission_limit} ops already "
+                f"in flight; retry after {self.admission_retry_after:.3g}s",
+                retry_after=self.admission_retry_after,
+            )
+        return _SemaphoreGuard(gate)
 
     def _dispatch_read(self, op: str, message):
         server = self.release_server
@@ -633,11 +731,14 @@ class RpcServer:
         if op == "mechanisms":
             return server._registry.names()
         if op == "release":
-            request = request_from_wire(message["request"])
+            request = _stamp_analyst(
+                request_from_wire(message["request"]), message
+            )
             return response_to_wire(server.handle(request))
         if op == "release_batch":
             requests = [
-                request_from_wire(doc) for doc in message["requests"]
+                _stamp_analyst(request_from_wire(doc), message)
+                for doc in message["requests"]
             ]
             return [
                 response_to_wire(r) for r in server.handle_batch(requests)
@@ -653,7 +754,9 @@ class RpcServer:
             return server.stats.as_dict()
         if op == "transport_stats":
             with self._stats_lock:
-                return dict(self.transport_stats)
+                stats: dict = dict(self.transport_stats)
+            stats["op_latency"] = self._latency_view()
+            return stats
         if op == "prepare_write":
             return self._prepare_write(message)
         if op == "ingest_status":
@@ -668,8 +771,7 @@ class RpcServer:
         if op == "sync_range":
             return self._sync_range(message)
         assert op == "budget"
-        remaining = server.budget_remaining
-        return None if remaining is None else float(remaining)
+        return server.budget_view()
 
     def _dispatch_write(self, op: str, message):
         if op in ("append_records", "expire_prefix"):
@@ -929,6 +1031,56 @@ class RpcServer:
             "n_records": len(server.db),
             "applied_entries": applied_count,
         }
+
+
+class _SemaphoreGuard:
+    """Release an admission slot on exit (the op was admitted)."""
+
+    __slots__ = ("_gate",)
+
+    def __init__(self, gate):
+        self._gate = gate
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self._gate.release()
+
+
+class _NullAdmission:
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return None
+
+
+_NULL_GUARD = _NullAdmission()
+
+
+def _percentile(sorted_samples, q: float) -> float:
+    """Nearest-rank percentile of an ascending sample list."""
+    if not sorted_samples:
+        return 0.0
+    rank = max(1, math.ceil(q * len(sorted_samples)))
+    return float(sorted_samples[rank - 1])
+
+
+def _is_overload_reply(reply) -> bool:
+    if not isinstance(reply, dict):
+        return False
+    err = reply.get("err")
+    return isinstance(err, dict) and err.get("kind") == "server_overloaded"
+
+
+def _stamp_analyst(request, message):
+    """Apply the message-level ``analyst`` credential to a release
+    request that does not carry its own (the request's wins)."""
+    analyst = message.get("analyst")
+    if analyst and not request.analyst:
+        return dataclasses.replace(request, analyst=str(analyst))
+    return request
 
 
 def _records_from_wire(message):

@@ -144,7 +144,9 @@ class ReleaseRequest:
     :class:`~repro.core.policy.Policy` or its wire spec (a plain dict,
     the form a network transport would deliver); ``seed=None`` draws
     fresh OS entropy per request (the production default), while an
-    explicit seed makes the response reproducible.
+    explicit seed makes the response reproducible.  ``analyst`` is the
+    credential the charge is booked under — with per-analyst quotas on
+    the accountant it is also enforced as a sub-budget.
     """
 
     mechanism: str
@@ -154,6 +156,7 @@ class ReleaseRequest:
     n_trials: int = 1
     seed: int | None = None
     label: str = ""
+    analyst: str = ""
 
 
 @dataclass(frozen=True)
@@ -252,6 +255,15 @@ class ReleaseServer:
     @property
     def budget_remaining(self) -> float | None:
         return self.accountant.remaining if self.accountant else None
+
+    def budget_view(self) -> dict | None:
+        """The full ledger document (the ``budget`` RPC op's payload):
+        totals plus per-entry ``label``/``epsilon``/``policy``/
+        ``analyst`` rows and per-analyst quota standing.  None when the
+        server is unmetered."""
+        if self.accountant is None:
+            return None
+        return self.accountant.view()
 
     # ------------------------------------------------------------------
     # Cached shard-level building blocks
@@ -460,6 +472,12 @@ class ReleaseServer:
         binning, policy = self._resolve(request)
         hist, cache_hit = self.histogram_input(binning, policy)
         mechanism = self._registry.create(request.mechanism, request.epsilon)
+        accountant = self.accountant
+        if accountant is not None and request.analyst:
+            # Bind the charge to the request's credential: quota'd
+            # analysts are checked against their sub-budget atomically
+            # with the global check.
+            accountant = accountant.for_analyst(request.analyst)
         # `run` on the cache-assembled input: the ledger records the
         # policy whose x_ns the mechanism consumed (DP mechanisms
         # charge under P_all per Lemma 3.1) — the composition theorem
@@ -469,7 +487,7 @@ class ReleaseServer:
             np.random.default_rng(request.seed),
             n_trials=request.n_trials,
             policy=policy,
-            accountant=self.accountant,
+            accountant=accountant,
             label=request.label or request.mechanism,
         )
         with self._lock:

@@ -76,11 +76,32 @@ def slice_db(n: int, seed: int, lo: int, hi: int):
 # ----------------------------------------------------------------------
 
 
-def _endpoint_main(conn, n, seed, lo, hi, n_shards, wal_dir=None, port=0) -> None:
+def _endpoint_main(
+    conn,
+    n,
+    seed,
+    lo,
+    hi,
+    n_shards,
+    wal_dir=None,
+    port=0,
+    budget_dir=None,
+    budget_epsilon=None,
+    quotas=None,
+) -> None:
     from repro.service.rpc import RpcServer
     from repro.service.server import ReleaseServer
 
-    server = ReleaseServer(slice_db(n, seed, lo, hi).shard(n_shards))
+    accountant = None
+    if budget_dir is not None:
+        from repro.service.budget import DurableAccountant
+
+        accountant = DurableAccountant(
+            budget_dir, total_epsilon=budget_epsilon, quotas=quotas
+        )
+    server = ReleaseServer(
+        slice_db(n, seed, lo, hi).shard(n_shards), accountant=accountant
+    )
     wal = None
     if wal_dir is not None:
         from repro.service.wal import WriteAheadLog
@@ -96,7 +117,7 @@ def _endpoint_main(conn, n, seed, lo, hi, n_shards, wal_dir=None, port=0) -> Non
 class EndpointProcess:
     """One live ``repro`` serving endpoint in a child OS process.
 
-    Endpoints are deliberately unmetered: in the cluster design the
+    Endpoints are unmetered by default: in the cluster design the
     *coordinator* owns the accountant, so budget accounting survives
     any endpoint death.
 
@@ -105,6 +126,12 @@ class EndpointProcess:
     :meth:`restart` respawns the child *on the same port* so a
     recovered endpoint is reachable at its old address — the shape of
     a supervised production restart.
+
+    Pass ``budget_dir`` (with ``budget_epsilon``, optionally
+    ``quotas``) to meter the endpoint through a
+    :class:`repro.service.budget.DurableAccountant`: every charge is
+    journaled and fsync'd before its release returns, and a restarted
+    child resumes from the recovered spent total.
     """
 
     def __init__(
@@ -116,10 +143,16 @@ class EndpointProcess:
         n_shards: int = 2,
         wal_dir=None,
         port: int = 0,
+        budget_dir=None,
+        budget_epsilon=None,
+        quotas=None,
     ):
         self.slice_args = (n, seed, lo, hi)
         self.n_shards = n_shards
         self.wal_dir = wal_dir
+        self.budget_dir = budget_dir
+        self.budget_epsilon = budget_epsilon
+        self.quotas = quotas
         self._spawn(port)
 
     def _spawn(self, port: int) -> None:
@@ -132,6 +165,9 @@ class EndpointProcess:
                 self.n_shards,
                 self.wal_dir,
                 port,
+                self.budget_dir,
+                self.budget_epsilon,
+                self.quotas,
             ),
             daemon=True,
         )

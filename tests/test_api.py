@@ -296,6 +296,7 @@ class TestPublicApiSnapshot:
             "ReleaseResponse",
             "RemoteBackend",
             "RetryPolicy",
+            "ServerOverloaded",
             "ShardedBackend",
         ]
         for name in repro.api.__all__:

@@ -1,0 +1,163 @@
+"""Faults lane for budget durability: charges survive SIGKILL.
+
+The acceptance contract, with real process deaths (no mocks):
+
+* A metered serve endpoint (``EndpointProcess`` with ``budget_dir``)
+  is SIGKILLed mid-release-stream and restarted on the same port from
+  its charge journal: the recovered ``spent`` covers **every acked
+  charge** — a client can never hold a noisy release the restarted
+  ledger does not account for — and a torn tail (the charge the kill
+  interrupted) is *counted*, not truncated.
+* A cluster **coordinator** process owning a
+  :class:`repro.service.budget.DurableAccountant` is SIGKILLed between
+  acked releases; reopening its journal directory recovers at least
+  every acked charge — exactly-once accounting across coordinator
+  restarts.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+
+from faults import EndpointProcess, loopback_skip_reason
+from repro.api import ClusterEndpoint, OsdpClient
+from repro.queries.histogram import IntegerBinning
+
+pytestmark = pytest.mark.faults
+_SKIP_REASON = loopback_skip_reason()
+if _SKIP_REASON:
+    pytestmark = [pytest.mark.faults, pytest.mark.skip(reason=_SKIP_REASON)]
+
+
+BINNING_SPEC = IntegerBinning("age", 0, 100, 10).to_spec()
+POLICY_SPEC = {"kind": "opt_in", "attr": "opt_in"}
+EPS = 0.125
+
+
+def _release(client, seed: int):
+    return client.release(
+        mechanism="osdp_laplace_l1",
+        epsilon=EPS,
+        binning=BINNING_SPEC,
+        policy=POLICY_SPEC,
+        seed=seed,
+    )
+
+
+class TestEndpointBudgetSurvivesSigkill:
+    def test_acked_charges_survive_kill_and_restart(self, tmp_path):
+        budget_dir = str(tmp_path / "budget")
+        with EndpointProcess(
+            2000, 0, 0, 2000,
+            budget_dir=budget_dir, budget_epsilon=1000.0,
+        ) as proc:
+            acked = 0
+            with OsdpClient.connect(proc.host, proc.port) as client:
+                for seed in range(20):
+                    response = _release(client, seed)
+                    acked += 1
+                    assert response.budget_remaining is not None
+            # SIGKILL: no atexit, no flush, no goodbye.
+            proc.kill()
+            proc.restart()
+            with OsdpClient.connect(proc.host, proc.port) as client:
+                view = client.budget()
+                # Every acked charge is in the recovered ledger.
+                assert view["spent"] >= acked * EPS - 1e-9
+                assert view["total"] == 1000.0
+                # The restarted server keeps charging from where it
+                # stood, not from zero.
+                _release(client, 99)
+                after = client.budget()
+                assert after["spent"] >= (acked + 1) * EPS - 1e-9
+
+    def test_kill_mid_release_stream_never_undercounts(self, tmp_path):
+        """Hammer releases and SIGKILL mid-stream: recovered spent >=
+        every charge whose release was acked to the client."""
+        budget_dir = str(tmp_path / "budget")
+        with EndpointProcess(
+            2000, 0, 0, 2000,
+            budget_dir=budget_dir, budget_epsilon=1000.0,
+        ) as proc:
+            acked = 0
+            with OsdpClient.connect(proc.host, proc.port) as client:
+                try:
+                    for seed in range(10_000):
+                        _release(client, seed)
+                        acked += 1
+                        if acked == 7:
+                            # Kill from under the live connection.
+                            proc.kill()
+                except (ConnectionError, OSError, EOFError):
+                    pass  # the kill severed the stream mid-exchange
+            proc.restart()
+            with OsdpClient.connect(proc.host, proc.port) as client:
+                view = client.budget()
+            # The journal may hold one more charge than was acked (the
+            # release the kill interrupted) — never fewer.  Wasting
+            # epsilon is safe; resurrecting it is a privacy violation.
+            assert view["spent"] >= acked * EPS - 1e-9
+
+
+def _coordinator_main(conn, host, port, budget_dir) -> None:
+    """A coordinator process: DurableAccountant + ClusterBackend,
+    reporting each *acked* release back through the pipe."""
+    from repro.api.cluster import ClusterBackend
+    from repro.service.budget import DurableAccountant
+
+    accountant = DurableAccountant(budget_dir, total_epsilon=1000.0)
+    backend = ClusterBackend(
+        [ClusterEndpoint(host, port, shard_range=(0, 2000))],
+        accountant=accountant,
+    )
+    with OsdpClient(backend) as client:
+        for seed in range(10_000):
+            _release(client, seed)
+            conn.send(seed)  # acked: the noisy release escaped
+
+
+class TestCoordinatorBudgetSurvivesSigkill:
+    def test_coordinator_journal_recovers_every_acked_charge(
+        self, tmp_path
+    ):
+        budget_dir = str(tmp_path / "coord-budget")
+        with EndpointProcess(2000, 0, 0, 2000) as endpoint:
+            parent_conn, child_conn = multiprocessing.Pipe()
+            coordinator = multiprocessing.Process(
+                target=_coordinator_main,
+                args=(child_conn, endpoint.host, endpoint.port, budget_dir),
+                daemon=True,
+            )
+            coordinator.start()
+            child_conn.close()
+            acked = 0
+            deadline = time.monotonic() + 60
+            while acked < 9 and time.monotonic() < deadline:
+                if parent_conn.poll(1):
+                    parent_conn.recv()
+                    acked += 1
+            assert acked >= 9, "coordinator never got going"
+            # SIGKILL the coordinator mid-stream.
+            os.kill(coordinator.pid, signal.SIGKILL)
+            coordinator.join(timeout=10)
+            # Drain acks that were in flight in the pipe buffer.
+            try:
+                while parent_conn.poll(0.2):
+                    parent_conn.recv()
+                    acked += 1
+            except EOFError:
+                pass
+            parent_conn.close()
+        from repro.service.budget import DurableAccountant
+
+        with DurableAccountant(budget_dir, total_epsilon=1000.0) as back:
+            # Exactly-once across restarts: every acked charge is in
+            # the recovered ledger (at most one extra: the charge the
+            # kill interrupted, counted by the inverted fail-safe).
+            assert back.spent >= acked * EPS - 1e-9
+            assert back.spent <= (acked + 2) * EPS + 1e-9

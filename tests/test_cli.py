@@ -181,6 +181,59 @@ class TestServe:
         with pytest.raises(SystemExit, match="max-readers"):
             cmd_serve(args)
 
+    def test_serve_budget_flags_parse(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.budget_dir is None
+        assert args.quota == [] or args.quota is None
+        assert args.max_inflight is None
+        args = build_parser().parse_args(
+            [
+                "serve", "--budget", "10", "--budget-dir", "/tmp/ledger",
+                "--quota", "alice=2.5", "--quota", "bob=3",
+                "--max-inflight", "64",
+            ]
+        )
+        assert args.budget_dir == "/tmp/ledger"
+        assert args.quota == ["alice=2.5", "bob=3"]
+        assert args.max_inflight == 64
+
+    def test_parse_quotas(self):
+        from repro.cli import _parse_quotas
+
+        assert _parse_quotas([]) is None
+        assert _parse_quotas(["alice=2.5", "bob=3"]) == {
+            "alice": 2.5,
+            "bob": 3.0,
+        }
+        with pytest.raises(SystemExit, match="NAME=EPS"):
+            _parse_quotas(["alice"])
+        with pytest.raises(SystemExit, match="number"):
+            _parse_quotas(["alice=lots"])
+
+    def test_serve_quota_without_budget_fails_loudly(self):
+        """A quota against no global budget is a configuration lie."""
+        from repro.cli import cmd_serve
+
+        args = build_parser().parse_args(["serve", "--quota", "alice=1"])
+        with pytest.raises(SystemExit, match="--budget"):
+            cmd_serve(args)
+
+    def test_serve_budget_dir_without_budget_fails_loudly(self):
+        from repro.cli import cmd_serve
+
+        args = build_parser().parse_args(
+            ["serve", "--budget-dir", "/tmp/ledger"]
+        )
+        with pytest.raises(SystemExit, match="--budget"):
+            cmd_serve(args)
+
+    def test_serve_max_inflight_validated_before_startup(self):
+        from repro.cli import cmd_serve
+
+        args = build_parser().parse_args(["serve", "--max-inflight", "0"])
+        with pytest.raises(SystemExit, match="max-inflight"):
+            cmd_serve(args)
+
     def test_serve_prints_the_live_store_mode(self, capsys):
         """Operators must be able to tell which storage path is live."""
         import threading

@@ -1,0 +1,307 @@
+"""Socket lane for overload admission control and per-op latency.
+
+The acceptance contract of the admission gate: a flood beyond
+``admission_limit`` gets **fast, retryable** ``ServerOverloaded``
+refusals carrying a ``retry_after`` hint — never a queue pile-up and
+never a hang — while a retrying client rides the hint to completion
+with **exactly-once** accountant charging (an overload refusal must
+not poison the idempotent-reply cache, or a retried ``req_id`` would
+replay the refusal forever).  ``ping``/``transport_stats`` stay exempt
+so an operator can always observe a saturated server.  The same lane
+pins the per-op latency percentiles in ``transport_stats`` and the
+``budget`` op's full ledger view (per-entry analyst attribution,
+quota table).
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    OsdpClient,
+    RemoteBackend,
+    ReleaseRequest,
+    RetryPolicy,
+    ServerOverloaded,
+)
+from repro.core.accountant import (
+    AnalystQuotaExceededError,
+    PrivacyAccountant,
+)
+from repro.data.columnar import ColumnarDatabase
+from repro.queries.histogram import IntegerBinning
+from repro.service.rpc import RpcServer
+from repro.service.server import ReleaseServer
+
+pytestmark = pytest.mark.rpc
+
+
+def _loopback_available() -> str | None:
+    try:
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            probe.bind(("127.0.0.1", 0))
+        finally:
+            probe.close()
+    except OSError as exc:
+        return f"loopback sockets unavailable: {exc}"
+    return None
+
+
+_SKIP_REASON = _loopback_available()
+if _SKIP_REASON:
+    pytestmark = [pytest.mark.rpc, pytest.mark.skip(reason=_SKIP_REASON)]
+
+
+BINNING_SPEC = IntegerBinning("age", 0, 100, 10).to_spec()
+POLICY_SPEC = {"kind": "opt_in", "attr": "opt_in"}
+
+
+def _db(n: int = 2000, seed: int = 0) -> ColumnarDatabase:
+    rng = np.random.default_rng(seed)
+    return ColumnarDatabase(
+        {
+            "age": rng.integers(0, 100, n),
+            "opt_in": rng.integers(0, 2, n).astype(bool),
+        }
+    )
+
+
+def _serve(accountant=None, **rpc_kwargs):
+    server = ReleaseServer(_db().shard(2), accountant=accountant)
+    rpc = RpcServer(server, **rpc_kwargs)
+    thread = threading.Thread(target=rpc.serve_forever, daemon=True)
+    thread.start()
+    return rpc
+
+
+def _request(epsilon=0.25, seed=1, n_trials=1, **kw) -> ReleaseRequest:
+    return ReleaseRequest(
+        "osdp_laplace_l1", epsilon, BINNING_SPEC, POLICY_SPEC,
+        n_trials=n_trials, seed=seed, **kw,
+    )
+
+
+class TestAdmissionGate:
+    def test_flood_beyond_gate_gets_fast_retryable_refusals(self):
+        rpc = _serve(admission_limit=1, admission_retry_after=0.02)
+        host, port = rpc.address
+        # Stall each admitted release so the single gate slot is held
+        # long enough for the flood to pile up behind it — without
+        # this the GIL can serialize 8 fast releases into zero
+        # collisions and the test proves nothing.
+        original = rpc.release_server.handle
+
+        def slow_handle(request):
+            time.sleep(0.05)
+            return original(request)
+
+        rpc.release_server.handle = slow_handle
+        barrier = threading.Barrier(8)
+        try:
+            overloads, successes = [], []
+
+            def worker(i: int) -> None:
+                # max_attempts=1: surface the refusal instead of letting
+                # the backend transparently retry it into a success.
+                with OsdpClient.connect(
+                    host, port, retry=RetryPolicy(max_attempts=1)
+                ) as client:
+                    barrier.wait(timeout=30)
+                    for j in range(4):
+                        try:
+                            client.release(
+                                request=_request(seed=i * 10 + j)
+                            )
+                            successes.append(i)
+                        except ServerOverloaded as exc:
+                            overloads.append(exc)
+
+            threads = [
+                threading.Thread(target=worker, args=(i,)) for i in range(8)
+            ]
+            start = time.monotonic()
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            elapsed = time.monotonic() - start
+            assert successes, "gate of 1 still serves work"
+            assert overloads, "8-way flood past a gate of 1 must refuse"
+            # Refusals are retryable and carry the server's hint.
+            for exc in overloads:
+                assert exc.retry_after == 0.02
+            # Fast refusal, not a queue: the whole flood resolves in
+            # bounded time (the hang guard would catch a pile-up).
+            assert elapsed < 60.0
+            assert (
+                rpc.transport_stats["overload_rejections"] == len(overloads)
+            )
+        finally:
+            rpc.release_server.handle = original
+            rpc.close()
+
+    def test_retrying_client_completes_with_exactly_once_charge(self):
+        accountant = PrivacyAccountant(total_epsilon=100.0)
+        rpc = _serve(
+            accountant=accountant,
+            admission_limit=1,
+            admission_retry_after=0.005,
+        )
+        host, port = rpc.address
+        try:
+            # Keep the gate contended from a no-retry client...
+            stop = threading.Event()
+
+            def contend() -> None:
+                with OsdpClient.connect(host, port) as client:
+                    seed = 0
+                    while not stop.is_set():
+                        seed += 1
+                        try:
+                            client.release(
+                                request=_request(seed=seed, n_trials=50)
+                            )
+                        except ServerOverloaded:
+                            pass
+
+            contender = threading.Thread(target=contend, daemon=True)
+            contender.start()
+            # ...while a retrying client pushes 5 releases through.  If
+            # an overload refusal were cached against the effectful
+            # req_id, the retry would replay the refusal forever; if
+            # retries re-ran charged work, the ledger would overcount.
+            with OsdpClient.connect(
+                host,
+                port,
+                retry=RetryPolicy(max_attempts=60, base_delay=0.005),
+            ) as client:
+                for seed in range(1000, 1005):
+                    client.release(request=_request(seed=seed))
+            stop.set()
+            contender.join(timeout=30)
+            charged = [
+                e for e in accountant.ledger if int(e.epsilon * 100) == 25
+            ]
+            # Exactly one charge per completed release, no replayed
+            # refusals and no double charges.
+            completed = len(accountant.ledger)
+            assert accountant.spent == completed * 0.25
+            assert len(charged) == completed
+            assert completed >= 5
+        finally:
+            rpc.close()
+
+    def test_observability_ops_are_exempt_from_the_gate(self):
+        rpc = _serve(admission_limit=1)
+        host, port = rpc.address
+        original = rpc.release_server.handle
+        try:
+            release = threading.Event()
+
+            def stalling_handle(request):
+                release.wait(timeout=30)
+                return original(request)
+
+            rpc.release_server.handle = stalling_handle
+            with RemoteBackend(host, port) as backend:
+                slow = threading.Thread(
+                    target=lambda: backend.handle(_request(seed=3)),
+                    daemon=True,
+                )
+                slow.start()
+                time.sleep(0.2)  # the gate's one slot is now held
+                # ping and transport_stats still answer.
+                with RemoteBackend(host, port) as probe:
+                    assert probe.ping()["server"] == "repro.service.rpc"
+                    stats = probe.transport_stats()
+                    assert "overload_rejections" in stats
+                release.set()
+                slow.join(timeout=30)
+        finally:
+            rpc.release_server.handle = original
+            rpc.close()
+
+    def test_gate_validation(self):
+        server = ReleaseServer(_db().shard(2))
+        with pytest.raises(ValueError):
+            RpcServer(server, admission_limit=0)
+        with pytest.raises(ValueError):
+            RpcServer(server, admission_retry_after=0.0)
+
+
+class TestOpLatency:
+    def test_transport_stats_carry_per_op_percentiles(self):
+        rpc = _serve()
+        host, port = rpc.address
+        try:
+            with OsdpClient.connect(host, port) as client:
+                for seed in range(5):
+                    client.release(request=_request(seed=seed))
+                stats = client.backend.transport_stats()
+            latency = stats["op_latency"]
+            assert latency["release"]["count"] == 5
+            for q in ("p50", "p95", "p99"):
+                assert latency["release"][q] >= 0.0
+            assert (
+                latency["release"]["p50"] <= latency["release"]["p99"]
+            )
+        finally:
+            rpc.close()
+
+
+class TestBudgetView:
+    def test_budget_op_returns_full_ledger_view(self):
+        accountant = PrivacyAccountant(
+            total_epsilon=10.0, quotas={"alice": 1.0}
+        )
+        rpc = _serve(accountant=accountant)
+        host, port = rpc.address
+        try:
+            with OsdpClient.connect(host, port, analyst="alice") as client:
+                client.release(request=_request(epsilon=0.5, seed=2))
+                view = client.budget()
+                assert view["total"] == 10.0
+                assert view["spent"] == 0.5
+                (entry,) = view["entries"]
+                assert entry["analyst"] == "alice"
+                assert entry["epsilon"] == 0.5
+                assert entry["label"] == "osdp_laplace_l1"
+                assert view["quotas"]["alice"]["remaining"] == 0.5
+                # The scalar surface still works on the dict reply.
+                assert client.backend.budget_remaining == 9.5
+                # Quota refusals cross the wire typed.
+                with pytest.raises(AnalystQuotaExceededError):
+                    client.release(request=_request(epsilon=0.75, seed=3))
+        finally:
+            rpc.close()
+
+    def test_unmetered_server_returns_none(self):
+        rpc = _serve()
+        host, port = rpc.address
+        try:
+            with OsdpClient.connect(host, port) as client:
+                assert client.budget() is None
+                assert client.backend.budget_remaining is None
+        finally:
+            rpc.close()
+
+    def test_header_analyst_stamps_requests_request_field_wins(self):
+        accountant = PrivacyAccountant(total_epsilon=10.0)
+        rpc = _serve(accountant=accountant)
+        host, port = rpc.address
+        try:
+            with OsdpClient.connect(host, port, analyst="alice") as client:
+                client.release(request=_request(seed=4))
+                client.release(request=_request(seed=5, analyst="bob"))
+            assert [e.analyst for e in accountant.ledger] == [
+                "alice",
+                "bob",
+            ]
+        finally:
+            rpc.close()
